@@ -1,0 +1,34 @@
+// Ablation: T_cache bucket count k. One bucket equals one global lock (the
+// G-Miner RCV-cache design); the paper uses k = 10,000 so that concurrent
+// compers, the receiver and GC rarely collide.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  Dataset d = MakeDataset("orkut", 0.35);
+  std::printf("=== Ablation: vertex-cache bucket count (TC on orkut-like, "
+              "4 workers x 4 compers) ===\n");
+  std::printf("%-10s %-24s %14s\n", "buckets", "time / mem", "cache hits");
+
+  for (int buckets : {1, 16, 256, 4096}) {
+    JobConfig config = DefaultConfig();
+    config.compers_per_worker = 4;
+    config.cache_num_buckets = buckets;
+    config.time_budget_s = kBudgetS;
+    RunOutcome gt = RunGthinkerTc(d.graph, config);
+    std::printf("%-10d %-24s %14lld\n", buckets,
+                FormatCell(gt, kBudgetS).c_str(),
+                static_cast<long long>(gt.stats.cache_hits));
+  }
+  std::printf("\nexpected: few buckets serialize every cache access (the "
+              "G-Miner bottleneck); contention falls off quickly with k. On "
+              "a single-core host the effect shows as lock overhead rather "
+              "than parallel stalls.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: task bundling (the paper's §VI future-work item, ref [38]).
+// Tasks spawned from low-degree vertices "do not generate large enough
+// subgraphs to hide IO cost in the computation"; bundling B roots into one
+// task amortizes pull rounds and scheduling. Run TC on the low-degree
+// btc-like graph over a simulated GigE wire, sweeping the bundle size.
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/bundled_triangle_app.h"
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+namespace {
+
+RunOutcome RunBundled(const Graph& graph, JobConfig config, size_t bundle) {
+  Job<BundledTriangleComper> job;
+  job.config = config;
+  job.graph = &graph;
+  job.comper_factory = [bundle] {
+    return std::make_unique<BundledTriangleComper>(bundle);
+  };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<BundledTriangleComper>::Run(job);
+  RunOutcome out;
+  out.elapsed_s = result.stats.elapsed_s;
+  out.peak_mem_bytes = result.stats.max_peak_mem_bytes;
+  out.timed_out = result.stats.timed_out;
+  out.value = result.result;
+  out.stats = result.stats;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  Dataset d = MakeDataset("btc", 0.5);
+  std::printf("=== Ablation: task bundling (TC on btc-like, GigE wire) "
+              "===\n");
+  std::printf("%-10s %-24s %10s %12s %14s\n", "bundle", "time / mem",
+              "tasks", "batches", "triangles");
+
+  uint64_t reference = 0;
+  for (size_t bundle : {1, 4, 16, 64}) {
+    JobConfig config = DefaultConfig();
+    config.time_budget_s = kBudgetS;
+    config.net.latency_us = 100;
+    config.net.bandwidth_mbps = 1000.0;
+    RunOutcome o = RunBundled(d.graph, config, bundle);
+    if (bundle == 1) reference = o.value;
+    std::printf("%-10zu %-24s %10lld %12lld %14llu%s\n", bundle,
+                FormatCell(o, kBudgetS).c_str(),
+                static_cast<long long>(o.stats.tasks_finished),
+                static_cast<long long>(o.stats.batches_sent),
+                static_cast<unsigned long long>(o.value),
+                o.value == reference ? "" : "  !! MISMATCH");
+  }
+  std::printf("\nexpected: identical counts with far fewer tasks; on "
+              "low-degree graphs bundling amortizes the per-task pull round "
+              "and scheduling overhead (the paper's hypothesis for the weak "
+              "8->16 VM scaling).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: refill priority. The paper's rule — refill Q_task from spilled
+// task files BEFORE spawning new tasks — keeps the number of disk-resident
+// tasks minimal. Inverting it (spawn-first) lets spilled partially-computed
+// tasks pile up on disk, G-Miner style.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  Dataset d = MakeDataset("orkut", 0.35);
+  std::printf("=== Ablation: Q_task refill priority (MCF on orkut-like) "
+              "===\n");
+  std::printf("small C so spilling actually happens\n");
+  std::printf("%-16s %-24s %16s %14s\n", "policy", "time / mem",
+              "spilled batches", "tasks");
+
+  for (bool spawn_first : {false, true}) {
+    JobConfig config = DefaultConfig();
+    config.task_batch_size = 16;  // tiny queues => spills occur
+    config.inflight_task_cap = 128;
+    config.refill_spawn_first = spawn_first;
+    config.time_budget_s = kBudgetS;
+    RunOutcome gt = RunGthinkerMcf(d.graph, config, /*tau=*/200);
+    std::printf("%-16s %-24s %16lld %14lld\n",
+                spawn_first ? "spawn-first" : "spilled-first (paper)",
+                FormatCell(gt, kBudgetS).c_str(),
+                static_cast<long long>(gt.stats.spilled_batches),
+                static_cast<long long>(gt.stats.tasks_finished));
+  }
+  std::printf("\nexpected: spawn-first spills far more batches (partially "
+              "computed tasks sit on disk while new ones keep arriving), "
+              "reproducing why the paper prioritizes spilled files.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: G-Miner's LSH task order vs plain FIFO generation order. The
+// paper (§VI, MCF-on-Skitter discussion) notes that processing order changes
+// how fast a large clique is found and hence how much of the search space
+// branch-and-bound can prune — an artifact of ordering, not system design.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  Dataset d = MakeDataset("skitter", 0.35);
+  std::printf("=== Ablation: G-Miner disk-queue order (MCF on skitter-like) "
+              "===\n");
+  std::printf("%-14s %-24s %14s %14s\n", "order", "time / mem", "reinserts",
+              "disk MB");
+
+  for (bool fifo : {false, true}) {
+    auto opts = GMinerDefaults(kBudgetS);
+    opts.fifo_order = fifo;
+    auto result = baselines::GMinerMaxClique(d.graph, /*tau=*/400, opts);
+    RunOutcome o{result.stats.elapsed_s, result.stats.peak_mem_bytes,
+                 result.stats.timed_out, false, result.best_clique.size(),
+                 {}};
+    std::printf("%-14s %-24s %14lld %14.1f\n", fifo ? "FIFO" : "LSH (paper)",
+                FormatCell(o, kBudgetS).c_str(),
+                static_cast<long long>(result.stats.reinserts),
+                (result.stats.disk_read_bytes +
+                 result.stats.disk_write_bytes) /
+                    1048576.0);
+  }
+  std::printf("\nexpected: comparable totals — the ordering shifts when the "
+              "pruning bound tightens but does not fix the disk-queue cost, "
+              "matching the paper's observation that the MCF/Skitter anomaly "
+              "is an ordering artifact.\n");
+  return 0;
+}

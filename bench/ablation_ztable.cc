@@ -1,0 +1,74 @@
+// Ablation: the Z-table. The paper (§V-A) keeps a per-bucket table of
+// zero-locked vertices so GC scans exactly the evictable entries while
+// holding the bucket mutex; without it, GC walks the full Γ-table per
+// bucket. This binary runs MCF with a deliberately small cache (constant
+// eviction pressure) and reports the GC scan time under bucket locks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+namespace {
+
+// Stats access: the per-run scan time comes back through JobStats only as
+// evictions; the scan time itself is reported by the worker caches, so this
+// ablation runs the cache directly as well for a clean microcosm.
+void MicrocosmScan(bool use_z_table) {
+  MemTracker mem;
+  VertexCache<Vertex<AdjList>> cache(/*num_buckets=*/64, /*capacity=*/50'000,
+                                     0.2, 10, &mem, use_z_table);
+  SCacheCounter ctr;
+  const Vertex<AdjList>* out = nullptr;
+  // Fill with 50k vertices; keep 90% locked so GC must skip them.
+  for (VertexId v = 0; v < 50'000; ++v) {
+    cache.Request(v, v, &ctr, &out);
+    Vertex<AdjList> vert;
+    vert.id = v;
+    vert.value = {v + 1};
+    cache.InsertResponse(std::move(vert));
+    if (v % 10 == 0) cache.Release(v);  // only these become evictable
+  }
+  Timer t;
+  int64_t evicted = 0;
+  for (int round = 0; round < 50; ++round) {
+    evicted += cache.EvictUpTo(100);
+  }
+  std::printf("  microcosm %-12s evicted %6lld in %8.2f ms "
+              "(scan-under-lock %lld us)\n",
+              use_z_table ? "Z-table" : "full-scan",
+              static_cast<long long>(evicted), t.ElapsedSeconds() * 1e3,
+              static_cast<long long>(
+                  cache.stats().evict_scan_us.load()));
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  std::printf("=== Ablation: Z-table vs full Γ-table GC scans ===\n");
+  std::printf("[1] cache microcosm: 50k cached vertices, 90%% locked\n");
+  MicrocosmScan(true);
+  MicrocosmScan(false);
+
+  std::printf("\n[2] full MCF job, tiny cache (eviction pressure)\n");
+  Dataset d = MakeDataset("friendster", 0.25);
+  std::printf("%-12s %-24s %14s\n", "policy", "time / mem", "evictions");
+  for (bool use_z : {true, false}) {
+    JobConfig config = DefaultConfig();
+    config.cache_capacity = 1'000;
+    config.cache_use_z_table = use_z;
+    config.time_budget_s = kBudgetS;
+    RunOutcome gt = RunGthinkerMcf(d.graph, config);
+    std::printf("%-12s %-24s %14lld\n", use_z ? "Z-table" : "full-scan",
+                FormatCell(gt, kBudgetS).c_str(),
+                static_cast<long long>(gt.stats.cache_evictions));
+  }
+  std::printf("\nexpected: identical results; the Z-table slashes the time "
+              "spent holding bucket mutexes during GC (the paper's stated "
+              "reason for the table), which on a parallel host directly "
+              "reduces comper stalls.\n");
+  return 0;
+}

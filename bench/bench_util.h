@@ -1,0 +1,215 @@
+#ifndef GTHINKER_BENCH_BENCH_UTIL_H_
+#define GTHINKER_BENCH_BENCH_UTIL_H_
+
+// Shared runners and formatting for the paper-table benchmark binaries.
+// Every binary prints the same row structure the paper reports:
+// "time / peak-memory", with ">B s" for budget-exceeded runs and "M/O" for
+// memory-cap aborts (the stand-ins for the paper's >24 hr and OOM entries).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "apps/match_app.h"
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"
+#include "baselines/arabesque_apps.h"
+#include "baselines/gminer_apps.h"
+#include "baselines/pregel_apps.h"
+#include "baselines/rstream_tc.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+
+namespace gthinker::bench {
+
+struct RunOutcome {
+  double elapsed_s = 0.0;
+  int64_t peak_mem_bytes = 0;
+  bool timed_out = false;
+  bool mem_exceeded = false;
+  uint64_t value = 0;  // triangles / matches / clique size
+  JobStats stats;      // populated for G-thinker runs
+};
+
+inline std::string FormatBytes(int64_t bytes) {
+  char buf[32];
+  if (bytes >= (1 << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / 1048576.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  }
+  return buf;
+}
+
+inline std::string FormatCell(const RunOutcome& o, double budget_s) {
+  char buf[64];
+  if (o.mem_exceeded) {
+    std::snprintf(buf, sizeof(buf), "M/O");
+  } else if (o.timed_out) {
+    std::snprintf(buf, sizeof(buf), ">%.0f s", budget_s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s / %s", o.elapsed_s,
+                  FormatBytes(o.peak_mem_bytes).c_str());
+  }
+  return buf;
+}
+
+/// Baseline cluster shape used across benches (scaled from the paper's
+/// 16 VMs x 16 cores to a laptop-friendly 4 workers x 2 compers).
+inline JobConfig DefaultConfig() {
+  JobConfig config;
+  config.num_workers = 4;
+  config.compers_per_worker = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// G-thinker runners.
+// ---------------------------------------------------------------------------
+
+inline RunOutcome RunGthinkerTc(const Graph& graph, JobConfig config) {
+  Job<TriangleComper> job;
+  job.config = config;
+  job.graph = &graph;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  RunOutcome out;
+  out.elapsed_s = result.stats.elapsed_s;
+  out.peak_mem_bytes = result.stats.max_peak_mem_bytes;
+  out.timed_out = result.stats.timed_out;
+  out.value = result.result;
+  out.stats = result.stats;
+  return out;
+}
+
+inline RunOutcome RunGthinkerMcf(const Graph& graph, JobConfig config,
+                                 size_t tau = 400) {
+  Job<MaxCliqueComper> job;
+  job.config = config;
+  job.graph = &graph;
+  job.comper_factory = [tau] {
+    return std::make_unique<MaxCliqueComper>(tau);
+  };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<MaxCliqueComper>::Run(job);
+  RunOutcome out;
+  out.elapsed_s = result.stats.elapsed_s;
+  out.peak_mem_bytes = result.stats.max_peak_mem_bytes;
+  out.timed_out = result.stats.timed_out;
+  out.value = result.result.size();
+  out.stats = result.stats;
+  return out;
+}
+
+inline RunOutcome RunGthinkerGm(const Graph& graph,
+                                const std::vector<Label>& labels,
+                                const QueryGraph& query, JobConfig config) {
+  Job<MatchComper> job;
+  job.config = config;
+  job.graph = &graph;
+  job.labels = &labels;
+  job.comper_factory = [&query] {
+    return std::make_unique<MatchComper>(query);
+  };
+  job.trimmer = [&query](Vertex<LabeledAdj>& v) {
+    MatchComper::TrimByQuery(query, v);
+  };
+  auto result = Cluster<MatchComper>::Run(job);
+  RunOutcome out;
+  out.elapsed_s = result.stats.elapsed_s;
+  out.peak_mem_bytes = result.stats.max_peak_mem_bytes;
+  out.timed_out = result.stats.timed_out;
+  out.value = result.result;
+  out.stats = result.stats;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline runners (uniform RunOutcome view).
+// ---------------------------------------------------------------------------
+
+inline RunOutcome RunPregelTc(const Graph& graph, double budget_s,
+                              int64_t mem_cap) {
+  baselines::PregelOptions opts;
+  opts.num_workers = 4;
+  opts.time_budget_s = budget_s;
+  opts.mem_cap_bytes = mem_cap;
+  auto result = baselines::PregelTriangleCount(graph, opts);
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, result.stats.mem_exceeded,
+          result.triangles, {}};
+}
+
+inline RunOutcome RunPregelMcf(const Graph& graph, double budget_s,
+                               int64_t mem_cap) {
+  baselines::PregelOptions opts;
+  opts.num_workers = 4;
+  opts.time_budget_s = budget_s;
+  opts.mem_cap_bytes = mem_cap;
+  auto result = baselines::PregelMaxClique(graph, opts);
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, result.stats.mem_exceeded,
+          result.best_clique.size(), {}};
+}
+
+inline RunOutcome RunArabesqueTc(const Graph& graph, double budget_s,
+                                 int64_t mem_cap) {
+  baselines::ArabesqueEngine::Options opts;
+  opts.num_threads = 8;
+  opts.time_budget_s = budget_s;
+  opts.mem_cap_bytes = mem_cap;
+  auto result = baselines::ArabesqueTriangleCount(graph, opts);
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, result.stats.mem_exceeded,
+          result.triangles, {}};
+}
+
+inline RunOutcome RunArabesqueMcf(const Graph& graph, double budget_s,
+                                  int64_t mem_cap) {
+  baselines::ArabesqueEngine::Options opts;
+  opts.num_threads = 8;
+  opts.time_budget_s = budget_s;
+  opts.mem_cap_bytes = mem_cap;
+  auto result = baselines::ArabesqueMaxClique(graph, opts);
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, result.stats.mem_exceeded,
+          result.best_clique.size(), {}};
+}
+
+inline baselines::GMinerEngine::Options GMinerDefaults(double budget_s) {
+  baselines::GMinerEngine::Options opts;
+  opts.num_workers = 4;
+  opts.threads_per_worker = 2;
+  opts.time_budget_s = budget_s;
+  return opts;
+}
+
+inline RunOutcome RunGMinerTc(const Graph& graph, double budget_s) {
+  auto result = baselines::GMinerTriangleCount(graph, GMinerDefaults(budget_s));
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, false, result.triangles, {}};
+}
+
+inline RunOutcome RunGMinerMcf(const Graph& graph, double budget_s,
+                               size_t tau = 400) {
+  auto result =
+      baselines::GMinerMaxClique(graph, tau, GMinerDefaults(budget_s));
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, false, result.best_clique.size(), {}};
+}
+
+inline RunOutcome RunGMinerGm(const Graph& graph,
+                              const std::vector<Label>& labels,
+                              const QueryGraph& query, double budget_s) {
+  auto result =
+      baselines::GMinerMatch(graph, labels, query, GMinerDefaults(budget_s));
+  return {result.stats.elapsed_s, result.stats.peak_mem_bytes,
+          result.stats.timed_out, false, result.matches, {}};
+}
+
+}  // namespace gthinker::bench
+
+#endif  // GTHINKER_BENCH_BENCH_UTIL_H_

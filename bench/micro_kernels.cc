@@ -1,0 +1,110 @@
+// google-benchmark microbenchmarks for the hot kernels underneath the
+// framework: sorted intersections (TC inner loop), the branch-and-bound
+// clique search, vertex-cache operations, and task serialization. These are
+// the per-task CPU costs Fig. 2's "mining cost" curve is made of.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/kernels.h"
+#include "apps/maxclique_app.h"
+#include "core/task.h"
+#include "core/vertex_cache.h"
+#include "graph/generator.h"
+#include "util/random.h"
+#include "util/serializer.h"
+
+namespace gthinker {
+namespace {
+
+void BM_SortedIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Random rng(1);
+  AdjList a, b;
+  for (size_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<VertexId>(rng.Uniform(4 * n)));
+    b.push_back(static_cast<VertexId>(rng.Uniform(4 * n)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SortedIntersection)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MaxCliqueKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = Generator::ErdosRenyi(n, static_cast<uint64_t>(n) * 8, n);
+  const CompactGraph cg = CompactFromGraph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCliqueInCompact(cg, 0));
+  }
+}
+BENCHMARK(BM_MaxCliqueKernel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MaximalCliqueKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Graph g = Generator::ErdosRenyi(n, static_cast<uint64_t>(n) * 6, n + 1);
+  const CompactGraph cg = CompactFromGraph(g);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (int v = 0; v < cg.NumVertices(); ++v) {
+      total += CountMaximalCliquesFromRoot(cg, v);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_MaximalCliqueKernel)->Arg(64)->Arg(128);
+
+void BM_VertexCacheHit(benchmark::State& state) {
+  VertexCache<Vertex<AdjList>> cache(static_cast<int>(state.range(0)),
+                                     1 << 20, 0.2, 10);
+  SCacheCounter ctr;
+  const Vertex<AdjList>* out = nullptr;
+  for (VertexId v = 0; v < 1024; ++v) {
+    cache.Request(v, v, &ctr, &out);
+    Vertex<AdjList> vert;
+    vert.id = v;
+    vert.value = {v + 1, v + 2, v + 3};
+    cache.InsertResponse(std::move(vert));
+  }
+  VertexId v = 0;
+  for (auto _ : state) {
+    cache.Request(v & 1023, 1, &ctr, &out);
+    cache.Release(v & 1023);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VertexCacheHit)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_TaskSerialization(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Task<AdjList, CliqueContext> task;
+  task.context().s = {1, 2, 3};
+  Random rng(2);
+  for (size_t i = 0; i < n; ++i) {
+    Vertex<AdjList> v;
+    v.id = static_cast<VertexId>(i);
+    for (int j = 0; j < 8; ++j) {
+      v.value.push_back(static_cast<VertexId>(rng.Uniform(n)));
+    }
+    std::sort(v.value.begin(), v.value.end());
+    task.subgraph().AddVertex(std::move(v));
+  }
+  for (auto _ : state) {
+    Serializer ser;
+    task.Serialize(ser);
+    Task<AdjList, CliqueContext> back;
+    Deserializer des(ser.data());
+    benchmark::DoNotOptimize(back.Deserialize(des).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TaskSerialization)->Arg(16)->Arg(256)->Arg(2048);
+
+}  // namespace
+}  // namespace gthinker
+
+BENCHMARK_MAIN();

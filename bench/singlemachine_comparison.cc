@@ -1,0 +1,64 @@
+// The in-text single-machine comparison (paper §VI "Comparison with
+// Single-Machine Systems"): RStream's out-of-core TC vs G-thinker running on
+// ONE worker, over the datasets; plus a single-threaded in-memory kernel as
+// the Nuri-style single-thread reference point.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/timer.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  std::printf("=== Single-machine comparison: triangle counting ===\n");
+  std::printf("%-12s %-22s %-22s %-22s\n", "dataset", "RStream (ooc)",
+              "G-thinker 1 worker", "serial 1 thread");
+  constexpr double kBudgetS = 20.0;
+
+  for (const std::string& name : DatasetNames()) {
+    Dataset d = MakeDataset(name, 0.35);
+
+    baselines::RStreamTc::Options ropts;
+    ropts.time_budget_s = kBudgetS;
+    auto rstream = baselines::RStreamTc::Run(d.graph, ropts);
+    RunOutcome rstream_o{rstream.elapsed_s, rstream.peak_mem_bytes,
+                         rstream.timed_out, false, rstream.triangles, {}};
+
+    JobConfig one = DefaultConfig();
+    one.num_workers = 1;
+    one.compers_per_worker = 8;  // "8 threads on one machine", §VI
+    one.time_budget_s = kBudgetS;
+    RunOutcome gt = RunGthinkerTc(d.graph, one);
+
+    Timer t;
+    const uint64_t serial = CountTrianglesSerial(d.graph);
+    const double serial_s = t.ElapsedSeconds();
+
+    char serial_cell[64];
+    std::snprintf(serial_cell, sizeof(serial_cell), "%.2f s", serial_s);
+    std::printf("%-12s %-22s %-22s %-22s\n", name.c_str(),
+                FormatCell(rstream_o, kBudgetS).c_str(),
+                FormatCell(gt, kBudgetS).c_str(), serial_cell);
+    if (!rstream.timed_out && rstream.triangles != gt.value) {
+      std::printf("  !! COUNT MISMATCH rstream=%llu gthinker=%llu\n",
+                  static_cast<unsigned long long>(rstream.triangles),
+                  static_cast<unsigned long long>(gt.value));
+    }
+    if (serial != gt.value) {
+      std::printf("  !! COUNT MISMATCH serial=%llu gthinker=%llu\n",
+                  static_cast<unsigned long long>(serial),
+                  static_cast<unsigned long long>(gt.value));
+    }
+    std::printf("   rstream IO: %.1f MB read / %.1f MB written, "
+                "%lld random reads\n",
+                rstream.bytes_read / 1048576.0,
+                rstream.bytes_written / 1048576.0,
+                static_cast<long long>(rstream.disk_reads));
+  }
+  std::printf("\nexpected shape (paper: RStream 53s/283s/3713s vs G-thinker "
+              "4s/30s/210s on Youtube/Skitter/Orkut): the out-of-core joins "
+              "lose by a multiple on every dataset.\n");
+  return 0;
+}

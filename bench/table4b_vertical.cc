@@ -1,0 +1,39 @@
+// Table IV(b): vertical scalability — MCF on the friendster-like graph with
+// a fixed 4-worker cluster, varying compers (mining threads) per worker.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  constexpr double kBudgetS = 60.0;
+  Dataset d = MakeDataset("friendster", 0.35);
+  std::printf("=== Table IV(b): MCF on friendster-like, 4 workers, varying "
+              "compers/worker ===\n");
+  std::printf("%-10s %-24s %12s %14s %14s\n", "compers", "G-thinker",
+              "tasks/s", "cache hits", "evictions");
+
+  for (int compers : {1, 2, 4, 8}) {
+    JobConfig config = DefaultConfig();
+    config.num_workers = 4;
+    config.compers_per_worker = compers;
+    config.time_budget_s = kBudgetS;
+    // GigE-like wire so evicted/re-pulled vertices actually cost something.
+    config.net.latency_us = 100;
+    config.net.bandwidth_mbps = 1000.0;
+    RunOutcome gt = RunGthinkerMcf(d.graph, config);
+    std::printf("%-10d %-24s %12.0f %14lld %14lld\n", compers,
+                FormatCell(gt, kBudgetS).c_str(),
+                gt.stats.tasks_finished / std::max(gt.elapsed_s, 1e-9),
+                static_cast<long long>(gt.stats.cache_hits),
+                static_cast<long long>(gt.stats.cache_evictions));
+  }
+  std::printf("\nexpected shape (paper Table IV(b)): more mining threads "
+              "per machine reduce time; on this single-core host the gain "
+              "saturates once threads exceed physical cores, so task "
+              "throughput per second is the comparable signal.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table V(a): effect of the vertex-cache capacity c_cache. The paper sweeps
+// {0.02M, 0.2M, 2M, 20M} on Friendster MCF; we sweep the same 1000x range
+// around our scaled default.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace gthinker;
+using namespace gthinker::bench;
+
+int main() {
+  constexpr double kBudgetS = 120.0;
+  Dataset d = MakeDataset("friendster", 0.35);
+  std::printf("=== Table V(a): MCF on friendster-like, varying c_cache ===\n");
+  std::printf("%-12s %-24s %14s %14s %14s\n", "c_cache", "time / mem",
+              "cache hits", "evictions", "idle rounds");
+
+  for (int64_t c_cache : {500LL, 5'000LL, 50'000LL, 500'000LL}) {
+    JobConfig config = DefaultConfig();
+    config.cache_capacity = c_cache;
+    config.time_budget_s = kBudgetS;
+    // GigE-like wire so evicted/re-pulled vertices actually cost something.
+    config.net.latency_us = 100;
+    config.net.bandwidth_mbps = 1000.0;
+    RunOutcome gt = RunGthinkerMcf(d.graph, config);
+    std::printf("%-12lld %-24s %14lld %14lld %14lld\n",
+                static_cast<long long>(c_cache),
+                FormatCell(gt, kBudgetS).c_str(),
+                static_cast<long long>(gt.stats.cache_hits),
+                static_cast<long long>(gt.stats.cache_evictions),
+                static_cast<long long>(gt.stats.comper_idle_rounds));
+  }
+  std::printf("\nexpected shape (paper Table V(a)): small caches are much "
+              "slower (thrashing + re-requests); growing past the default "
+              "buys little time for a lot of memory. On an oversubscribed "
+              "single-core host the wall clock hides comper stalls, so the "
+              "idle-rounds column is the comparable signal: tiny caches "
+              "block pop() (s_cache overflow) and stall compers.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// dataset_gen: materialize the synthetic dataset stand-ins (or custom
+// generator output) as files, in any supported format — adjacency lines,
+// edge list, labeled adjacency, or HDFS-style partitioned part files.
+//
+//   dataset_gen --dataset=orkut --scale=0.5 --format=adj --out=orkut.adj
+//   dataset_gen --gen=rmat --rmat-scale=12 --edges=40000 --format=edges
+//               --out=rmat.el
+//   dataset_gen --dataset=youtube --format=parts --parts=8 --out=dfs_dir
+//   dataset_gen --dataset=btc --format=labeled --labels=4 --out=btc.ladj
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "graph/generator.h"
+#include "graph/loader.h"
+#include "storage/mini_dfs.h"
+#include "storage/partitioned_graph.h"
+
+using namespace gthinker;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    const char* eq = std::strchr(arg, '=');
+    if (eq != nullptr) {
+      flags[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+    } else {
+      flags[arg + 2] = "1";
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  const std::string out = FlagOr(flags, "out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "missing --out=<path>\n");
+    return 1;
+  }
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "7").c_str(), nullptr, 10);
+
+  Graph graph;
+  if (flags.count("gen") > 0) {
+    const std::string gen = flags["gen"];
+    const VertexId n =
+        static_cast<VertexId>(std::atoi(FlagOr(flags, "n", "10000").c_str()));
+    const uint64_t edges =
+        std::strtoull(FlagOr(flags, "edges", "40000").c_str(), nullptr, 10);
+    if (gen == "er") {
+      graph = Generator::ErdosRenyi(n, edges, seed);
+    } else if (gen == "powerlaw") {
+      graph = Generator::PowerLaw(
+          n, std::atof(FlagOr(flags, "avg-deg", "8").c_str()),
+          std::atof(FlagOr(flags, "exponent", "2.5").c_str()), seed);
+    } else if (gen == "rmat") {
+      graph = Generator::Rmat(
+          std::atoi(FlagOr(flags, "rmat-scale", "12").c_str()), edges, seed);
+    } else if (gen == "hub") {
+      graph = Generator::HubSkewed(
+          n, static_cast<VertexId>(std::atoi(FlagOr(flags, "hubs", "8").c_str())),
+          static_cast<uint32_t>(std::atoi(FlagOr(flags, "hub-deg", "500").c_str())),
+          std::atof(FlagOr(flags, "avg-deg", "2").c_str()), seed);
+    } else {
+      std::fprintf(stderr, "unknown --gen=%s (er, powerlaw, rmat, hub)\n",
+                   gen.c_str());
+      return 1;
+    }
+  } else {
+    const double scale = std::atof(FlagOr(flags, "scale", "1.0").c_str());
+    graph = MakeDataset(FlagOr(flags, "dataset", "youtube"), scale).graph;
+  }
+  std::printf("generated: %u vertices, %llu edges, max degree %u\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()),
+              graph.MaxDegree());
+
+  const std::string format = FlagOr(flags, "format", "adj");
+  Status status;
+  if (format == "adj") {
+    status = GraphIo::WriteAdjacency(graph, out);
+  } else if (format == "edges") {
+    status = GraphIo::WriteEdgeList(graph, out);
+  } else if (format == "labeled") {
+    const Label num_labels = static_cast<Label>(
+        std::atoi(FlagOr(flags, "labels", "4").c_str()));
+    auto labels =
+        Generator::RandomLabels(graph.NumVertices(), num_labels, seed + 1);
+    status = GraphIo::WriteLabeledAdjacency(graph, labels, out);
+  } else if (format == "parts") {
+    const int parts = std::atoi(FlagOr(flags, "parts", "4").c_str());
+    MiniDfs dfs(out);
+    status = WritePartitionedAdjacency(graph, &dfs, "graph", parts);
+    if (status.ok()) {
+      std::printf("wrote %d part files under %s/graph/\n", parts,
+                  out.c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown --format=%s (adj, edges, labeled, parts)\n",
+                 format.c_str());
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%s)\n", out.c_str(), format.c_str());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Subgraph matching on a labeled graph: counts embeddings of three query
+// patterns (labeled triangle, 3-path, star) in a synthetic labeled network.
+//
+//   ./subgraph_matching [n] [workers]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "apps/match_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+
+using namespace gthinker;
+
+namespace {
+
+uint64_t RunQuery(const Graph& graph, const std::vector<Label>& labels,
+                  const QueryGraph& query, int workers, const char* name) {
+  Job<MatchComper> job;
+  job.config.num_workers = workers;
+  job.config.compers_per_worker = 2;
+  job.graph = &graph;
+  job.labels = &labels;
+  job.comper_factory = [&query] {
+    return std::make_unique<MatchComper>(query);
+  };
+  // The paper's Trimmer example: drop adjacency entries whose label does not
+  // appear in the query before anything travels over the wire.
+  job.trimmer = [&query](Vertex<LabeledAdj>& v) {
+    MatchComper::TrimByQuery(query, v);
+  };
+  RunResult<MatchComper> result = Cluster<MatchComper>::Run(job);
+  std::printf("%-22s %12llu matches   (%.3f s, %lld tasks)\n", name,
+              static_cast<unsigned long long>(result.result),
+              result.stats.elapsed_s,
+              static_cast<long long>(result.stats.tasks_finished));
+  return result.result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1]))
+                              : 5000;
+  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  Graph graph = Generator::PowerLaw(n, 8.0, 2.5, /*seed=*/7);
+  std::vector<Label> labels =
+      Generator::RandomLabels(graph.NumVertices(), /*num_labels=*/4,
+                              /*seed=*/8);
+  std::printf("labeled graph: %u vertices, %llu edges, 4 labels\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  const uint64_t tri = RunQuery(graph, labels,
+                                QueryGraph::Triangle(0, 1, 2), workers,
+                                "triangle A-B-C");
+  RunQuery(graph, labels, QueryGraph::Path3(0, 1, 2), workers,
+           "path A-B-C");
+  RunQuery(graph, labels, QueryGraph::Star(0, {1, 1, 2}), workers,
+           "star A(B,B,C)");
+
+  // Spot-check the triangle query against the serial matcher.
+  const uint64_t serial =
+      CountMatchesSerial(graph, labels, QueryGraph::Triangle(0, 1, 2));
+  std::printf("serial check (triangle): %llu (%s)\n",
+              static_cast<unsigned long long>(serial),
+              serial == tri ? "match" : "MISMATCH");
+  return serial == tri ? 0 : 2;
+}

@@ -1,0 +1,56 @@
+#include "apps/bundled_triangle_app.h"
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+void BundledTriangleComper::TaskSpawn(const VertexT& v) {
+  // Same skip rule as the unbundled app: Γ_>(v) needs 2+ candidates.
+  if (v.value.size() < 2) return;
+  if (pending_ == nullptr) {
+    pending_ = std::make_unique<TaskT>();
+    pending_pulls_.clear();
+  }
+  pending_->context().roots.push_back(v.id);
+  // The root's own Γ_> rides in the subgraph; other roots of the same
+  // bundle may appear in it, in which case their lists are already local.
+  pending_->subgraph().AddVertex(v);
+  for (VertexId u : v.value) {
+    if (!pending_->subgraph().HasVertex(u) &&
+        pending_pulls_.insert(u).second) {
+      pending_->Pull(u);
+    }
+  }
+  if (pending_->context().roots.size() >= bundle_size_) {
+    pending_pulls_.clear();
+    AddTask(std::move(pending_));
+  }
+}
+
+void BundledTriangleComper::SpawnFlush() {
+  if (pending_ != nullptr) {
+    pending_pulls_.clear();
+    AddTask(std::move(pending_));
+  }
+}
+
+bool BundledTriangleComper::Compute(TaskT* task, const Frontier& frontier) {
+  for (const VertexT* u : frontier) {
+    if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
+  }
+  uint64_t count = 0;
+  for (VertexId root : task->context().roots) {
+    const VertexT* rv = task->subgraph().GetVertex(root);
+    GT_CHECK(rv != nullptr);
+    const AdjList& root_gt = rv->value;
+    for (VertexId u : root_gt) {
+      const VertexT* uv = task->subgraph().GetVertex(u);
+      GT_CHECK(uv != nullptr) << "bundle missing pulled vertex " << u;
+      count += SortedIntersectionCount(root_gt, uv->value);
+    }
+  }
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

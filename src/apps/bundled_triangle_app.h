@@ -1,0 +1,59 @@
+#ifndef GTHINKER_APPS_BUNDLED_TRIANGLE_APP_H_
+#define GTHINKER_APPS_BUNDLED_TRIANGLE_APP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "core/comper.h"
+#include "core/task.h"
+
+namespace gthinker {
+
+/// Context of a bundled TC task: the roots sharing the task.
+struct BundleContext {
+  std::vector<VertexId> roots;
+};
+
+inline void SerializeValue(Serializer& ser, const BundleContext& c) {
+  ser.WriteVector(c.roots);
+}
+inline Status DeserializeValue(Deserializer& des, BundleContext* c) {
+  return des.ReadVector(&c->roots);
+}
+inline int64_t ValueBytes(const BundleContext& c) {
+  return static_cast<int64_t>(sizeof(BundleContext) +
+                              c.roots.capacity() * sizeof(VertexId));
+}
+
+using BundledTriangleTask = Task<AdjList, BundleContext>;
+
+/// Triangle counting with *task bundling*, the paper's §VI future-work
+/// optimization (ref [38]): tasks spawned from low-degree vertices are too
+/// small to hide their communication, so up to `bundle_size` consecutive
+/// roots share one task — one pull round, one scheduling round, shared
+/// cached vertices. Results are identical to TriangleComper; only the task
+/// granularity changes (see bench/ablation_bundling).
+class BundledTriangleComper : public Comper<BundledTriangleTask, uint64_t> {
+ public:
+  explicit BundledTriangleComper(size_t bundle_size)
+      : bundle_size_(bundle_size) {}
+
+  void TaskSpawn(const VertexT& v) override;
+  void SpawnFlush() override;
+  bool Compute(TaskT* task, const Frontier& frontier) override;
+
+  static AggT AggZero() { return 0; }
+  static AggT AggMerge(AggT a, AggT b) { return a + b; }
+
+ private:
+  const size_t bundle_size_;
+  std::unique_ptr<TaskT> pending_;
+  std::unordered_set<VertexId> pending_pulls_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_BUNDLED_TRIANGLE_APP_H_

@@ -1,0 +1,46 @@
+#include "apps/kclique_app.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+void KCliqueComper::TaskSpawn(const VertexT& v) {
+  GT_CHECK_GE(k_, 1);
+  if (k_ == 1) {
+    Aggregate(1);  // every vertex is a 1-clique
+    return;
+  }
+  // A k-clique rooted at v needs k-1 larger neighbors.
+  if (v.value.size() < static_cast<size_t>(k_ - 1)) return;
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);
+  for (VertexId u : v.value) task->Pull(u);
+  AddTask(std::move(task));
+}
+
+bool KCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
+  // Build the subgraph induced by ext = Γ_>(v), trimming pulled lists to it.
+  const VertexT* root = task->subgraph().GetVertex(task->context());
+  GT_CHECK(root != nullptr);
+  const AdjList ext = root->value;
+  typename TaskT::SubgraphT g;
+  for (const VertexT* u : frontier) {
+    VertexT nu;
+    nu.id = u->id;
+    for (VertexId w : u->value) {
+      if (std::binary_search(ext.begin(), ext.end(), w)) {
+        nu.value.push_back(w);
+      }
+    }
+    g.AddVertex(std::move(nu));
+  }
+  const uint64_t count = CountCliquesOfSize(CompactFromSubgraph(g), k_ - 1);
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

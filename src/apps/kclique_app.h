@@ -1,0 +1,35 @@
+#ifndef GTHINKER_APPS_KCLIQUE_APP_H_
+#define GTHINKER_APPS_KCLIQUE_APP_H_
+
+#include <cstdint>
+
+#include "apps/kernels.h"
+#include "core/comper.h"
+#include "core/task.h"
+
+namespace gthinker {
+
+using KCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+
+/// k-clique counting: one task per vertex v builds the subgraph induced by
+/// Γ_>(v) (exactly the MCF task construction, paper Fig. 5 line 2) and
+/// counts the (k-1)-cliques in it — each global k-clique is counted once,
+/// by its minimum vertex. k = 3 reduces to triangle counting, which the
+/// tests exploit as a cross-check.
+class KCliqueComper : public Comper<KCliqueTask, uint64_t> {
+ public:
+  explicit KCliqueComper(int k) : k_(k) {}
+
+  void TaskSpawn(const VertexT& v) override;
+  bool Compute(TaskT* task, const Frontier& frontier) override;
+
+  static AggT AggZero() { return 0; }
+  static AggT AggMerge(AggT a, AggT b) { return a + b; }
+
+ private:
+  const int k_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_KCLIQUE_APP_H_

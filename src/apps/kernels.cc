@@ -1,0 +1,667 @@
+#include "apps/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+namespace {
+
+bool SortedContains(const std::vector<int>& sorted, int x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+}  // namespace
+
+bool CompactGraph::HasEdge(int a, int b) const {
+  if (adj[a].size() > adj[b].size()) std::swap(a, b);
+  return SortedContains(adj[a], b);
+}
+
+bool CompactLabeledGraph::HasEdge(int a, int b) const {
+  if (adj[a].size() > adj[b].size()) std::swap(a, b);
+  return SortedContains(adj[a], b);
+}
+
+CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g) {
+  CompactGraph out;
+  std::unordered_map<VertexId, int> index;
+  index.reserve(g.NumVertices());
+  for (const auto& v : g.vertices()) {
+    index.emplace(v.id, static_cast<int>(out.ids.size()));
+    out.ids.push_back(v.id);
+  }
+  out.adj.resize(out.ids.size());
+  for (const auto& v : g.vertices()) {
+    const int i = index.at(v.id);
+    for (VertexId u : v.value) {
+      auto it = index.find(u);
+      if (it != index.end()) {
+        // Symmetrize: task subgraphs often carry trimmed (Γ_>) lists, where
+        // each edge appears in only one endpoint's list.
+        out.adj[i].push_back(it->second);
+        out.adj[it->second].push_back(i);
+      }
+    }
+  }
+  for (auto& list : out.adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return out;
+}
+
+CompactGraph CompactFromGraph(const Graph& g) {
+  CompactGraph out;
+  const VertexId n = g.NumVertices();
+  out.ids.resize(n);
+  out.adj.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.ids[v] = v;
+    out.adj[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    // Graph adjacency is sorted and VertexId order == compact order here.
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Maximum clique: Tomita-style branch and bound with greedy coloring bounds.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class CliqueSearcher {
+ public:
+  CliqueSearcher(const CompactGraph& g, size_t lower_bound)
+      : g_(g), best_size_(lower_bound) {}
+
+  std::vector<VertexId> Run() {
+    std::vector<int> candidates(g_.NumVertices());
+    for (int i = 0; i < g_.NumVertices(); ++i) candidates[i] = i;
+    // Highest-degree-first root ordering makes the first coloring tighter.
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+      return g_.adj[a].size() > g_.adj[b].size();
+    });
+    Expand(candidates);
+    std::vector<VertexId> out;
+    out.reserve(best_.size());
+    for (int v : best_) out.push_back(g_.ids[v]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  /// Greedy coloring: vertices of `p` are placed into the first color class
+  /// containing none of their neighbors; the class index + 1 upper-bounds the
+  /// clique size within the processed prefix.
+  void ColorSort(const std::vector<int>& p, std::vector<int>* order,
+                 std::vector<int>* bound) {
+    std::vector<std::vector<int>> classes;
+    for (int v : p) {
+      size_t c = 0;
+      for (; c < classes.size(); ++c) {
+        bool conflict = false;
+        for (int u : classes[c]) {
+          if (g_.HasEdge(v, u)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == classes.size()) classes.emplace_back();
+      classes[c].push_back(v);
+    }
+    order->clear();
+    bound->clear();
+    for (size_t c = 0; c < classes.size(); ++c) {
+      for (int v : classes[c]) {
+        order->push_back(v);
+        bound->push_back(static_cast<int>(c) + 1);
+      }
+    }
+  }
+
+  void Expand(const std::vector<int>& p) {
+    std::vector<int> order, bound;
+    ColorSort(p, &order, &bound);
+    for (int i = static_cast<int>(order.size()) - 1; i >= 0; --i) {
+      if (r_.size() + bound[i] <= best_size_) return;  // color-bound cut
+      const int v = order[i];
+      r_.push_back(v);
+      std::vector<int> next;
+      next.reserve(i);
+      for (int j = 0; j < i; ++j) {
+        if (g_.HasEdge(v, order[j])) next.push_back(order[j]);
+      }
+      if (next.empty()) {
+        if (r_.size() > best_size_) {
+          best_size_ = r_.size();
+          best_ = r_;
+        }
+      } else {
+        Expand(next);
+      }
+      r_.pop_back();
+    }
+  }
+
+  const CompactGraph& g_;
+  size_t best_size_;
+  std::vector<int> r_;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+std::vector<VertexId> MaxCliqueInCompact(const CompactGraph& g,
+                                         size_t lower_bound) {
+  return CliqueSearcher(g, lower_bound).Run();
+}
+
+std::vector<VertexId> MaxCliqueSerial(const Graph& g) {
+  return MaxCliqueInCompact(CompactFromGraph(g), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Maximal clique enumeration.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Bron–Kerbosch with pivoting over sorted compact-index sets.
+class MaximalCliqueCounter {
+ public:
+  explicit MaximalCliqueCounter(const CompactGraph& g) : g_(g) {}
+
+  uint64_t CountFrom(int root) {
+    count_ = 0;
+    std::vector<int> p, x;
+    // Order candidates/exclusions by original ID relative to the root.
+    for (int u : g_.adj[root]) {
+      if (g_.ids[u] > g_.ids[root]) {
+        p.push_back(u);
+      } else {
+        x.push_back(u);
+      }
+    }
+    Recurse(p, x);
+    return count_;
+  }
+
+ private:
+  std::vector<int> IntersectAdj(const std::vector<int>& set, int v) const {
+    std::vector<int> out;
+    out.reserve(set.size());
+    for (int u : set) {
+      if (g_.HasEdge(u, v)) out.push_back(u);
+    }
+    return out;
+  }
+
+  void Recurse(std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      ++count_;
+      return;
+    }
+    // Pivot: the vertex of P ∪ X covering the most of P.
+    int pivot = -1;
+    size_t best_cover = 0;
+    for (const std::vector<int>* side : {&p, &x}) {
+      for (int u : *side) {
+        size_t cover = 0;
+        for (int w : p) {
+          if (g_.HasEdge(u, w)) ++cover;
+        }
+        if (pivot < 0 || cover > best_cover) {
+          pivot = u;
+          best_cover = cover;
+        }
+      }
+    }
+    std::vector<int> candidates;
+    for (int v : p) {
+      if (!g_.HasEdge(pivot, v)) candidates.push_back(v);
+    }
+    for (int v : candidates) {
+      Recurse(IntersectAdj(p, v), IntersectAdj(x, v));
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  const CompactGraph& g_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+uint64_t CountMaximalCliquesFromRoot(const CompactGraph& g, int root) {
+  return MaximalCliqueCounter(g).CountFrom(root);
+}
+
+uint64_t CountMaximalCliquesSerial(const Graph& g) {
+  const CompactGraph cg = CompactFromGraph(g);
+  uint64_t total = 0;
+  for (int v = 0; v < cg.NumVertices(); ++v) {
+    total += CountMaximalCliquesFromRoot(cg, v);
+  }
+  // Isolated vertices are maximal cliques of size 1 but have no adjacency
+  // to recurse over — CountFrom finds them via the empty P/X base case, so
+  // nothing extra is needed here.
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// k-clique counting.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// cands must be sorted ascending by compact index (the DAG orientation):
+/// each recursion level picks the next-larger member, so every k-clique is
+/// generated exactly once.
+uint64_t CountCliquesRec(const CompactGraph& g, const std::vector<int>& cands,
+                         int remaining) {
+  if (remaining == 0) return 1;
+  if (static_cast<int>(cands.size()) < remaining) return 0;
+  if (remaining == 1) return cands.size();
+  uint64_t count = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const int v = cands[i];
+    std::vector<int> next;
+    next.reserve(cands.size() - i - 1);
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      if (g.HasEdge(v, cands[j])) next.push_back(cands[j]);
+    }
+    count += CountCliquesRec(g, next, remaining - 1);
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t CountCliquesOfSize(const CompactGraph& g, int k) {
+  GT_CHECK_GE(k, 1);
+  std::vector<int> all(g.NumVertices());
+  for (int i = 0; i < g.NumVertices(); ++i) all[i] = i;
+  return CountCliquesRec(g, all, k);
+}
+
+uint64_t CountKCliquesSerial(const Graph& g, int k) {
+  return CountCliquesOfSize(CompactFromGraph(g), k);
+}
+
+// ---------------------------------------------------------------------------
+// Triangles.
+// ---------------------------------------------------------------------------
+
+uint64_t SortedIntersectionCount(const AdjList& a, const AdjList& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t CountTrianglesSerial(const Graph& g) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const AdjList gt_v = g.GreaterNeighbors(v);
+    for (VertexId u : gt_v) {
+      total += SortedIntersectionCount(gt_v, g.GreaterNeighbors(u));
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Subgraph matching.
+// ---------------------------------------------------------------------------
+
+bool QueryGraph::HasEdge(int a, int b) const {
+  for (int u : adj[a]) {
+    if (u == b) return true;
+  }
+  return false;
+}
+
+int QueryGraph::DepthFromRoot() const {
+  std::vector<int> dist(NumVertices(), -1);
+  std::queue<int> queue;
+  dist[0] = 0;
+  queue.push(0);
+  int depth = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    depth = std::max(depth, dist[v]);
+    for (int u : adj[v]) {
+      if (dist[u] < 0) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return depth;
+}
+
+bool QueryGraph::UsesLabel(Label label) const {
+  for (Label l : labels) {
+    if (l == label) return true;
+  }
+  return false;
+}
+
+bool QueryGraph::IsValidPlan() const {
+  for (int i = 1; i < NumVertices(); ++i) {
+    bool backward = false;
+    for (int u : adj[i]) {
+      if (u < i) {
+        backward = true;
+        break;
+      }
+    }
+    if (!backward) return false;
+  }
+  return true;
+}
+
+QueryGraph QueryGraph::Triangle(Label a, Label b, Label c) {
+  QueryGraph q;
+  q.labels = {a, b, c};
+  q.adj = {{1, 2}, {0, 2}, {0, 1}};
+  return q;
+}
+
+QueryGraph QueryGraph::Path3(Label a, Label b, Label c) {
+  QueryGraph q;
+  q.labels = {a, b, c};
+  q.adj = {{1}, {0, 2}, {1}};
+  return q;
+}
+
+QueryGraph QueryGraph::Star(Label center, const std::vector<Label>& leaves) {
+  QueryGraph q;
+  q.labels.push_back(center);
+  q.adj.emplace_back();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    q.labels.push_back(leaves[i]);
+    q.adj[0].push_back(static_cast<int>(i) + 1);
+    q.adj.push_back({0});
+  }
+  return q;
+}
+
+CompactLabeledGraph CompactFromLabeledSubgraph(
+    const Subgraph<Vertex<LabeledAdj>>& g) {
+  CompactLabeledGraph out;
+  std::unordered_map<VertexId, int> index;
+  index.reserve(g.NumVertices());
+  for (const auto& v : g.vertices()) {
+    index.emplace(v.id, static_cast<int>(out.ids.size()));
+    out.ids.push_back(v.id);
+    out.labels.push_back(v.value.label);
+  }
+  out.adj.resize(out.ids.size());
+  for (const auto& v : g.vertices()) {
+    const int i = index.at(v.id);
+    for (const LabeledNbr& nbr : v.value.adj) {
+      auto it = index.find(nbr.id);
+      if (it != index.end()) {
+        out.adj[i].push_back(it->second);
+        out.adj[it->second].push_back(i);  // symmetrize (see CompactGraph)
+      }
+    }
+  }
+  for (auto& list : out.adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return out;
+}
+
+namespace {
+
+class Matcher {
+ public:
+  Matcher(const CompactLabeledGraph& g, const QueryGraph& q) : g_(g), q_(q) {
+    GT_CHECK(q.IsValidPlan()) << "query plan not left-connected";
+  }
+
+  uint64_t CountFrom(int root) {
+    if (g_.labels[root] != q_.labels[0]) return 0;
+    mapping_.assign(q_.NumVertices(), -1);
+    used_.assign(g_.NumVertices(), false);
+    mapping_[0] = root;
+    used_[root] = true;
+    const uint64_t count = Extend(1);
+    used_[root] = false;
+    return count;
+  }
+
+ private:
+  uint64_t Extend(int qi) {
+    if (qi == q_.NumVertices()) return 1;
+    // Candidates come from the adjacency of an already-mapped query
+    // neighbor; every other mapped query neighbor must also be adjacent.
+    int anchor = -1;
+    for (int u : q_.adj[qi]) {
+      if (u < qi && (anchor < 0 || g_.adj[mapping_[u]].size() <
+                                       g_.adj[mapping_[anchor]].size())) {
+        anchor = u;
+      }
+    }
+    GT_CHECK_GE(anchor, 0);
+    uint64_t count = 0;
+    for (int cand : g_.adj[mapping_[anchor]]) {
+      if (used_[cand] || g_.labels[cand] != q_.labels[qi]) continue;
+      bool ok = true;
+      for (int u : q_.adj[qi]) {
+        if (u < qi && u != anchor && !g_.HasEdge(mapping_[u], cand)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping_[qi] = cand;
+      used_[cand] = true;
+      count += Extend(qi + 1);
+      used_[cand] = false;
+      mapping_[qi] = -1;
+    }
+    return count;
+  }
+
+  const CompactLabeledGraph& g_;
+  const QueryGraph& q_;
+  std::vector<int> mapping_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+uint64_t CountMatchesFromRoot(const CompactLabeledGraph& g,
+                              const QueryGraph& q, int root) {
+  return Matcher(g, q).CountFrom(root);
+}
+
+uint64_t CountMatchesSerial(const Graph& g, const std::vector<Label>& labels,
+                            const QueryGraph& q) {
+  CompactLabeledGraph cg;
+  const VertexId n = g.NumVertices();
+  cg.ids.resize(n);
+  cg.labels = labels;
+  cg.adj.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    cg.ids[v] = v;
+    cg.adj[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
+  Matcher matcher(cg, q);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    total += matcher.CountFrom(static_cast<int>(v));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// γ-quasi-cliques.
+// ---------------------------------------------------------------------------
+
+bool IsQuasiClique(const CompactGraph& g, const std::vector<int>& s,
+                   double gamma) {
+  if (s.size() <= 1) return true;
+  const double need = gamma * static_cast<double>(s.size() - 1) - 1e-9;
+  for (int v : s) {
+    int deg = 0;
+    for (int u : s) {
+      if (u != v && g.HasEdge(v, u)) ++deg;
+    }
+    if (static_cast<double>(deg) < need) return false;
+  }
+  return true;
+}
+
+namespace {
+
+class QuasiCliqueSearcher {
+ public:
+  QuasiCliqueSearcher(const CompactGraph& g, double gamma, size_t min_size)
+      : g_(g), gamma_(gamma), min_size_(min_size) {
+    GT_CHECK_GE(gamma, 0.5);
+    GT_CHECK_GE(min_size, 2u);
+  }
+
+  /// Set-enumeration over candidates in ascending original-ID order, so that
+  /// each quasi-clique is discovered exactly once (from its smallest member).
+  std::vector<VertexId> RunFrom(int root) {
+    best_.clear();
+    s_ = {root};
+    std::vector<int> ext;
+    for (int v = 0; v < g_.NumVertices(); ++v) {
+      if (g_.ids[v] > g_.ids[root]) ext.push_back(v);
+    }
+    std::sort(ext.begin(), ext.end(),
+              [this](int a, int b) { return g_.ids[a] < g_.ids[b]; });
+    Expand(ext);
+    std::vector<VertexId> out;
+    for (int v : best_) out.push_back(g_.ids[v]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  /// Degree of v into S ∪ ext (the best it can ever achieve here).
+  int PotentialDegree(int v, const std::vector<int>& ext) const {
+    int deg = 0;
+    for (int u : s_) {
+      if (u != v && g_.HasEdge(v, u)) ++deg;
+    }
+    for (int u : ext) {
+      if (u != v && g_.HasEdge(v, u)) ++deg;
+    }
+    return deg;
+  }
+
+  /// dist_G(a, b) <= 2: adjacent or sharing a neighbor. Since a γ>=0.5
+  /// quasi-clique induces a subgraph of diameter <= 2 (ref [17]), any two
+  /// members are within 2 hops in G, which makes this a sound pairwise
+  /// pruning rule for prefixes and candidates alike.
+  bool Within2Hops(int a, int b) const {
+    if (g_.HasEdge(a, b)) return true;
+    const auto& na = g_.adj[a];
+    const auto& nb = g_.adj[b];
+    size_t i = 0, j = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] < nb[j]) {
+        ++i;
+      } else if (na[i] > nb[j]) {
+        ++j;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Expand(const std::vector<int>& ext) {
+    if (s_.size() >= min_size_ && s_.size() > best_.size() &&
+        IsQuasiClique(g_, s_, gamma_)) {
+      best_ = s_;
+    }
+    // Only strictly-better quasi-cliques are interesting from here on.
+    const size_t target = std::max(min_size_, best_.size() + 1);
+    if (s_.size() + ext.size() < target) {
+      return;  // even taking every candidate cannot beat the record
+    }
+    // Global size cap from member degrees: a final S' of size m needs every
+    // member to have >= γ(m-1) neighbors inside S', which is at most its
+    // degree into S ∪ ext. A member capping m below the target kills the
+    // branch.
+    const double need = gamma_ * static_cast<double>(target - 1) - 1e-9;
+    for (int v : s_) {
+      if (static_cast<double>(PotentialDegree(v, ext)) < need) return;
+    }
+    std::vector<int> pruned;
+    pruned.reserve(ext.size());
+    for (int v : ext) {
+      if (static_cast<double>(PotentialDegree(v, ext)) < need) continue;
+      bool near_all = true;
+      for (int u : s_) {
+        if (!Within2Hops(u, v)) {
+          near_all = false;
+          break;
+        }
+      }
+      if (near_all) pruned.push_back(v);
+    }
+    for (size_t i = 0; i < pruned.size(); ++i) {
+      s_.push_back(pruned[i]);
+      std::vector<int> next(pruned.begin() + i + 1, pruned.end());
+      Expand(next);
+      s_.pop_back();
+    }
+  }
+
+  const CompactGraph& g_;
+  const double gamma_;
+  const size_t min_size_;
+  std::vector<int> s_;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+std::vector<VertexId> LargestQuasiCliqueFromRoot(const CompactGraph& g,
+                                                 int root, double gamma,
+                                                 size_t min_size) {
+  return QuasiCliqueSearcher(g, gamma, min_size).RunFrom(root);
+}
+
+std::vector<VertexId> LargestQuasiCliqueSerial(const Graph& g, double gamma,
+                                               size_t min_size) {
+  const CompactGraph cg = CompactFromGraph(g);
+  std::vector<VertexId> best;
+  for (int v = 0; v < cg.NumVertices(); ++v) {
+    std::vector<VertexId> found =
+        LargestQuasiCliqueFromRoot(cg, v, gamma, min_size);
+    if (found.size() > best.size()) best = std::move(found);
+  }
+  return best;
+}
+
+}  // namespace gthinker

@@ -1,0 +1,158 @@
+#ifndef GTHINKER_APPS_KERNELS_H_
+#define GTHINKER_APPS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "core/vertex.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gthinker {
+
+/// Compact (index-renumbered) view of a task's subgraph, the input to the
+/// serial mining kernels below. `ids[i]` is the original vertex ID of compact
+/// index i; `adj[i]` is i's sorted compact adjacency *within* the subgraph.
+struct CompactGraph {
+  std::vector<VertexId> ids;
+  std::vector<std::vector<int>> adj;
+
+  int NumVertices() const { return static_cast<int>(ids.size()); }
+  bool HasEdge(int a, int b) const;
+};
+
+/// Builds the compact view of a Subgraph whose vertex values are adjacency
+/// lists; adjacency entries pointing outside the subgraph are dropped.
+CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g);
+
+/// Builds a compact view of the whole input graph (serial baselines, tests).
+CompactGraph CompactFromGraph(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Maximum clique (paper ref [31]): branch and bound with greedy-coloring
+// upper bounds, the serial algorithm MCF tasks run on their subgraphs.
+// ---------------------------------------------------------------------------
+
+/// Returns the vertex IDs of a clique in `g` strictly larger than
+/// `lower_bound` vertices, or empty if none exists. When several maximum
+/// cliques exist, which one is returned is deterministic for a given input.
+std::vector<VertexId> MaxCliqueInCompact(const CompactGraph& g,
+                                         size_t lower_bound);
+
+/// Convenience: exact maximum clique of a whole graph (single-threaded
+/// ground truth for tests).
+std::vector<VertexId> MaxCliqueSerial(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Maximal clique enumeration (Bron–Kerbosch with pivoting).
+// ---------------------------------------------------------------------------
+
+/// Counts the maximal cliques of `g` that contain compact vertex `root` with
+/// root as their minimum-ID member, so that summing over every root counts
+/// each maximal clique exactly once. Maximality is global as long as `g`
+/// contains root's full closed neighborhood: BK's X set is seeded with
+/// root's smaller-ID neighbors.
+uint64_t CountMaximalCliquesFromRoot(const CompactGraph& g, int root);
+
+/// Serial whole-graph ground truth.
+uint64_t CountMaximalCliquesSerial(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// k-clique counting (kClist-style recursion over the Γ_> DAG).
+// ---------------------------------------------------------------------------
+
+/// Counts the cliques with exactly k vertices inside `g` (every vertex of g
+/// may participate; orientation comes from compact index order, so pass a
+/// graph whose index order matches the global ID order — CompactFromSubgraph
+/// and CompactFromGraph both do).
+uint64_t CountCliquesOfSize(const CompactGraph& g, int k);
+
+/// Serial whole-graph ground truth: number of k-cliques in g.
+uint64_t CountKCliquesSerial(const Graph& g, int k);
+
+// ---------------------------------------------------------------------------
+// Triangle counting.
+// ---------------------------------------------------------------------------
+
+/// Forward algorithm over Γ_>: Σ_v Σ_{u∈Γ_>(v)} |Γ_>(v) ∩ Γ_>(u)|.
+uint64_t CountTrianglesSerial(const Graph& g);
+
+/// Number of elements common to two sorted ranges.
+uint64_t SortedIntersectionCount(const AdjList& a, const AdjList& b);
+
+// ---------------------------------------------------------------------------
+// Subgraph matching.
+// ---------------------------------------------------------------------------
+
+/// A small connected labeled query pattern. Vertex 0 is the matching root;
+/// every vertex i > 0 must be adjacent to at least one vertex j < i (so the
+/// left-to-right backtracking plan is connected).
+struct QueryGraph {
+  std::vector<Label> labels;
+  std::vector<std::vector<int>> adj;
+
+  int NumVertices() const { return static_cast<int>(labels.size()); }
+  bool HasEdge(int a, int b) const;
+  /// BFS depth from vertex 0 (how many pull rounds a task needs).
+  int DepthFromRoot() const;
+  /// True if `label` occurs in the query (Trimmer predicate).
+  bool UsesLabel(Label label) const;
+  /// Checks the plan-connectivity requirement above.
+  bool IsValidPlan() const;
+
+  // Common patterns used by the examples/benches.
+  static QueryGraph Triangle(Label a, Label b, Label c);
+  static QueryGraph Path3(Label a, Label b, Label c);
+  static QueryGraph Star(Label center, const std::vector<Label>& leaves);
+};
+
+/// Compact labeled view for the matcher.
+struct CompactLabeledGraph {
+  std::vector<VertexId> ids;
+  std::vector<Label> labels;
+  std::vector<std::vector<int>> adj;
+
+  int NumVertices() const { return static_cast<int>(ids.size()); }
+  bool HasEdge(int a, int b) const;
+};
+
+CompactLabeledGraph CompactFromLabeledSubgraph(
+    const Subgraph<Vertex<LabeledAdj>>& g);
+
+/// Counts injective label- and edge-preserving mappings of `q` into `g` with
+/// query vertex 0 mapped to compact index `root`. (Embeddings are counted per
+/// mapping; query automorphisms are not quotiented out — every engine in this
+/// repo counts the same way.)
+uint64_t CountMatchesFromRoot(const CompactLabeledGraph& g,
+                              const QueryGraph& q, int root);
+
+/// Serial whole-graph ground truth: Σ over all root candidates.
+uint64_t CountMatchesSerial(const Graph& g, const std::vector<Label>& labels,
+                            const QueryGraph& q);
+
+// ---------------------------------------------------------------------------
+// γ-quasi-cliques (paper ref [17]): S is a γ-quasi-clique if every vertex of
+// S has at least ⌈γ·(|S|-1)⌉ neighbors inside S.
+// ---------------------------------------------------------------------------
+
+/// Largest γ-quasi-clique in `g` that contains compact vertex `root` and only
+/// vertices with compact index > root's peers... — precisely: only vertices
+/// whose original ID exceeds ids[root], so that each quasi-clique is found
+/// exactly once, by the task rooted at its smallest member. Requires
+/// |S| >= min_size; returns empty when none. γ must be >= 0.5.
+std::vector<VertexId> LargestQuasiCliqueFromRoot(const CompactGraph& g,
+                                                 int root, double gamma,
+                                                 size_t min_size);
+
+/// Serial whole-graph ground truth.
+std::vector<VertexId> LargestQuasiCliqueSerial(const Graph& g, double gamma,
+                                               size_t min_size);
+
+/// True if S (compact indices) is a γ-quasi-clique of g.
+bool IsQuasiClique(const CompactGraph& g, const std::vector<int>& s,
+                   double gamma);
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_KERNELS_H_

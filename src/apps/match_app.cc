@@ -1,0 +1,63 @@
+#include "apps/match_app.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+MatchComper::MatchComper(QueryGraph query)
+    : query_(std::move(query)), depth_(query_.DepthFromRoot()) {
+  GT_CHECK(query_.IsValidPlan());
+}
+
+void MatchComper::TrimByQuery(const QueryGraph& query,
+                              Vertex<LabeledAdj>& v) {
+  auto& adj = v.value.adj;
+  adj.erase(std::remove_if(adj.begin(), adj.end(),
+                           [&query](const LabeledNbr& n) {
+                             return !query.UsesLabel(n.label);
+                           }),
+            adj.end());
+}
+
+void MatchComper::TaskSpawn(const VertexT& v) {
+  if (v.value.label != query_.labels[0]) return;
+  if (query_.NumVertices() > 1 && v.value.adj.empty()) return;
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);  // root first => compact index 0
+  if (depth_ >= 1) {
+    for (const LabeledNbr& nbr : v.value.adj) task->Pull(nbr.id);
+  }
+  AddTask(std::move(task));
+}
+
+bool MatchComper::Compute(TaskT* task, const Frontier& frontier) {
+  for (const VertexT* u : frontier) {
+    if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
+  }
+  // Expand another hop while the query needs it. iteration() counts the
+  // completed hops: after this call it becomes iteration()+1.
+  if (static_cast<int>(task->iteration()) + 1 < depth_) {
+    std::unordered_set<VertexId> requested;
+    for (const VertexT* u : frontier) {
+      for (const LabeledNbr& nbr : u->value.adj) {
+        if (!task->subgraph().HasVertex(nbr.id) &&
+            requested.insert(nbr.id).second) {
+          task->Pull(nbr.id);
+        }
+      }
+    }
+    if (!task->pulls().empty()) return true;
+  }
+  const CompactLabeledGraph cg = CompactFromLabeledSubgraph(task->subgraph());
+  GT_CHECK_EQ(cg.ids[0], task->context());
+  const uint64_t count = CountMatchesFromRoot(cg, query_, /*root=*/0);
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

@@ -1,0 +1,65 @@
+#ifndef GTHINKER_APPS_MAXCLIQUE_APP_H_
+#define GTHINKER_APPS_MAXCLIQUE_APP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "core/comper.h"
+#include "core/task.h"
+
+namespace gthinker {
+
+/// Context of an MCF task: the vertex set S already assumed to be in the
+/// clique (paper Fig. 5 uses t.S directly).
+struct CliqueContext {
+  std::vector<VertexId> s;
+};
+
+inline void SerializeValue(Serializer& ser, const CliqueContext& c) {
+  ser.WriteVector(c.s);
+}
+inline Status DeserializeValue(Deserializer& des, CliqueContext* c) {
+  return des.ReadVector(&c->s);
+}
+inline int64_t ValueBytes(const CliqueContext& c) {
+  return static_cast<int64_t>(sizeof(CliqueContext) +
+                              c.s.capacity() * sizeof(VertexId));
+}
+
+using CliqueTask = Task<AdjList, CliqueContext>;
+
+/// Maximum clique finding (MCF), the application of paper Fig. 5.
+///
+/// A task ⟨S, ext(S)⟩ holds S in its context and the subgraph induced by
+/// ext(S) = Γ_>(S) in task->subgraph(). Tasks whose subgraph exceeds τ
+/// vertices are decomposed into one child task per subgraph vertex;
+/// small-enough subgraphs run the serial branch-and-bound kernel with the
+/// aggregator's current best |S_max| as the pruning bound.
+class MaxCliqueComper : public Comper<CliqueTask, std::vector<VertexId>> {
+ public:
+  /// τ: subgraph-size split threshold (paper default 40,000 on billion-edge
+  /// graphs; scaled to our inputs).
+  explicit MaxCliqueComper(size_t tau = 400) : tau_(tau) {}
+
+  void TaskSpawn(const VertexT& v) override;
+  bool Compute(TaskT* task, const Frontier& frontier) override;
+
+  static AggT AggZero() { return {}; }
+  /// Larger clique wins; equal sizes break lexicographically so the final
+  /// answer is deterministic regardless of discovery order.
+  static AggT AggMerge(const AggT& a, const AggT& b) {
+    if (a.size() != b.size()) return a.size() > b.size() ? a : b;
+    return a <= b ? a : b;
+  }
+
+ private:
+  /// Runs the decompose-or-mine step on a task whose subgraph is built.
+  void Process(TaskT* task);
+
+  size_t tau_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_MAXCLIQUE_APP_H_

@@ -1,0 +1,32 @@
+#include "apps/maximalclique_app.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+void MaximalCliqueComper::TaskSpawn(const VertexT& v) {
+  if (v.value.empty()) {
+    Aggregate(1);  // an isolated vertex is a maximal clique of size 1
+    return;
+  }
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);  // root first => compact index 0
+  for (VertexId u : v.value) task->Pull(u);
+  AddTask(std::move(task));
+}
+
+bool MaximalCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
+  for (const VertexT* u : frontier) {
+    task->subgraph().AddVertex(*u);
+  }
+  const CompactGraph cg = CompactFromSubgraph(task->subgraph());
+  GT_CHECK_EQ(cg.ids[0], task->context());
+  const uint64_t count = CountMaximalCliquesFromRoot(cg, /*root=*/0);
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

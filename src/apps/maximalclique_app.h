@@ -1,0 +1,30 @@
+#ifndef GTHINKER_APPS_MAXIMALCLIQUE_APP_H_
+#define GTHINKER_APPS_MAXIMALCLIQUE_APP_H_
+
+#include <cstdint>
+
+#include "apps/kernels.h"
+#include "core/comper.h"
+#include "core/task.h"
+
+namespace gthinker {
+
+using MaximalCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+
+/// Maximal clique *enumeration* (counting): one task per vertex v pulls v's
+/// full neighborhood Γ(v) (no trimming — maximality needs smaller-ID
+/// neighbors in the Bron–Kerbosch X set) and counts the maximal cliques
+/// whose minimum member is v. Per-task counts sum to the global number of
+/// maximal cliques.
+class MaximalCliqueComper : public Comper<MaximalCliqueTask, uint64_t> {
+ public:
+  void TaskSpawn(const VertexT& v) override;
+  bool Compute(TaskT* task, const Frontier& frontier) override;
+
+  static AggT AggZero() { return 0; }
+  static AggT AggMerge(AggT a, AggT b) { return a + b; }
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_MAXIMALCLIQUE_APP_H_

@@ -1,0 +1,47 @@
+#include "apps/quasiclique_app.h"
+
+#include <memory>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+void QuasiCliqueComper::TaskSpawn(const VertexT& v) {
+  if (min_size_ > 1 && v.value.empty()) return;
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);
+  for (VertexId u : v.value) task->Pull(u);  // iteration 1: Γ(v)
+  AddTask(std::move(task));
+}
+
+bool QuasiCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
+  for (const VertexT* u : frontier) {
+    if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
+  }
+  if (task->iteration() == 0) {
+    // Iteration 2: pull 2nd-hop vertices. Only candidates (ID > root) are
+    // needed as potential members; 1-hop intermediates of any ID are already
+    // in the subgraph and provide the connecting edges.
+    const VertexId root = task->context();
+    std::unordered_set<VertexId> requested;
+    for (const VertexT* u : frontier) {
+      for (VertexId w : u->value) {
+        if (w > root && !task->subgraph().HasVertex(w) &&
+            requested.insert(w).second) {
+          task->Pull(w);
+        }
+      }
+    }
+    if (!task->pulls().empty()) return true;
+  }
+  const CompactGraph cg = CompactFromSubgraph(task->subgraph());
+  GT_CHECK_EQ(cg.ids[0], task->context());
+  std::vector<VertexId> found =
+      LargestQuasiCliqueFromRoot(cg, /*root=*/0, gamma_, min_size_);
+  if (found.size() > CurrentAgg().size()) Aggregate(found);
+  return false;
+}
+
+}  // namespace gthinker

@@ -1,0 +1,46 @@
+#ifndef GTHINKER_APPS_QUASICLIQUE_APP_H_
+#define GTHINKER_APPS_QUASICLIQUE_APP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "core/comper.h"
+#include "core/task.h"
+
+namespace gthinker {
+
+using QuasiCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+
+/// Largest γ-quasi-clique (γ >= 0.5), the motivating application of paper
+/// §III: a task spawned from v pulls Γ(v) in iteration 1 and the 2nd-hop
+/// neighborhood in iteration 2 (any two members of a γ-quasi-clique are
+/// within 2 hops, ref [17]), then mines the collected ego-network with a
+/// serial set-enumeration search. Double-counting is avoided by only
+/// admitting members with IDs larger than v.
+///
+/// Do NOT pair this comper with the Γ_> trimmer: 2-hop reachability may pass
+/// through intermediate vertices of any ID.
+class QuasiCliqueComper
+    : public Comper<QuasiCliqueTask, std::vector<VertexId>> {
+ public:
+  QuasiCliqueComper(double gamma, size_t min_size)
+      : gamma_(gamma), min_size_(min_size) {}
+
+  void TaskSpawn(const VertexT& v) override;
+  bool Compute(TaskT* task, const Frontier& frontier) override;
+
+  static AggT AggZero() { return {}; }
+  static AggT AggMerge(const AggT& a, const AggT& b) {
+    if (a.size() != b.size()) return a.size() > b.size() ? a : b;
+    return a <= b ? a : b;
+  }
+
+ private:
+  const double gamma_;
+  const size_t min_size_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_QUASICLIQUE_APP_H_

@@ -1,0 +1,35 @@
+#include "apps/triangle_app.h"
+
+#include <algorithm>
+
+namespace gthinker {
+
+void TrimToGreater(Vertex<AdjList>& v) {
+  auto it = std::upper_bound(v.value.begin(), v.value.end(), v.id);
+  v.value.erase(v.value.begin(), it);
+}
+
+void TriangleComper::TaskSpawn(const VertexT& v) {
+  // With Γ already trimmed to Γ_>, a triangle needs at least two candidates.
+  if (v.value.size() < 2) return;
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);
+  for (VertexId u : v.value) task->Pull(u);
+  AddTask(std::move(task));
+}
+
+bool TriangleComper::Compute(TaskT* task, const Frontier& frontier) {
+  const VertexT* root = task->subgraph().GetVertex(task->context());
+  const AdjList& root_gt = root->value;
+  uint64_t count = 0;
+  for (const VertexT* u : frontier) {
+    // u->value is Γ_>(u); the intersection yields w with v < u < w, each
+    // (v,u,w) triangle once.
+    count += SortedIntersectionCount(root_gt, u->value);
+  }
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

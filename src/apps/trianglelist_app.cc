@@ -1,0 +1,57 @@
+#include "apps/trianglelist_app.h"
+
+#include <memory>
+
+#include "util/serializer.h"
+
+namespace gthinker {
+
+std::string EncodeTriangle(const Triangle& t) {
+  Serializer ser;
+  ser.Write(t.v);
+  ser.Write(t.u);
+  ser.Write(t.w);
+  return ser.Release();
+}
+
+Status DecodeTriangle(const std::string& record, Triangle* t) {
+  Deserializer des(record);
+  GT_RETURN_IF_ERROR(des.Read(&t->v));
+  GT_RETURN_IF_ERROR(des.Read(&t->u));
+  return des.Read(&t->w);
+}
+
+void TriangleListComper::TaskSpawn(const VertexT& v) {
+  if (v.value.size() < 2) return;
+  auto task = std::make_unique<TaskT>();
+  task->context() = v.id;
+  task->subgraph().AddVertex(v);
+  for (VertexId u : v.value) task->Pull(u);
+  AddTask(std::move(task));
+}
+
+bool TriangleListComper::Compute(TaskT* task, const Frontier& frontier) {
+  const VertexT* root = task->subgraph().GetVertex(task->context());
+  const AdjList& root_gt = root->value;
+  uint64_t count = 0;
+  for (const VertexT* u : frontier) {
+    const AdjList& u_gt = u->value;
+    size_t i = 0, j = 0;
+    while (i < root_gt.size() && j < u_gt.size()) {
+      if (root_gt[i] < u_gt[j]) {
+        ++i;
+      } else if (root_gt[i] > u_gt[j]) {
+        ++j;
+      } else {
+        Output(EncodeTriangle({task->context(), u->id, root_gt[i]}));
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  if (count > 0) Aggregate(count);
+  return false;
+}
+
+}  // namespace gthinker

@@ -1,0 +1,61 @@
+#include "baselines/arabesque_apps.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace gthinker::baselines {
+
+namespace {
+
+/// Incremental clique filter: the engine only expands embeddings that passed
+/// the filter, so it suffices to check the newest (= largest) vertex against
+/// the rest.
+bool CliqueFilter(const Graph& g, const ArabesqueEngine::Embedding& e) {
+  if (e.size() <= 1) return true;
+  const VertexId added = e.back();
+  for (size_t i = 0; i + 1 < e.size(); ++i) {
+    if (!g.HasEdge(e[i], added)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ArabesqueTcResult ArabesqueTriangleCount(
+    const Graph& graph, const ArabesqueEngine::Options& opts) {
+  ArabesqueEngine engine;
+  std::atomic<uint64_t> triangles{0};
+  ArabesqueEngine::Options o = opts;
+  o.max_level = 3;
+  ArabesqueTcResult out;
+  out.stats = engine.Run(
+      graph, CliqueFilter,
+      [&triangles](const ArabesqueEngine::Embedding& e) {
+        if (e.size() == 3) triangles.fetch_add(1, std::memory_order_relaxed);
+      },
+      o);
+  out.triangles = triangles.load();
+  return out;
+}
+
+ArabesqueMcfResult ArabesqueMaxClique(const Graph& graph,
+                                      const ArabesqueEngine::Options& opts) {
+  ArabesqueEngine engine;
+  std::mutex mutex;
+  std::vector<VertexId> best;
+  ArabesqueMcfResult out;
+  out.stats = engine.Run(
+      graph, CliqueFilter,
+      [&mutex, &best](const ArabesqueEngine::Embedding& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (e.size() > best.size() ||
+            (e.size() == best.size() && e < best)) {
+          best = e;
+        }
+      },
+      opts);
+  out.best_clique = best;
+  return out;
+}
+
+}  // namespace gthinker::baselines

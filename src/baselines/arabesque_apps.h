@@ -1,0 +1,35 @@
+#ifndef GTHINKER_BASELINES_ARABESQUE_APPS_H_
+#define GTHINKER_BASELINES_ARABESQUE_APPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/arabesque_engine.h"
+#include "graph/graph.h"
+
+namespace gthinker::baselines {
+
+struct ArabesqueTcResult {
+  ArabesqueEngine::Result stats;
+  uint64_t triangles = 0;
+};
+
+/// Triangle counting as Arabesque runs it: materialize clique embeddings up
+/// to size 3, count the level-3 survivors.
+ArabesqueTcResult ArabesqueTriangleCount(const Graph& graph,
+                                         const ArabesqueEngine::Options& opts);
+
+struct ArabesqueMcfResult {
+  ArabesqueEngine::Result stats;
+  std::vector<VertexId> best_clique;
+};
+
+/// Maximum clique via the filter-process model (paper §II): the filter keeps
+/// clique embeddings, which are expanded level by level until none survive.
+/// Every clique of every size is materialized along the way.
+ArabesqueMcfResult ArabesqueMaxClique(const Graph& graph,
+                                      const ArabesqueEngine::Options& opts);
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_ARABESQUE_APPS_H_

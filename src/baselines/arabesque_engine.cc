@@ -1,0 +1,137 @@
+#include "baselines/arabesque_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/mem_tracker.h"
+#include "util/timer.h"
+
+namespace gthinker::baselines {
+
+namespace {
+
+int64_t LevelBytes(const std::vector<ArabesqueEngine::Embedding>& level) {
+  int64_t bytes =
+      static_cast<int64_t>(level.capacity() *
+                           sizeof(ArabesqueEngine::Embedding));
+  for (const auto& e : level) {
+    bytes += static_cast<int64_t>(e.capacity() * sizeof(VertexId));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ArabesqueEngine::Result ArabesqueEngine::Run(const Graph& graph,
+                                             const FilterFn& filter,
+                                             const ProcessFn& process,
+                                             const Options& opts) {
+  GT_CHECK_GT(opts.num_threads, 0);
+  Result result;
+  Timer wall;
+  MemTracker mem;
+  mem.Consume(graph.MemoryBytes());  // every machine loads the whole graph
+
+  // Level 1: single-vertex embeddings.
+  std::vector<Embedding> current;
+  current.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    Embedding e{v};
+    if (filter(graph, e)) {
+      process(e);
+      current.push_back(std::move(e));
+    }
+  }
+  result.embeddings_materialized += static_cast<int64_t>(current.size());
+  mem.Consume(LevelBytes(current));
+  result.levels = 1;
+
+  while (!current.empty()) {
+    if (opts.max_level > 0 && result.levels >= opts.max_level) break;
+    // Expand every embedding by one adjacent vertex larger than its max.
+    const int T = opts.num_threads;
+    std::vector<std::vector<Embedding>> partial(T);
+    std::vector<std::thread> threads;
+    std::atomic<bool> abort{false};
+    for (int t = 0; t < T; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < current.size(); i += T) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          const Embedding& e = current[i];
+          const VertexId max_v = e.back();
+          // Candidate extensions: neighbors of any member, > max(e).
+          for (VertexId member : e) {
+            const AdjList& adj = graph.Neighbors(member);
+            for (auto it = std::upper_bound(adj.begin(), adj.end(), max_v);
+                 it != adj.end(); ++it) {
+              const VertexId cand = *it;
+              // Dedup: count cand only via its smallest adjacent member.
+              bool first_anchor = true;
+              for (VertexId other : e) {
+                if (other == member) break;
+                if (graph.HasEdge(other, cand)) {
+                  first_anchor = false;
+                  break;
+                }
+              }
+              if (!first_anchor) continue;
+              Embedding grown = e;
+              grown.push_back(cand);
+              if (filter(graph, grown)) {
+                process(grown);
+                partial[t].push_back(std::move(grown));
+              }
+            }
+          }
+          // Rough incremental accounting so the cap triggers mid-level too.
+          if ((i & 0x3ff) == 0 && opts.mem_cap_bytes > 0 &&
+              mem.peak() > opts.mem_cap_bytes) {
+            abort.store(true, std::memory_order_relaxed);
+          }
+          if ((i & 0xfff) == 0 && opts.time_budget_s > 0 &&
+              wall.ElapsedSeconds() > opts.time_budget_s) {
+            abort.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    std::vector<Embedding> next;
+    size_t total = 0;
+    for (auto& p : partial) total += p.size();
+    next.reserve(total);
+    for (auto& p : partial) {
+      for (auto& e : p) next.push_back(std::move(e));
+      p.clear();
+    }
+    result.embeddings_materialized += static_cast<int64_t>(next.size());
+    mem.Consume(LevelBytes(next));  // both levels live at the barrier
+    mem.Release(LevelBytes(current));
+    current = std::move(next);
+    ++result.levels;
+
+    if (opts.mem_cap_bytes > 0 && mem.peak() > opts.mem_cap_bytes) {
+      result.mem_exceeded = true;
+      break;
+    }
+    if (opts.time_budget_s > 0 && wall.ElapsedSeconds() > opts.time_budget_s) {
+      result.timed_out = true;
+      break;
+    }
+    if (abort.load()) {
+      result.mem_exceeded = opts.mem_cap_bytes > 0 &&
+                            mem.peak() > opts.mem_cap_bytes;
+      result.timed_out = !result.mem_exceeded;
+      break;
+    }
+  }
+
+  result.peak_mem_bytes = mem.peak();
+  result.elapsed_s = wall.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gthinker::baselines

@@ -1,0 +1,56 @@
+#ifndef GTHINKER_BASELINES_ARABESQUE_ENGINE_H_
+#define GTHINKER_BASELINES_ARABESQUE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gthinker::baselines {
+
+/// Level-synchronous filter-process embedding expansion (the Arabesque
+/// baseline, paper §II): iteration i materializes *every* embedding with i+1
+/// vertices that passed the filter, in memory, then expands each by one
+/// adjacent vertex. This is exactly the behaviour the paper criticizes —
+/// "Arabesque materializes subgraphs represented by all nodes in the
+/// set-enumeration tree" — and the tracked embedding bytes reproduce its
+/// memory blowup (Table III's OOM entries, modeled by `mem_cap_bytes`).
+///
+/// Embeddings are vertex-induced and extended only by neighbors larger than
+/// their current maximum (canonicality), which is complete for clique-shaped
+/// filters (TC and MCF, the two apps Arabesque ships).
+class ArabesqueEngine {
+ public:
+  using Embedding = std::vector<VertexId>;
+
+  struct Options {
+    int num_threads = 2;
+    double time_budget_s = 0.0;   // 0 = unlimited
+    int64_t mem_cap_bytes = 0;    // 0 = unlimited
+    int max_level = 0;            // stop after embeddings of this size; 0 = ∞
+  };
+
+  struct Result {
+    double elapsed_s = 0.0;
+    bool timed_out = false;
+    bool mem_exceeded = false;
+    int levels = 0;
+    int64_t embeddings_materialized = 0;
+    int64_t peak_mem_bytes = 0;
+  };
+
+  /// `filter` decides whether an embedding survives to be processed and
+  /// expanded; `process` consumes every surviving embedding (must be
+  /// thread-safe — it runs from worker threads).
+  using FilterFn = std::function<bool(const Graph&, const Embedding&)>;
+  using ProcessFn = std::function<void(const Embedding&)>;
+
+  Result Run(const Graph& graph, const FilterFn& filter,
+             const ProcessFn& process, const Options& opts);
+};
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_ARABESQUE_ENGINE_H_

@@ -1,0 +1,49 @@
+#ifndef GTHINKER_BASELINES_GMINER_APPS_H_
+#define GTHINKER_BASELINES_GMINER_APPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/kernels.h"
+#include "baselines/gminer_engine.h"
+#include "graph/graph.h"
+
+namespace gthinker::baselines {
+
+struct GMinerTcResult {
+  GMinerEngine::Result stats;
+  uint64_t triangles = 0;
+};
+
+/// Triangle counting on the G-Miner engine: one task per vertex pulling
+/// Γ_>(v), intersections on dequeue.
+GMinerTcResult GMinerTriangleCount(const Graph& graph,
+                                   const GMinerEngine::Options& opts);
+
+struct GMinerMcfResult {
+  GMinerEngine::Result stats;
+  std::vector<VertexId> best_clique;
+};
+
+/// Maximum clique on the G-Miner engine: same decompose-or-mine logic as the
+/// G-thinker app (threshold τ), but every decomposition child goes back
+/// through the disk-resident queue — the re-insertion cost the paper calls
+/// dominant.
+GMinerMcfResult GMinerMaxClique(const Graph& graph, size_t tau,
+                                const GMinerEngine::Options& opts);
+
+struct GMinerMatchResult {
+  GMinerEngine::Result stats;
+  uint64_t matches = 0;
+};
+
+/// Subgraph matching on the G-Miner engine: hop-by-hop neighborhood
+/// collection with each continuation re-inserted into the disk queue.
+GMinerMatchResult GMinerMatch(const Graph& graph,
+                              const std::vector<Label>& labels,
+                              const QueryGraph& query,
+                              const GMinerEngine::Options& opts);
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_GMINER_APPS_H_

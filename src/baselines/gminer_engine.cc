@@ -1,0 +1,278 @@
+#include "baselines/gminer_engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "storage/mini_dfs.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/mem_tracker.h"
+#include "util/serializer.h"
+#include "util/timer.h"
+
+namespace gthinker::baselines {
+
+namespace {
+
+uint64_t LshKey(const std::vector<VertexId>& pulls) {
+  // Single min-hash over P(t): tasks pulling similar vertex sets tend to get
+  // nearby keys, which is the locality G-Miner's queue orders by.
+  uint64_t key = ~0ULL;
+  for (VertexId v : pulls) key = std::min(key, Mix64(v));
+  return key;
+}
+
+std::string EncodeTask(const GMinerEngine::TaskRec& task) {
+  Serializer ser;
+  ser.WriteVector(task.pulls);
+  ser.WriteString(task.payload);
+  return ser.Release();
+}
+
+Status DecodeTask(const std::string& blob, GMinerEngine::TaskRec* task) {
+  Deserializer des(blob);
+  GT_RETURN_IF_ERROR(des.ReadVector(&task->pulls));
+  return des.ReadString(&task->payload);
+}
+
+/// Disk-resident LSH-ordered task queue: bodies in an append-only file,
+/// (lsh_key -> offset,len) index in memory. Dequeues are random pread()s in
+/// key order; inserts are appends. Thread-safe.
+class DiskQueue {
+ public:
+  DiskQueue(const std::string& path, bool fifo_order)
+      : fifo_order_(fifo_order) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    GT_CHECK_GE(fd_, 0) << "cannot open disk queue " << path;
+  }
+  ~DiskQueue() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Insert(const GMinerEngine::TaskRec& task, GMinerEngine::Result* stats) {
+    const std::string blob = EncodeTask(task);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const off_t off = end_;
+    ssize_t written = ::pwrite(fd_, blob.data(), blob.size(), off);
+    GT_CHECK_EQ(written, static_cast<ssize_t>(blob.size()));
+    end_ += static_cast<off_t>(blob.size());
+    const uint64_t key = fifo_order_ ? seq_++ : LshKey(task.pulls);
+    index_.emplace(key,
+                   std::make_pair(off, static_cast<size_t>(blob.size())));
+    stats->disk_writes += 1;
+    stats->disk_write_bytes += static_cast<int64_t>(blob.size());
+  }
+
+  /// Pops up to `max_tasks` bodies in LSH-key order.
+  size_t PopBatch(size_t max_tasks, std::vector<GMinerEngine::TaskRec>* out,
+                  GMinerEngine::Result* stats) {
+    std::vector<std::pair<off_t, size_t>> extents;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (extents.size() < max_tasks && !index_.empty()) {
+        extents.push_back(index_.begin()->second);
+        index_.erase(index_.begin());
+      }
+    }
+    for (const auto& [off, len] : extents) {
+      std::string blob(len, '\0');
+      ssize_t got = ::pread(fd_, blob.data(), len, off);
+      GT_CHECK_EQ(got, static_cast<ssize_t>(len));
+      stats->disk_reads += 1;
+      stats->disk_read_bytes += static_cast<int64_t>(len);
+      GMinerEngine::TaskRec task;
+      GT_CHECK_OK(DecodeTask(blob, &task));
+      out->push_back(std::move(task));
+    }
+    return extents.size();
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::multimap<uint64_t, std::pair<off_t, size_t>> index_;
+  const bool fifo_order_;
+  uint64_t seq_ = 0;
+  int fd_ = -1;
+  off_t end_ = 0;
+};
+
+/// The shared RCV cache: one mutex, one linear-scanned list (paper §II).
+class RcvCache {
+ public:
+  RcvCache(int64_t capacity, MemTracker* mem)
+      : capacity_(capacity), mem_(mem) {}
+
+  ~RcvCache() {
+    for (const auto& [id, adj] : entries_) {
+      mem_->Release(
+          static_cast<int64_t>(adj.capacity() * sizeof(VertexId) + 16));
+    }
+  }
+
+  /// Returns the adjacency list of `v` by value; fetches via `load` on miss.
+  AdjList Get(VertexId v, const std::function<AdjList()>& load,
+              GMinerEngine::Result* stats) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == v) {  // linear scan — the concurrency bottleneck
+        ++stats->cache_hits;
+        entries_.splice(entries_.begin(), entries_, it);  // LRU bump
+        return it->second;
+      }
+    }
+    ++stats->cache_misses;
+    AdjList adj = load();
+    mem_->Consume(
+        static_cast<int64_t>(adj.capacity() * sizeof(VertexId) + 16));
+    entries_.emplace_front(v, adj);
+    while (static_cast<int64_t>(entries_.size()) > capacity_) {
+      mem_->Release(static_cast<int64_t>(
+          entries_.back().second.capacity() * sizeof(VertexId) + 16));
+      entries_.pop_back();
+    }
+    return adj;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::list<std::pair<VertexId, AdjList>> entries_;
+  const int64_t capacity_;
+  MemTracker* mem_;
+};
+
+}  // namespace
+
+GMinerEngine::Result GMinerEngine::Run(const Graph& graph,
+                                       const SpawnFn& spawn,
+                                       const ComputeFn& compute,
+                                       const Options& opts) {
+  GT_CHECK_GT(opts.num_workers, 0);
+  GT_CHECK_GT(opts.threads_per_worker, 0);
+  std::string work_dir = opts.work_dir;
+  const bool own_dir = work_dir.empty();
+  if (own_dir) work_dir = MakeTempDir("gminer");
+
+  Result result;
+  Timer wall;
+  MemTracker mem;
+  mem.Consume(graph.MemoryBytes());
+
+  const int W = opts.num_workers;
+  std::vector<std::unique_ptr<DiskQueue>> queues;
+  std::vector<std::unique_ptr<RcvCache>> caches;
+  std::vector<Result> worker_stats(W);
+  for (int w = 0; w < W; ++w) {
+    queues.push_back(std::make_unique<DiskQueue>(
+        work_dir + "/queue_" + std::to_string(w) + ".bin", opts.fifo_order));
+    caches.push_back(
+        std::make_unique<RcvCache>(opts.rcv_cache_capacity, &mem));
+  }
+
+  // Phase 1: generate ALL tasks up front into the disk queues (G-Miner's
+  // design; G-thinker instead spawns on demand as pool space frees up).
+  {
+    std::vector<TaskRec> tasks;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      tasks.clear();
+      spawn(v, graph.Neighbors(v), &tasks);
+      const int w = static_cast<int>(v % static_cast<VertexId>(W));
+      for (const TaskRec& t : tasks) queues[w]->Insert(t, &worker_stats[w]);
+    }
+  }
+
+  // Phase 2: workers drain their queues. A thread seeing an empty queue may
+  // not exit while a sibling is still computing — its children re-enter the
+  // disk queue.
+  std::atomic<bool> timeout{false};
+  std::vector<std::unique_ptr<std::atomic<int>>> in_flight;
+  for (int w = 0; w < W; ++w) {
+    in_flight.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < W; ++w) {
+    for (int t = 0; t < opts.threads_per_worker; ++t) {
+      threads.emplace_back([&, w] {
+        Result local;
+        std::vector<TaskRec> batch;
+        std::vector<AdjList> frontier;
+        std::vector<TaskRec> children;
+        while (!timeout.load(std::memory_order_relaxed)) {
+          batch.clear();
+          in_flight[w]->fetch_add(1, std::memory_order_acq_rel);
+          if (queues[w]->PopBatch(opts.batch_size, &batch, &local) == 0) {
+            in_flight[w]->fetch_sub(1, std::memory_order_acq_rel);
+            if (in_flight[w]->load(std::memory_order_acquire) == 0 &&
+                queues[w]->Empty()) {
+              break;  // no tasks and no producer can add more
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            continue;
+          }
+          for (TaskRec& task : batch) {
+            frontier.clear();
+            for (VertexId v : task.pulls) {
+              if (static_cast<int>(v % static_cast<VertexId>(W)) == w) {
+                frontier.push_back(graph.Neighbors(v));
+              } else {
+                frontier.push_back(caches[w]->Get(
+                    v, [&graph, v] { return graph.Neighbors(v); }, &local));
+              }
+            }
+            children.clear();
+            compute(task, frontier, &children);
+            ++local.tasks_processed;
+            for (const TaskRec& child : children) {
+              queues[w]->Insert(child, &local);
+              ++local.reinserts;
+            }
+          }
+          in_flight[w]->fetch_sub(1, std::memory_order_acq_rel);
+          if (opts.time_budget_s > 0 &&
+              wall.ElapsedSeconds() > opts.time_budget_s) {
+            timeout.store(true, std::memory_order_relaxed);
+          }
+        }
+        static std::mutex merge_mutex;
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.tasks_processed += local.tasks_processed;
+        result.reinserts += local.reinserts;
+        result.disk_reads += local.disk_reads;
+        result.disk_writes += local.disk_writes;
+        result.disk_read_bytes += local.disk_read_bytes;
+        result.disk_write_bytes += local.disk_write_bytes;
+        result.cache_hits += local.cache_hits;
+        result.cache_misses += local.cache_misses;
+      });
+    }
+  }
+  for (auto& th : threads) th.join();
+
+  for (const Result& ws : worker_stats) {
+    result.disk_writes += ws.disk_writes;
+    result.disk_write_bytes += ws.disk_write_bytes;
+  }
+  result.timed_out = timeout.load();
+  result.peak_mem_bytes = mem.peak();
+  result.elapsed_s = wall.ElapsedSeconds();
+
+  caches.clear();
+  queues.clear();
+  if (own_dir) RemoveTree(work_dir);
+  return result;
+}
+
+}  // namespace gthinker::baselines

@@ -1,0 +1,97 @@
+#include "baselines/nscale_apps.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "apps/kernels.h"
+#include "util/logging.h"
+
+namespace gthinker::baselines {
+
+NScaleTcResult NScaleTriangleCount(const Graph& graph,
+                                   const NScaleEngine::Options& opts) {
+  NScaleEngine engine;
+  std::atomic<uint64_t> triangles{0};
+  auto filter = [](VertexId v, const AdjList& adj) {
+    // Only roots with at least two larger neighbors can close a triangle.
+    const auto gt = std::upper_bound(adj.begin(), adj.end(), v);
+    return adj.end() - gt >= 2;
+  };
+  auto mine = [&graph, &triangles](VertexId root,
+                                   const Subgraph<Vertex<AdjList>>& ego) {
+    const AdjList root_gt = graph.GreaterNeighbors(root);
+    uint64_t local = 0;
+    for (VertexId u : root_gt) {
+      const Vertex<AdjList>* uv = ego.GetVertex(u);
+      if (uv == nullptr) continue;
+      const auto u_gt = std::upper_bound(uv->value.begin(), uv->value.end(),
+                                         u);
+      local += SortedIntersectionCount(
+          root_gt, AdjList(u_gt, uv->value.end()));
+    }
+    if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
+  };
+  NScaleTcResult out;
+  out.stats = engine.Run(graph, /*k_hops=*/1, filter, mine, opts);
+  out.triangles = triangles.load();
+  return out;
+}
+
+NScaleMcfResult NScaleMaxClique(const Graph& graph,
+                                const NScaleEngine::Options& opts) {
+  NScaleEngine engine;
+  std::mutex best_mutex;
+  std::vector<VertexId> best;
+  std::atomic<size_t> best_size{0};
+  auto filter = [](VertexId v, const AdjList& adj) {
+    (void)v;
+    return !adj.empty();
+  };
+  auto mine = [&graph, &best_mutex, &best, &best_size](
+                  VertexId root, const Subgraph<Vertex<AdjList>>& ego) {
+    // Search the subgraph induced by Γ_>(root), exactly like an MCF task.
+    Subgraph<Vertex<AdjList>> g;
+    const AdjList ext = graph.GreaterNeighbors(root);
+    for (VertexId u : ext) {
+      const Vertex<AdjList>* uv = ego.GetVertex(u);
+      GT_CHECK(uv != nullptr);
+      Vertex<AdjList> nu;
+      nu.id = u;
+      for (VertexId w : uv->value) {
+        if (w > u && std::binary_search(ext.begin(), ext.end(), w)) {
+          nu.value.push_back(w);
+        }
+      }
+      g.AddVertex(std::move(nu));
+    }
+    const size_t bound = best_size.load(std::memory_order_relaxed);
+    if (1 + ext.size() <= bound) return;
+    const size_t lower = bound > 0 ? bound - 1 : 0;
+    std::vector<VertexId> clique =
+        MaxCliqueInCompact(CompactFromSubgraph(g), lower);
+    if (clique.empty() && bound == 0) clique = {};
+    std::vector<VertexId> candidate;
+    if (!clique.empty()) {
+      candidate = clique;
+      candidate.push_back(root);
+      std::sort(candidate.begin(), candidate.end());
+    } else if (bound == 0) {
+      candidate = {root};
+    }
+    if (candidate.size() > best_size.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(best_mutex);
+      if (candidate.size() > best.size()) {
+        best = candidate;
+        best_size.store(best.size(), std::memory_order_relaxed);
+      }
+    }
+  };
+  NScaleMcfResult out;
+  out.stats = engine.Run(graph, /*k_hops=*/1, filter, mine, opts);
+  std::sort(best.begin(), best.end());
+  out.best_clique = best;
+  return out;
+}
+
+}  // namespace gthinker::baselines

@@ -1,0 +1,36 @@
+#ifndef GTHINKER_BASELINES_NSCALE_APPS_H_
+#define GTHINKER_BASELINES_NSCALE_APPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/nscale_engine.h"
+#include "graph/graph.h"
+
+namespace gthinker::baselines {
+
+struct NScaleTcResult {
+  NScaleEngine::Result stats;
+  uint64_t triangles = 0;
+};
+
+/// Triangle counting on NScale: 1-hop ego subgraphs constructed first (disk
+/// barrier), then each mined for the triangles rooted at its center.
+NScaleTcResult NScaleTriangleCount(const Graph& graph,
+                                   const NScaleEngine::Options& opts);
+
+struct NScaleMcfResult {
+  NScaleEngine::Result stats;
+  std::vector<VertexId> best_clique;
+};
+
+/// Maximum clique on NScale: every 1-hop ego net is mined independently
+/// after the construction barrier. Without a live global bound (nothing is
+/// shared between the phases), pruning is far weaker than G-thinker's
+/// aggregator-fed bound.
+NScaleMcfResult NScaleMaxClique(const Graph& graph,
+                                const NScaleEngine::Options& opts);
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_NSCALE_APPS_H_

@@ -1,0 +1,107 @@
+#include "baselines/pregel_apps.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "apps/kernels.h"
+
+namespace gthinker::baselines {
+
+PregelTcResult PregelTriangleCount(const Graph& graph,
+                                   const PregelOptions& opts) {
+  using Engine = PregelEngine<uint64_t, AdjList>;
+  Engine engine;
+  std::atomic<uint64_t> triangles{0};
+
+  auto compute = [&graph, &triangles](VertexId v, const AdjList& adj,
+                                      uint64_t& /*value*/,
+                                      const std::vector<AdjList>& messages,
+                                      Engine::Context& ctx) {
+    if (ctx.superstep() == 0) {
+      const auto first_gt = std::upper_bound(adj.begin(), adj.end(), v);
+      for (auto it = first_gt; it != adj.end(); ++it) {
+        // Candidates larger than the receiver *it.
+        AdjList candidates(it + 1, adj.end());
+        if (!candidates.empty()) ctx.Send(*it, candidates);
+      }
+      ctx.VoteToHalt();
+      return;
+    }
+    uint64_t local = 0;
+    for (const AdjList& candidates : messages) {
+      for (VertexId w : candidates) {
+        if (std::binary_search(adj.begin(), adj.end(), w)) ++local;
+      }
+    }
+    if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
+    ctx.VoteToHalt();
+  };
+
+  PregelTcResult out;
+  out.stats = engine.Run(graph, compute, opts);
+  out.triangles = triangles.load();
+  return out;
+}
+
+PregelMcfResult PregelMaxClique(const Graph& graph,
+                                const PregelOptions& opts) {
+  using Engine = PregelEngine<uint64_t, AdjList>;
+  Engine engine;
+  std::mutex best_mutex;
+  std::vector<VertexId> best;
+  std::atomic<size_t> best_size{0};
+
+  auto record = [&](const std::vector<VertexId>& clique) {
+    size_t cur = best_size.load(std::memory_order_relaxed);
+    if (clique.size() <= cur) return;
+    std::lock_guard<std::mutex> lock(best_mutex);
+    if (clique.size() > best.size()) {
+      best = clique;
+      best_size.store(best.size(), std::memory_order_relaxed);
+    }
+  };
+
+  auto compute = [&graph, &record, &best_size](
+                     VertexId v, const AdjList& adj, uint64_t& /*value*/,
+                     const std::vector<AdjList>& messages,
+                     Engine::Context& ctx) {
+    const auto first_gt = std::upper_bound(adj.begin(), adj.end(), v);
+    const size_t num_gt = static_cast<size_t>(adj.end() - first_gt);
+    if (ctx.superstep() == 0) {
+      record({v});
+      // Branch-and-bound cut: {v} plus all larger neighbors is the ceiling.
+      if (1 + num_gt > best_size.load(std::memory_order_relaxed)) {
+        for (auto it = first_gt; it != adj.end(); ++it) ctx.Send(*it, {v});
+      }
+      ctx.VoteToHalt();
+      return;
+    }
+    for (const AdjList& s : messages) {
+      // v may join the clique S only if adjacent to every member.
+      bool ok = true;
+      for (VertexId u : s) {
+        if (!std::binary_search(adj.begin(), adj.end(), u)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      AdjList grown = s;
+      grown.push_back(v);  // v > all of S (sets travel up the ID order)
+      record(grown);
+      if (grown.size() + num_gt > best_size.load(std::memory_order_relaxed)) {
+        for (auto it = first_gt; it != adj.end(); ++it) ctx.Send(*it, grown);
+      }
+    }
+    ctx.VoteToHalt();
+  };
+
+  PregelMcfResult out;
+  out.stats = engine.Run(graph, compute, opts);
+  std::sort(best.begin(), best.end());
+  out.best_clique = best;
+  return out;
+}
+
+}  // namespace gthinker::baselines

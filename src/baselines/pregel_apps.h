@@ -1,0 +1,42 @@
+#ifndef GTHINKER_BASELINES_PREGEL_APPS_H_
+#define GTHINKER_BASELINES_PREGEL_APPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/pregel_engine.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gthinker::baselines {
+
+using PregelOptions = PregelEngine<uint64_t, AdjList>::Options;
+using PregelRunStats = PregelEngine<uint64_t, AdjList>::Result;
+
+struct PregelTcResult {
+  PregelRunStats stats;
+  uint64_t triangles = 0;
+};
+
+/// Vertex-centric triangle counting (the Giraph algorithm of paper ref [5]):
+/// superstep 0, every v sends to each u ∈ Γ_>(v) the candidate list
+/// {w ∈ Γ_>(v) : w > u}; superstep 1, u counts candidates adjacent to it.
+/// The message volume is Σ_v C(deg_>(v), 2) IDs — the communication-bound
+/// blowup Table III demonstrates.
+PregelTcResult PregelTriangleCount(const Graph& graph,
+                                   const PregelOptions& opts);
+
+struct PregelMcfResult {
+  PregelRunStats stats;
+  std::vector<VertexId> best_clique;
+};
+
+/// Vertex-centric maximum clique (branch-and-bound flavor of paper ref [24]):
+/// clique candidate sets travel as messages up the ID order; every vertex
+/// extends the sets it can join and forwards them. Materializes one message
+/// per clique-prefix — the memory blowup of Table III.
+PregelMcfResult PregelMaxClique(const Graph& graph, const PregelOptions& opts);
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_PREGEL_APPS_H_

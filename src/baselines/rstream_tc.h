@@ -1,0 +1,41 @@
+#ifndef GTHINKER_BASELINES_RSTREAM_TC_H_
+#define GTHINKER_BASELINES_RSTREAM_TC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gthinker::baselines {
+
+/// The RStream baseline (paper §II/§VI): a single-machine *out-of-core*
+/// triangle counter in the GRAS relational style. The edge relation and the
+/// per-vertex adjacency relation are materialized on disk; counting streams
+/// the edge relation and performs the E ⋈ E join by reading both endpoints'
+/// adjacency tuples back from disk — two random reads per edge. Only the
+/// offset index lives in memory. This is IO-bound by construction, which is
+/// the comparison the paper draws ("RStream runs out-of-core and is
+/// IO-bound").
+class RStreamTc {
+ public:
+  struct Options {
+    std::string work_dir;       // empty = fresh temp dir
+    double time_budget_s = 0.0; // 0 = unlimited
+  };
+
+  struct Result {
+    double elapsed_s = 0.0;
+    bool timed_out = false;
+    uint64_t triangles = 0;
+    int64_t bytes_written = 0;
+    int64_t bytes_read = 0;
+    int64_t disk_reads = 0;
+    int64_t peak_mem_bytes = 0;  // offset index + streaming buffers
+  };
+
+  static Result Run(const Graph& graph, const Options& opts);
+};
+
+}  // namespace gthinker::baselines
+
+#endif  // GTHINKER_BASELINES_RSTREAM_TC_H_

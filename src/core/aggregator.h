@@ -1,0 +1,61 @@
+#ifndef GTHINKER_CORE_AGGREGATOR_H_
+#define GTHINKER_CORE_AGGREGATOR_H_
+
+#include <mutex>
+#include <utility>
+
+namespace gthinker {
+
+/// Per-worker aggregator state (paper §IV (6)): tasks merge deltas into a
+/// local partial; the worker's progress loop periodically commits the partial
+/// to the master, which merges all partials into a global value and
+/// broadcasts it back. CurrentView() = global ⊕ uncommitted-local, giving
+/// tasks the freshest bound available for pruning (e.g. |S_max| in MCF).
+///
+/// ComperT supplies the algebra: `static AggT AggZero()` and
+/// `static AggT AggMerge(const AggT&, const AggT&)` (associative,
+/// commutative, AggZero as identity).
+template <typename ComperT>
+class AggregatorState {
+ public:
+  using AggT = typename ComperT::AggT;
+
+  AggregatorState()
+      : local_(ComperT::AggZero()), global_(ComperT::AggZero()) {}
+
+  /// Called by tasks (any comper thread).
+  void Aggregate(const AggT& delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    local_ = ComperT::AggMerge(local_, delta);
+  }
+
+  /// Commits and returns the local partial (the caller ships it to the
+  /// master); local resets to zero so nothing is double-counted.
+  AggT TakeLocal() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AggT out = std::move(local_);
+    local_ = ComperT::AggZero();
+    return out;
+  }
+
+  /// Installs the master's latest global value.
+  void SetGlobal(AggT global) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    global_ = std::move(global);
+  }
+
+  /// Freshest view for pruning: global merged with the uncommitted local.
+  AggT CurrentView() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ComperT::AggMerge(global_, local_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  AggT local_;
+  AggT global_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_AGGREGATOR_H_

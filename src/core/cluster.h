@@ -1,0 +1,482 @@
+#ifndef GTHINKER_CORE_CLUSTER_H_
+#define GTHINKER_CORE_CLUSTER_H_
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/protocol.h"
+#include "core/worker.h"
+#include "graph/graph.h"
+#include "graph/loader.h"
+#include "net/comm_hub.h"
+#include "storage/mini_dfs.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gthinker {
+
+/// Builds a Worker's vertex value from the in-memory input graph. Overloads
+/// cover the shipped value types; apps with custom values add their own.
+inline void BuildVertexValue(const Graph& graph,
+                             const std::vector<Label>* /*labels*/, VertexId v,
+                             AdjList* out) {
+  *out = graph.Neighbors(v);
+}
+inline void BuildVertexValue(const Graph& graph,
+                             const std::vector<Label>* labels, VertexId v,
+                             LabeledAdj* out) {
+  GT_CHECK(labels != nullptr) << "LabeledAdj vertices need Job::labels";
+  out->label = (*labels)[v];
+  out->adj.clear();
+  out->adj.reserve(graph.Neighbors(v).size());
+  for (VertexId u : graph.Neighbors(v)) {
+    out->adj.push_back(LabeledNbr{u, (*labels)[u]});
+  }
+}
+
+/// A job description: configuration, the app (comper factory + optional
+/// trimmer), and the input graph — either in memory or as adjacency-format
+/// part files on a MiniDfs.
+template <typename ComperT>
+struct Job {
+  using WorkerT = Worker<ComperT>;
+
+  JobConfig config;
+  typename WorkerT::ComperFactory comper_factory;
+  typename WorkerT::TrimmerFn trimmer;  // optional
+
+  // -- input: exactly one of --
+  const Graph* graph = nullptr;
+  const std::vector<Label>* labels = nullptr;  // with graph, for LabeledAdj
+  MiniDfs* dfs = nullptr;          // with dfs_graph_dir
+  std::string dfs_graph_dir;
+
+  // -- fault tolerance --
+  MiniDfs* checkpoint_dfs = nullptr;  // required when checkpointing/resuming
+  int64_t resume_epoch = -1;          // >=0: restore this checkpoint first
+
+  // -- output --
+  /// Enables Comper::Output; every worker writes record-batch files here.
+  /// Read them back with ReadOutputRecords().
+  std::string output_dir;
+};
+
+/// Loads every record batch a job wrote under `dir` (any worker, any order).
+inline Status ReadOutputRecords(const std::string& dir,
+                                std::vector<std::string>* records) {
+  records->clear();
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return Status::Ok();
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::vector<std::string> batch;
+    GT_RETURN_IF_ERROR(SpillFile::ReadBatch(entry.path().string(), &batch));
+    for (std::string& r : batch) records->push_back(std::move(r));
+  }
+  if (ec) return Status::IoError("list " + dir + ": " + ec.message());
+  return Status::Ok();
+}
+
+/// Result of a run: stats plus the final global aggregate.
+template <typename ComperT>
+struct RunResult {
+  JobStats stats;
+  typename ComperT::AggT result;
+};
+
+/// The job driver. Owns the hub and the N workers, plays the master role
+/// (paper §V-B): receives progress reports, synchronizes the aggregator,
+/// plans work stealing, coordinates checkpoints, and detects termination
+/// (all workers idle and the data-message flow balanced, stable across two
+/// consecutive global snapshots).
+template <typename ComperT>
+class Cluster {
+ public:
+  using WorkerT = Worker<ComperT>;
+  using TaskT = typename ComperT::TaskT;
+  using AggT = typename ComperT::AggT;
+  using VertexT = typename TaskT::VertexT;
+
+  static RunResult<ComperT> Run(const Job<ComperT>& job) {
+    const JobConfig& config = job.config;
+    GT_CHECK_OK(config.Validate());
+    GT_CHECK(job.comper_factory != nullptr);
+    GT_CHECK(job.graph != nullptr || job.dfs != nullptr)
+        << "job needs an input graph";
+    if (config.checkpoint_interval_us > 0 || job.resume_epoch >= 0) {
+      GT_CHECK(job.checkpoint_dfs != nullptr);
+    }
+
+    std::string spill_root = config.spill_root;
+    const bool own_spill_root = spill_root.empty();
+    if (own_spill_root) spill_root = MakeTempDir("spill");
+
+    const int num_workers = config.num_workers;
+    const int master_id = num_workers;
+    CommHub hub(num_workers + 1, config.net);
+
+    std::vector<std::unique_ptr<WorkerT>> workers;
+    workers.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      workers.push_back(std::make_unique<WorkerT>(
+          w, config, &hub, job.comper_factory, job.trimmer,
+          spill_root + "/w" + std::to_string(w)));
+      std::error_code ec;
+      std::filesystem::create_directories(spill_root + "/w" +
+                                          std::to_string(w), ec);
+      GT_CHECK(!ec);
+      if (job.checkpoint_dfs != nullptr) {
+        workers[w]->SetCheckpointDfs(job.checkpoint_dfs);
+      }
+      if (!job.output_dir.empty()) {
+        std::error_code out_ec;
+        std::filesystem::create_directories(job.output_dir, out_ec);
+        GT_CHECK(!out_ec);
+        workers[w]->SetOutputDir(job.output_dir);
+      }
+    }
+
+    LoadInput(job, &workers);
+
+    AggT global = ComperT::AggZero();
+    uint64_t next_ckpt_epoch = 1;
+    if (job.resume_epoch >= 0) {
+      global = Restore(job, &workers);
+      next_ckpt_epoch = static_cast<uint64_t>(job.resume_epoch) + 1;
+    }
+
+    for (auto& worker : workers) worker->Start();
+
+    // ------------------------- master loop -------------------------
+    RunResult<ComperT> out;
+    JobStats& stats = out.stats;
+    Timer wall;
+    Timer ckpt_timer;
+
+    std::vector<ProgressReport> latest(num_workers);
+    std::vector<bool> fresh(num_workers, false);
+    std::vector<ProgressReport> final_reports(num_workers);
+    std::vector<bool> final_seen(num_workers, false);
+
+    struct Snapshot {
+      bool valid = false;
+      bool all_idle = false;
+      bool balanced = false;
+      std::vector<int64_t> sent, processed;
+    };
+    Snapshot prev;
+
+    int pending_ckpt_acks = 0;
+    uint64_t active_ckpt_epoch = 0;
+    // Checkpoint-consistent aggregate: per-link FIFO ordering guarantees that
+    // everything a worker committed *before* its snapshot arrives before its
+    // ack. Deltas from not-yet-acked workers merge here too; deltas arriving
+    // after a worker's ack are post-snapshot and must not enter the meta.
+    AggT ckpt_global = ComperT::AggZero();
+    std::vector<bool> ckpt_acked(num_workers, false);
+    bool terminate = false;
+
+    auto broadcast = [&](MsgType type, const std::string& payload) {
+      for (int w = 0; w < num_workers; ++w) {
+        MessageBatch mb;
+        mb.src_worker = master_id;
+        mb.dst_worker = w;
+        mb.type = type;
+        mb.payload = payload;
+        hub.Send(std::move(mb));
+      }
+    };
+    auto merge_delta = [&](const std::string& blob) {
+      AggT delta{};
+      Deserializer des(blob);
+      GT_CHECK_OK(DeserializeValue(des, &delta));
+      global = ComperT::AggMerge(global, delta);
+    };
+    auto encode_global = [&]() {
+      Serializer ser;
+      SerializeValue(ser, global);
+      return ser.Release();
+    };
+
+    while (!terminate) {
+      MessageBatch mb;
+      if (hub.Receive(master_id, config.comm_poll_us, &mb)) {
+        switch (mb.type) {
+          case MsgType::kProgressReport: {
+            ProgressReport report;
+            GT_CHECK_OK(report.Decode(mb.payload));
+            merge_delta(report.agg_delta);
+            if (pending_ckpt_acks > 0 && !ckpt_acked[report.worker_id]) {
+              MergeInto(&ckpt_global, report.agg_delta);
+            }
+            latest[report.worker_id] = report;
+            fresh[report.worker_id] = true;
+            break;
+          }
+          case MsgType::kCheckpointAck: {
+            CheckpointAck ack;
+            GT_CHECK_OK(ack.Decode(mb.payload));
+            merge_delta(ack.agg_delta);
+            if (ack.epoch == active_ckpt_epoch && pending_ckpt_acks > 0 &&
+                !ckpt_acked[ack.worker_id]) {
+              MergeInto(&ckpt_global, ack.agg_delta);
+              ckpt_acked[ack.worker_id] = true;
+              if (--pending_ckpt_acks == 0) {
+                CommitCheckpointMeta(job, active_ckpt_epoch, ckpt_global,
+                                     num_workers);
+                ++stats.checkpoints;
+              }
+            }
+            break;
+          }
+          default:
+            LOG_FATAL << "master: unexpected message type "
+                      << static_cast<int>(mb.type);
+        }
+      }
+
+      // A global snapshot forms once every worker reported since the last.
+      if (std::all_of(fresh.begin(), fresh.end(), [](bool b) { return b; })) {
+        Snapshot snap;
+        snap.valid = true;
+        snap.all_idle = true;
+        int64_t sent = 0, processed = 0;
+        for (int w = 0; w < num_workers; ++w) {
+          snap.all_idle = snap.all_idle && latest[w].idle != 0;
+          sent += latest[w].data_sent;
+          processed += latest[w].data_processed;
+          snap.sent.push_back(latest[w].data_sent);
+          snap.processed.push_back(latest[w].data_processed);
+        }
+        snap.balanced = (sent == processed);
+
+        broadcast(MsgType::kAggregatorSync, encode_global());
+
+        if (snap.all_idle && snap.balanced && prev.valid && prev.all_idle &&
+            prev.balanced && prev.sent == snap.sent &&
+            prev.processed == snap.processed && pending_ckpt_acks == 0) {
+          terminate = true;
+        } else if (config.enable_stealing && !snap.all_idle) {
+          PlanSteals(latest, config, master_id, &hub);
+        }
+        prev = std::move(snap);
+        std::fill(fresh.begin(), fresh.end(), false);
+      }
+
+      if (!terminate && config.time_budget_s > 0.0 &&
+          wall.ElapsedSeconds() > config.time_budget_s) {
+        stats.timed_out = true;
+        terminate = true;
+      }
+
+      if (!terminate && config.checkpoint_interval_us > 0 &&
+          pending_ckpt_acks == 0 &&
+          ckpt_timer.ElapsedMicros() >= config.checkpoint_interval_us) {
+        active_ckpt_epoch = next_ckpt_epoch++;
+        pending_ckpt_acks = num_workers;
+        ckpt_global = global;  // everything committed so far is pre-snapshot
+        std::fill(ckpt_acked.begin(), ckpt_acked.end(), false);
+        CheckpointRequest req;
+        req.epoch = active_ckpt_epoch;
+        broadcast(MsgType::kCheckpointRequest, req.Encode());
+        ckpt_timer.Restart();
+      }
+    }
+
+    broadcast(MsgType::kTerminate, "");
+
+    // Collect every worker's final report (carries its last agg delta and
+    // the definitive counters).
+    int finals = 0;
+    while (finals < num_workers) {
+      MessageBatch mb;
+      if (!hub.Receive(master_id, /*timeout_us=*/10'000, &mb)) continue;
+      if (mb.type == MsgType::kProgressReport) {
+        ProgressReport report;
+        GT_CHECK_OK(report.Decode(mb.payload));
+        merge_delta(report.agg_delta);
+        if (report.final_report != 0 && !final_seen[report.worker_id]) {
+          final_seen[report.worker_id] = true;
+          final_reports[report.worker_id] = report;
+          ++finals;
+        }
+      } else if (mb.type == MsgType::kCheckpointAck) {
+        CheckpointAck ack;
+        GT_CHECK_OK(ack.Decode(mb.payload));
+        merge_delta(ack.agg_delta);
+      }
+    }
+    for (auto& worker : workers) worker->Join();
+
+    stats.elapsed_s = wall.ElapsedSeconds();
+    for (int w = 0; w < num_workers; ++w) {
+      const ProgressReport& r = final_reports[w];
+      stats.tasks_spawned += r.tasks_spawned;
+      stats.task_iterations += r.task_iterations;
+      stats.tasks_finished += r.tasks_finished;
+      stats.spilled_batches += r.spilled_batches;
+      stats.stolen_batches += r.stolen_batches;
+      stats.vertex_requests += r.vertex_requests;
+      stats.cache_hits += r.cache_hits;
+      stats.cache_evictions += r.cache_evictions;
+      stats.comper_idle_rounds += r.comper_idle_rounds;
+      stats.peak_mem_bytes.push_back(workers[w]->PeakMemBytes());
+      stats.max_peak_mem_bytes =
+          std::max(stats.max_peak_mem_bytes, workers[w]->PeakMemBytes());
+      stats.records_output += workers[w]->RecordsOutput();
+    }
+    stats.batches_sent = hub.TotalBatchesSent();
+    stats.bytes_sent = hub.TotalBytesSent();
+
+    if (config.enable_tracing) {
+      for (auto& worker : workers) {
+        const TraceRing* ring = worker->trace();
+        if (ring == nullptr) continue;
+        stats.trace_events_total += ring->total();
+        for (const TraceEvent& e : ring->Snapshot()) {
+          stats.trace.push_back(e);
+        }
+      }
+      std::sort(stats.trace.begin(), stats.trace.end(),
+                [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.t_us < b.t_us;
+                });
+    }
+
+    workers.clear();
+    if (own_spill_root) RemoveTree(spill_root);
+
+    out.result = std::move(global);
+    return out;
+  }
+
+ private:
+  static void MergeInto(AggT* target, const std::string& blob) {
+    AggT delta{};
+    Deserializer des(blob);
+    GT_CHECK_OK(DeserializeValue(des, &delta));
+    *target = ComperT::AggMerge(*target, delta);
+  }
+
+  static void LoadInput(const Job<ComperT>& job,
+                        std::vector<std::unique_ptr<WorkerT>>* workers) {
+    const int num_workers = job.config.num_workers;
+    if (job.graph != nullptr) {
+      const Graph& g = *job.graph;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        VertexT vertex;
+        vertex.id = v;
+        BuildVertexValue(g, job.labels, v, &vertex.value);
+        (*workers)[WorkerT::OwnerOf(v, num_workers)]->AddLocalVertex(
+            std::move(vertex));
+      }
+    } else {
+      // Adjacency-format part files on the DFS; the driver parses lines and
+      // routes each vertex to its hash owner (the shuffle a real HDFS load
+      // performs). Only AdjList-valued vertices are supported on this path.
+      std::vector<std::string> keys;
+      GT_CHECK_OK(job.dfs->List(job.dfs_graph_dir, &keys));
+      GT_CHECK(!keys.empty()) << "no part files under " << job.dfs_graph_dir;
+      for (const std::string& key : keys) {
+        std::string blob;
+        GT_CHECK_OK(job.dfs->Get(key, &blob));
+        size_t pos = 0;
+        while (pos < blob.size()) {
+          size_t nl = blob.find('\n', pos);
+          if (nl == std::string::npos) nl = blob.size();
+          const std::string line = blob.substr(pos, nl - pos);
+          pos = nl + 1;
+          if (line.empty()) continue;
+          VertexT vertex;
+          GT_CHECK_OK(ParseDfsLine(line, &vertex));
+          (*workers)[WorkerT::OwnerOf(vertex.id, num_workers)]->AddLocalVertex(
+              std::move(vertex));
+        }
+      }
+    }
+    for (auto& worker : *workers) worker->FinalizeLoad();
+  }
+
+  static Status ParseDfsLine(const std::string& line,
+                             Vertex<AdjList>* vertex) {
+    return GraphIo::ParseAdjacencyLine(line, &vertex->id, &vertex->value);
+  }
+  template <typename V>
+  static Status ParseDfsLine(const std::string&, V*) {
+    return Status::InvalidArgument(
+        "DFS loading supports AdjList vertex values only");
+  }
+
+  static void CommitCheckpointMeta(const Job<ComperT>& job, uint64_t epoch,
+                                   const AggT& global, int num_workers) {
+    Serializer ser;
+    ser.Write(epoch);
+    ser.Write<int32_t>(num_workers);
+    SerializeValue(ser, global);
+    GT_CHECK_OK(job.checkpoint_dfs->Put(
+        "ckpt/" + std::to_string(epoch) + "/meta", ser.data()));
+  }
+
+  static AggT Restore(const Job<ComperT>& job,
+                      std::vector<std::unique_ptr<WorkerT>>* workers) {
+    const std::string prefix = "ckpt/" + std::to_string(job.resume_epoch);
+    std::string meta;
+    GT_CHECK_OK(job.checkpoint_dfs->Get(prefix + "/meta", &meta));
+    Deserializer des(meta);
+    uint64_t epoch = 0;
+    int32_t nw = 0;
+    GT_CHECK_OK(des.Read(&epoch));
+    GT_CHECK_OK(des.Read(&nw));
+    GT_CHECK_EQ(nw, job.config.num_workers)
+        << "checkpoint taken with a different worker count";
+    AggT global{};
+    GT_CHECK_OK(DeserializeValue(des, &global));
+    for (int w = 0; w < job.config.num_workers; ++w) {
+      std::string blob;
+      GT_CHECK_OK(
+          job.checkpoint_dfs->Get(prefix + "/worker_" + std::to_string(w),
+                                  &blob));
+      GT_CHECK_OK((*workers)[w]->RestoreFromCheckpoint(blob));
+    }
+    return global;
+  }
+
+  /// Sends one steal order per starving worker, from the most loaded one
+  /// (paper §V-B "Task Stealing": idle machines prefetch task batches from
+  /// busy machines via master-made plans).
+  static void PlanSteals(const std::vector<ProgressReport>& latest,
+                         const JobConfig& config, int master_id,
+                         CommHub* hub) {
+    const int64_t batch = config.task_batch_size;
+    for (size_t i = 0; i < latest.size(); ++i) {
+      if (latest[i].idle == 0 || latest[i].remaining_estimate > 0) continue;
+      // worker i is starving; find the most loaded donor
+      int donor = -1;
+      int64_t best = 2 * batch;  // only steal from meaningfully-loaded donors
+      for (size_t j = 0; j < latest.size(); ++j) {
+        if (j == i) continue;
+        if (latest[j].remaining_estimate > best) {
+          best = latest[j].remaining_estimate;
+          donor = static_cast<int>(j);
+        }
+      }
+      if (donor < 0) continue;
+      MessageBatch mb;
+      mb.src_worker = master_id;
+      mb.dst_worker = donor;
+      mb.type = MsgType::kStealOrder;
+      mb.payload = EncodeStealOrder(static_cast<int32_t>(i));
+      hub->Send(std::move(mb));
+    }
+  }
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_CLUSTER_H_

@@ -1,0 +1,101 @@
+#ifndef GTHINKER_CORE_COMPER_H_
+#define GTHINKER_CORE_COMPER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/task.h"
+#include "core/vertex.h"
+#include "util/logging.h"
+
+namespace gthinker {
+
+/// Paper Fig. 4 class (4): the user-facing mining-thread class with the two
+/// UDFs. Subclass it, implement TaskSpawn/Compute, and (when using an
+/// aggregator) define the AggT algebra:
+///
+///   class TriangleComper : public Comper<TriangleTask, uint64_t> {
+///     void TaskSpawn(const VertexT& v) override { ... AddTask(...); ... }
+///     bool Compute(TaskT* t, const Frontier& frontier) override { ... }
+///     static AggT AggZero() { return 0; }
+///     static AggT AggMerge(AggT a, AggT b) { return a + b; }
+///   };
+///
+/// The runtime services (AddTask, Aggregate, CurrentAgg) are wired in by the
+/// worker engine before any UDF runs. One Comper instance is driven by one
+/// mining thread, so UDFs need no internal synchronization.
+template <typename TaskT_, typename AggT_>
+class Comper {
+ public:
+  using TaskT = TaskT_;
+  using AggT = AggT_;
+  using VertexT = typename TaskT::VertexT;
+  using Frontier = std::vector<const VertexT*>;
+
+  /// Runtime services implemented by the worker engine.
+  class Runtime {
+   public:
+    virtual ~Runtime() = default;
+    virtual void AddTask(std::unique_ptr<TaskT> task) = 0;
+    virtual void Aggregate(const AggT& delta) = 0;
+    virtual AggT CurrentAgg() const = 0;
+    virtual void Output(std::string record) = 0;
+  };
+
+  virtual ~Comper() = default;
+
+  /// UDF (i): spawn task(s) from a local vertex; call AddTask for each.
+  virtual void TaskSpawn(const VertexT& v) = 0;
+
+  /// Optional UDF: called once per comper after the local vertex table is
+  /// exhausted, so spawners that batch state across TaskSpawn calls (e.g.
+  /// task bundling of low-degree vertices, the paper's §VI future-work
+  /// optimization) can emit their final partial task.
+  virtual void SpawnFlush() {}
+
+  /// UDF (ii): run one iteration of `task`. `frontier[i]` is the vertex the
+  /// task pulled as pulls()[i] in its previous iteration (empty on a task
+  /// that pulled nothing). Copy what you need into task->subgraph(): frontier
+  /// vertices are released right after this returns. Return true to run
+  /// another iteration (after the new Pull()s are satisfied), false when the
+  /// task is finished.
+  virtual bool Compute(TaskT* task, const Frontier& frontier) = 0;
+
+  // Default aggregator algebra (apps using aggregation shadow these).
+  static AggT AggZero() { return AggT{}; }
+  static AggT AggMerge(const AggT& a, const AggT& /*b*/) { return a; }
+
+  /// Adds a task to this comper's Q_task (usable from both UDFs).
+  void AddTask(std::unique_ptr<TaskT> task) {
+    GT_CHECK(runtime_ != nullptr);
+    runtime_->AddTask(std::move(task));
+  }
+
+  /// Merges a delta into the worker-local aggregator.
+  void Aggregate(const AggT& delta) {
+    GT_CHECK(runtime_ != nullptr);
+    runtime_->Aggregate(delta);
+  }
+
+  /// Freshest aggregated view (global ⊕ local).
+  AggT CurrentAgg() const {
+    GT_CHECK(runtime_ != nullptr);
+    return runtime_->CurrentAgg();
+  }
+
+  /// Emits one opaque output record to the worker's output files (paper
+  /// §IV (5): data export). Requires Job::output_dir to be set.
+  void Output(std::string record) {
+    GT_CHECK(runtime_ != nullptr);
+    runtime_->Output(std::move(record));
+  }
+
+  void BindRuntime(Runtime* runtime) { runtime_ = runtime; }
+
+ private:
+  Runtime* runtime_ = nullptr;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_COMPER_H_

@@ -1,0 +1,169 @@
+#ifndef GTHINKER_CORE_CONFIG_H_
+#define GTHINKER_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.h"
+#include "net/message.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// All framework knobs, with the paper's defaults (§V, §VI "System
+/// Parameters"). Capacities are scaled-down consistent with the laptop-scale
+/// datasets; the benches sweep them exactly like Tables V(a)/V(b).
+struct JobConfig {
+  // ---- cluster shape ----
+  int num_workers = 1;
+  int compers_per_worker = 2;
+
+  // ---- remote-vertex cache (paper §V-A) ----
+  /// c_cache: capacity of T_cache in vertex entries (paper default 2M; our
+  /// graphs are ~1000x smaller, so default 100K keeps the same ratio).
+  int64_t cache_capacity = 100'000;
+  /// α: GC overflow tolerance; eviction starts when s_cache > (1+α)·c_cache.
+  double cache_overflow_alpha = 0.2;
+  /// k: number of hash buckets in T_cache (paper: 10,000).
+  int cache_num_buckets = 1024;
+  /// δ: per-thread uncommitted delta bound for the approximate s_cache.
+  int cache_counter_delta = 10;
+  /// ABLATION ONLY (bench/ablation_ztable): disable the Z-table; GC then
+  /// scans whole Γ-tables under the bucket lock to find evictable entries.
+  bool cache_use_z_table = true;
+
+  // ---- task management (paper §V-B) ----
+  /// C: task-batch size; Q_task refills when |Q_task| <= C, back to 2C.
+  int task_batch_size = 150;
+  /// Q_task capacity in batches (paper: 3 => 3C tasks).
+  int task_queue_capacity_batches = 3;
+  /// D: cap on |T_task| + |B_task| per comper (paper default 8·C).
+  int inflight_task_cap = 8 * 150;
+
+  // ---- communication ----
+  /// Vertex IDs per request batch appended to the sending module.
+  int request_batch_size = 256;
+  /// Comm-thread poll / flush period.
+  int64_t comm_poll_us = 200;
+  /// Simulated interconnect (0/0 = instantaneous in-process delivery).
+  NetConfig net;
+
+  // ---- scheduling / control ----
+  /// Period of worker progress reports to the master (drives aggregator sync,
+  /// stealing and termination detection; paper syncs aggregator at 1s).
+  int64_t progress_interval_us = 2'000;
+  /// GC wake-up period.
+  int64_t gc_interval_us = 1'000;
+  bool enable_stealing = true;
+  /// ABLATION ONLY (bench/ablation_refill): invert the refill priority to
+  /// spawn-new-tasks-first instead of the paper's spilled-files-first rule,
+  /// to measure how the rule bounds disk-resident tasks.
+  bool refill_spawn_first = false;
+  /// Record task lifecycle events into per-worker rings, returned in
+  /// JobStats::trace (debugging facility; leave off for benchmarks).
+  bool enable_tracing = false;
+
+  // ---- durability ----
+  /// Directory for task spill files; empty = fresh temp dir per job.
+  std::string spill_root;
+  /// Checkpoint period (0 = off) and target directory (MiniDfs root).
+  int64_t checkpoint_interval_us = 0;
+  std::string checkpoint_dir;
+
+  // ---- limits ----
+  /// Wall-clock budget in seconds; 0 = unlimited. When exceeded the master
+  /// aborts the job and JobStats::timed_out is set (the paper's ">24 hr").
+  double time_budget_s = 0.0;
+
+  /// Checks internal consistency; Cluster::Run validates before starting.
+  Status Validate() const {
+    if (num_workers <= 0) {
+      return Status::InvalidArgument("num_workers must be positive");
+    }
+    if (num_workers > (1 << 16)) {
+      return Status::InvalidArgument("num_workers exceeds 65536");
+    }
+    if (compers_per_worker <= 0 || compers_per_worker > (1 << 16)) {
+      // Comper IDs pack into 16 bits of the task ID (core/protocol.h).
+      return Status::InvalidArgument("compers_per_worker out of [1, 65536]");
+    }
+    if (cache_capacity <= 0) {
+      return Status::InvalidArgument("cache_capacity must be positive");
+    }
+    if (cache_overflow_alpha < 0.0) {
+      return Status::InvalidArgument("cache_overflow_alpha must be >= 0");
+    }
+    if (cache_num_buckets <= 0) {
+      return Status::InvalidArgument("cache_num_buckets must be positive");
+    }
+    if (cache_counter_delta <= 0) {
+      return Status::InvalidArgument("cache_counter_delta must be positive");
+    }
+    if (task_batch_size <= 0) {
+      return Status::InvalidArgument("task_batch_size must be positive");
+    }
+    if (task_queue_capacity_batches < 2) {
+      // Spilling takes C tasks off the tail while keeping C in flight.
+      return Status::InvalidArgument(
+          "task_queue_capacity_batches must be >= 2");
+    }
+    if (inflight_task_cap < task_batch_size) {
+      return Status::InvalidArgument(
+          "inflight_task_cap must be >= task_batch_size");
+    }
+    if (request_batch_size <= 0) {
+      return Status::InvalidArgument("request_batch_size must be positive");
+    }
+    if (net.latency_us < 0 || net.bandwidth_mbps < 0.0) {
+      return Status::InvalidArgument("net parameters must be non-negative");
+    }
+    if (time_budget_s < 0.0 || checkpoint_interval_us < 0) {
+      return Status::InvalidArgument("budgets must be non-negative");
+    }
+    return Status::Ok();
+  }
+};
+
+/// Outcome of one job run.
+struct JobStats {
+  double elapsed_s = 0.0;
+  bool timed_out = false;
+
+  // Peak tracked bytes per worker and the max over workers (the paper's
+  // "peak VM memory, taking the maximum over all machines").
+  std::vector<int64_t> peak_mem_bytes;
+  int64_t max_peak_mem_bytes = 0;
+
+  // Throughput counters summed over workers.
+  int64_t tasks_spawned = 0;
+  int64_t task_iterations = 0;
+  int64_t tasks_finished = 0;
+  int64_t spilled_batches = 0;
+  int64_t stolen_batches = 0;
+  int64_t vertex_requests = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_evictions = 0;
+  /// Comper rounds that processed no task (push and pop both empty/blocked):
+  /// the direct measure of the CPU idle time the design minimizes.
+  int64_t comper_idle_rounds = 0;
+
+  // Wire totals from the hub.
+  int64_t batches_sent = 0;
+  int64_t bytes_sent = 0;
+
+  // Number of checkpoints committed.
+  int64_t checkpoints = 0;
+
+  // Records emitted through Comper::Output.
+  int64_t records_output = 0;
+
+  // Task lifecycle trace (only when JobConfig::enable_tracing): the newest
+  // events per worker, merged; trace_events_total counts all recorded.
+  std::vector<TraceEvent> trace;
+  int64_t trace_events_total = 0;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_CONFIG_H_

@@ -1,0 +1,188 @@
+#ifndef GTHINKER_CORE_PROTOCOL_H_
+#define GTHINKER_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Payload encodings for the message types in net/message.h. Kept dumb and
+/// explicit: every field that crosses workers is spelled out here, so the
+/// simulated wire carries exactly what a socket deployment would.
+
+/// kProgressReport: worker -> master, every progress interval. Carries the
+/// idle/remaining state driving stealing + termination, monotonic data-batch
+/// counters for the message-balance check, a stats snapshot, and the
+/// committed aggregator delta (opaque bytes; master deserializes by AggT).
+struct ProgressReport {
+  int32_t worker_id = 0;
+  uint8_t final_report = 0;
+  uint8_t idle = 0;
+  int64_t remaining_estimate = 0;
+  int64_t data_sent = 0;
+  int64_t data_processed = 0;
+
+  int64_t tasks_spawned = 0;
+  int64_t task_iterations = 0;
+  int64_t tasks_finished = 0;
+  int64_t spilled_batches = 0;
+  int64_t stolen_batches = 0;
+  int64_t vertex_requests = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_evictions = 0;
+  int64_t peak_mem_bytes = 0;
+  int64_t comper_idle_rounds = 0;
+
+  std::string agg_delta;
+
+  std::string Encode() const {
+    Serializer ser;
+    ser.Write(worker_id);
+    ser.Write(final_report);
+    ser.Write(idle);
+    ser.Write(remaining_estimate);
+    ser.Write(data_sent);
+    ser.Write(data_processed);
+    ser.Write(tasks_spawned);
+    ser.Write(task_iterations);
+    ser.Write(tasks_finished);
+    ser.Write(spilled_batches);
+    ser.Write(stolen_batches);
+    ser.Write(vertex_requests);
+    ser.Write(cache_hits);
+    ser.Write(cache_evictions);
+    ser.Write(peak_mem_bytes);
+    ser.Write(comper_idle_rounds);
+    ser.WriteString(agg_delta);
+    return ser.Release();
+  }
+
+  Status Decode(const std::string& payload) {
+    Deserializer des(payload);
+    GT_RETURN_IF_ERROR(des.Read(&worker_id));
+    GT_RETURN_IF_ERROR(des.Read(&final_report));
+    GT_RETURN_IF_ERROR(des.Read(&idle));
+    GT_RETURN_IF_ERROR(des.Read(&remaining_estimate));
+    GT_RETURN_IF_ERROR(des.Read(&data_sent));
+    GT_RETURN_IF_ERROR(des.Read(&data_processed));
+    GT_RETURN_IF_ERROR(des.Read(&tasks_spawned));
+    GT_RETURN_IF_ERROR(des.Read(&task_iterations));
+    GT_RETURN_IF_ERROR(des.Read(&tasks_finished));
+    GT_RETURN_IF_ERROR(des.Read(&spilled_batches));
+    GT_RETURN_IF_ERROR(des.Read(&stolen_batches));
+    GT_RETURN_IF_ERROR(des.Read(&vertex_requests));
+    GT_RETURN_IF_ERROR(des.Read(&cache_hits));
+    GT_RETURN_IF_ERROR(des.Read(&cache_evictions));
+    GT_RETURN_IF_ERROR(des.Read(&peak_mem_bytes));
+    GT_RETURN_IF_ERROR(des.Read(&comper_idle_rounds));
+    return des.ReadString(&agg_delta);
+  }
+};
+
+/// kVertexRequest payload: the IDs a worker wants from the destination's
+/// local vertex table.
+inline std::string EncodeVertexRequest(const std::vector<VertexId>& ids) {
+  Serializer ser;
+  ser.WriteVector(ids);
+  return ser.Release();
+}
+
+inline Status DecodeVertexRequest(const std::string& payload,
+                                  std::vector<VertexId>* ids) {
+  Deserializer des(payload);
+  return des.ReadVector(ids);
+}
+
+/// kTaskBatch / checkpoint task lists: a batch of opaque serialized tasks.
+inline std::string EncodeRecordBatch(const std::vector<std::string>& records) {
+  Serializer ser;
+  ser.Write<uint64_t>(records.size());
+  for (const std::string& r : records) ser.WriteString(r);
+  return ser.Release();
+}
+
+inline Status DecodeRecordBatch(const std::string& payload,
+                                std::vector<std::string>* records) {
+  Deserializer des(payload);
+  uint64_t n = 0;
+  GT_RETURN_IF_ERROR(des.Read(&n));
+  if (n > des.remaining()) {
+    return Status::Corruption("record batch count implausible");
+  }
+  records->clear();
+  records->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string r;
+    GT_RETURN_IF_ERROR(des.ReadString(&r));
+    records->push_back(std::move(r));
+  }
+  return Status::Ok();
+}
+
+/// kStealOrder payload: the worker that should receive the donated batch.
+inline std::string EncodeStealOrder(int32_t dst_worker) {
+  Serializer ser;
+  ser.Write(dst_worker);
+  return ser.Release();
+}
+
+inline Status DecodeStealOrder(const std::string& payload,
+                               int32_t* dst_worker) {
+  Deserializer des(payload);
+  return des.Read(dst_worker);
+}
+
+/// kCheckpointRequest payload: the checkpoint epoch.
+struct CheckpointRequest {
+  uint64_t epoch = 0;
+
+  std::string Encode() const {
+    Serializer ser;
+    ser.Write(epoch);
+    return ser.Release();
+  }
+  Status Decode(const std::string& payload) {
+    Deserializer des(payload);
+    return des.Read(&epoch);
+  }
+};
+
+/// kCheckpointAck payload (worker -> master).
+struct CheckpointAck {
+  int32_t worker_id = 0;
+  uint64_t epoch = 0;
+  std::string agg_delta;
+
+  std::string Encode() const {
+    Serializer ser;
+    ser.Write(worker_id);
+    ser.Write(epoch);
+    ser.WriteString(agg_delta);
+    return ser.Release();
+  }
+  Status Decode(const std::string& payload) {
+    Deserializer des(payload);
+    GT_RETURN_IF_ERROR(des.Read(&worker_id));
+    GT_RETURN_IF_ERROR(des.Read(&epoch));
+    return des.ReadString(&agg_delta);
+  }
+};
+
+/// 64-bit task IDs (paper §V-B): 16-bit comper index | 48-bit sequence.
+inline uint64_t MakeTaskId(int comper_index, uint64_t seq) {
+  return (static_cast<uint64_t>(comper_index) << 48) |
+         (seq & ((1ULL << 48) - 1));
+}
+
+inline int ComperOfTaskId(uint64_t task_id) {
+  return static_cast<int>(task_id >> 48);
+}
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_PROTOCOL_H_

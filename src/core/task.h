@@ -1,0 +1,79 @@
+#ifndef GTHINKER_CORE_TASK_H_
+#define GTHINKER_CORE_TASK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/subgraph.h"
+#include "core/vertex.h"
+#include "graph/types.h"
+#include "util/serializer.h"
+
+namespace gthinker {
+
+/// Paper Fig. 4 class (3): a task owns a subgraph `g` it constructs and mines
+/// plus an app-defined `context` (e.g. the clique set S in Fig. 5). Pull(v)
+/// requests Γ(v) for the *next* iteration: the framework resolves the pull
+/// set P(t) when the task is popped for its next compute round (§V-B pop()).
+///
+/// ContextT must have SerializeValue/DeserializeValue overloads (core/vertex.h)
+/// and may provide a ValueBytes overload for memory accounting.
+template <typename VertexValueT, typename ContextT>
+class Task {
+ public:
+  using VertexT = Vertex<VertexValueT>;
+  using SubgraphT = Subgraph<VertexT>;
+  using ContextType = ContextT;
+
+  Task() = default;
+
+  /// Requests the adjacency list of `v` for the next iteration.
+  void Pull(VertexId v) { pulls_.push_back(v); }
+
+  /// P(t): the vertices this task waits for before its next compute call.
+  const std::vector<VertexId>& pulls() const { return pulls_; }
+  std::vector<VertexId> TakePulls() { return std::move(pulls_); }
+  void SetPulls(std::vector<VertexId> pulls) { pulls_ = std::move(pulls); }
+  void ClearPulls() { pulls_.clear(); }
+
+  SubgraphT& subgraph() { return subgraph_; }
+  const SubgraphT& subgraph() const { return subgraph_; }
+
+  ContextT& context() { return context_; }
+  const ContextT& context() const { return context_; }
+
+  /// Number of compute() iterations already run on this task.
+  uint32_t iteration() const { return iteration_; }
+  void BumpIteration() { ++iteration_; }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(sizeof(*this)) + subgraph_.MemoryBytes() +
+           ValueBytes(context_) +
+           static_cast<int64_t>(pulls_.capacity() * sizeof(VertexId));
+  }
+
+  void Serialize(Serializer& ser) const {
+    ser.Write(iteration_);
+    ser.WriteVector(pulls_);
+    subgraph_.Serialize(ser);
+    SerializeValue(ser, context_);
+  }
+
+  Status Deserialize(Deserializer& des) {
+    GT_RETURN_IF_ERROR(des.Read(&iteration_));
+    GT_RETURN_IF_ERROR(des.ReadVector(&pulls_));
+    GT_RETURN_IF_ERROR(subgraph_.Deserialize(des));
+    return DeserializeValue(des, &context_);
+  }
+
+ private:
+  SubgraphT subgraph_;
+  ContextT context_{};
+  std::vector<VertexId> pulls_;
+  uint32_t iteration_ = 0;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_TASK_H_

@@ -1,0 +1,108 @@
+#ifndef GTHINKER_CORE_TRACE_H_
+#define GTHINKER_CORE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gthinker {
+
+/// Task lifecycle events, recorded when JobConfig::enable_tracing is set.
+/// The sequence for one healthy task reads:
+///   spawned -> (pending -> ready)* -> executed+ -> finished
+/// with spill/load/steal events marking batch movements around it.
+enum class TaskEvent : uint8_t {
+  kSpawned = 0,   // AddTask from a UDF
+  kPending = 1,   // parked in T_task waiting for remote vertices
+  kReady = 2,     // last response arrived; moved to B_task
+  kExecuted = 3,  // one compute() iteration ran
+  kFinished = 4,  // compute() returned false
+  kSpilledBatch = 5,  // C tasks written to a spill file
+  kLoadedBatch = 6,   // a spill file refilled into Q_task
+  kStolenBatch = 7,   // a donated batch arrived from another worker
+};
+
+const char* TaskEventName(TaskEvent event);
+
+struct TraceEvent {
+  int64_t t_us = 0;  // microseconds since the ring was created
+  int16_t worker = 0;
+  int16_t comper = 0;  // -1 for worker-level events (steals)
+  TaskEvent kind = TaskEvent::kSpawned;
+};
+
+/// Bounded event ring: the newest `capacity` events win. Thread-safe;
+/// recording is a short critical section (tracing is a debug facility, not
+/// a hot-path feature — leave it off for benchmarks).
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 8192)
+      : capacity_(capacity), epoch_(Clock::now()) {}
+
+  void Record(int16_t worker, int16_t comper, TaskEvent kind) {
+    const int64_t t_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              epoch_)
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    if (events_.size() < capacity_) {
+      events_.push_back({t_us, worker, comper, kind});
+    } else {
+      events_[next_overwrite_] = {t_us, worker, comper, kind};
+      next_overwrite_ = (next_overwrite_ + 1) % capacity_;
+    }
+  }
+
+  /// Events in arrival order (oldest retained first).
+  std::vector<TraceEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(next_overwrite_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
+  int64_t total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const size_t capacity_;
+  const Clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  size_t next_overwrite_ = 0;
+  int64_t total_ = 0;
+};
+
+inline const char* TaskEventName(TaskEvent event) {
+  switch (event) {
+    case TaskEvent::kSpawned:
+      return "spawned";
+    case TaskEvent::kPending:
+      return "pending";
+    case TaskEvent::kReady:
+      return "ready";
+    case TaskEvent::kExecuted:
+      return "executed";
+    case TaskEvent::kFinished:
+      return "finished";
+    case TaskEvent::kSpilledBatch:
+      return "spilled-batch";
+    case TaskEvent::kLoadedBatch:
+      return "loaded-batch";
+    case TaskEvent::kStolenBatch:
+      return "stolen-batch";
+  }
+  return "unknown";
+}
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_TRACE_H_

@@ -1,0 +1,113 @@
+#ifndef GTHINKER_CORE_VERTEX_H_
+#define GTHINKER_CORE_VERTEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Paper Fig. 4 class (1): a vertex is an ID plus a value, which "usually
+/// keeps v's adjacency list". Apps pick ValueT: plain AdjList for cliques and
+/// triangles, LabeledAdj for subgraph matching.
+template <typename ValueT>
+struct Vertex {
+  VertexId id = kInvalidVertex;
+  ValueT value;
+};
+
+/// Adjacency entry for labeled graphs: neighbor ID plus its label, so that
+/// tasks (and the Trimmer) can filter candidates by label without pulling
+/// them first (paper §IV (7): prune adjacency items whose labels do not
+/// appear in the query graph).
+struct LabeledNbr {
+  VertexId id = kInvalidVertex;
+  Label label = 0;
+};
+
+inline bool operator==(const LabeledNbr& a, const LabeledNbr& b) {
+  return a.id == b.id && a.label == b.label;
+}
+
+/// Vertex value for labeled graphs.
+struct LabeledAdj {
+  Label label = 0;
+  std::vector<LabeledNbr> adj;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization traits. Vertex values, task contexts and aggregator values
+// are encoded through these overloads; add an overload pair to plug in a new
+// value type. Found by ADL (everything lives in namespace gthinker).
+// ---------------------------------------------------------------------------
+
+inline void SerializeValue(Serializer& ser, const AdjList& v) {
+  ser.WriteVector(v);
+}
+inline Status DeserializeValue(Deserializer& des, AdjList* v) {
+  return des.ReadVector(v);
+}
+
+inline void SerializeValue(Serializer& ser, const LabeledAdj& v) {
+  ser.Write(v.label);
+  ser.WriteVector(v.adj);  // LabeledNbr is trivially copyable
+}
+inline Status DeserializeValue(Deserializer& des, LabeledAdj* v) {
+  GT_RETURN_IF_ERROR(des.Read(&v->label));
+  return des.ReadVector(&v->adj);
+}
+
+inline void SerializeValue(Serializer& ser, uint64_t v) { ser.Write(v); }
+inline Status DeserializeValue(Deserializer& des, uint64_t* v) {
+  return des.Read(v);
+}
+
+inline void SerializeValue(Serializer& ser, uint32_t v) { ser.Write(v); }
+inline Status DeserializeValue(Deserializer& des, uint32_t* v) {
+  return des.Read(v);
+}
+
+template <typename ValueT>
+void SerializeValue(Serializer& ser, const Vertex<ValueT>& v) {
+  ser.Write(v.id);
+  SerializeValue(ser, v.value);
+}
+template <typename ValueT>
+Status DeserializeValue(Deserializer& des, Vertex<ValueT>* v) {
+  GT_RETURN_IF_ERROR(des.Read(&v->id));
+  return DeserializeValue(des, &v->value);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-estimate traits (MemTracker accounting; DESIGN.md §1).
+// ---------------------------------------------------------------------------
+
+/// Fallback for value/context types without a dedicated overload: the struct
+/// shell only. Types owning heap data should provide their own overload
+/// (non-template overloads win over this template).
+template <typename T>
+int64_t ValueBytes(const T&) {
+  return static_cast<int64_t>(sizeof(T));
+}
+
+inline int64_t ValueBytes(const AdjList& v) {
+  return static_cast<int64_t>(sizeof(AdjList) + v.capacity() * sizeof(VertexId));
+}
+inline int64_t ValueBytes(const LabeledAdj& v) {
+  return static_cast<int64_t>(sizeof(LabeledAdj) +
+                              v.adj.capacity() * sizeof(LabeledNbr));
+}
+inline int64_t ValueBytes(uint64_t) { return sizeof(uint64_t); }
+inline int64_t ValueBytes(uint32_t) { return sizeof(uint32_t); }
+
+template <typename ValueT>
+int64_t ValueBytes(const Vertex<ValueT>& v) {
+  return static_cast<int64_t>(sizeof(VertexId)) + ValueBytes(v.value);
+}
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_VERTEX_H_

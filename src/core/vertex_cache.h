@@ -1,0 +1,288 @@
+#ifndef GTHINKER_CORE_VERTEX_CACHE_H_
+#define GTHINKER_CORE_VERTEX_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/vertex.h"
+#include "graph/types.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/mem_tracker.h"
+#include "util/timer.h"
+
+namespace gthinker {
+
+/// Per-thread local counter for the approximate cache size s_cache
+/// (paper §V-A "Keeping s_cache Bounded"): each comper / receiver / GC thread
+/// accumulates deltas locally and commits to the shared counter only when the
+/// local magnitude reaches δ, trading a bounded estimation error
+/// (n_threads · δ) for low contention.
+class SCacheCounter {
+ public:
+  int64_t delta() const { return delta_; }
+
+ private:
+  template <typename VertexT>
+  friend class VertexCache;
+  int64_t delta_ = 0;
+};
+
+/// The remote-vertex cache T_cache (paper §V-A, Fig. 6): an array of k hash
+/// buckets, each guarded by its own mutex and holding three tables:
+///   Γ-table: cached vertices with per-vertex lock counts;
+///   Z-table: the subset of Γ with lock_count == 0 (evictable);
+///   R-table: requested-but-unanswered vertices, with lock counts and the IDs
+///            of tasks waiting for the response.
+/// Operations OP1–OP4 each lock exactly one bucket, so operations on vertices
+/// hashed to different buckets proceed concurrently.
+template <typename VertexT>
+class VertexCache {
+ public:
+  enum class RequestResult {
+    kHit,              // in Γ-table; lock taken; *out set (OP1 case 1)
+    kAlreadyRequested, // in R-table; task registered (OP1 case 2.2)
+    kNewRequest,       // fresh R-table entry; caller must send the request
+                       // (OP1 case 2.1)
+  };
+
+  struct Stats {
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> wait_joins{0};
+    std::atomic<int64_t> new_requests{0};
+    std::atomic<int64_t> evictions{0};
+    /// Time GC spent scanning buckets with their mutex held (µs): the cost
+    /// the Z-table exists to minimize (paper §V-A).
+    std::atomic<int64_t> evict_scan_us{0};
+  };
+
+  /// `capacity` = c_cache (entries), `alpha` = overflow tolerance α,
+  /// `counter_delta` = δ, `mem` (optional) tracks cached-value bytes.
+  /// `use_z_table = false` is the ablation: GC scans the whole Γ-table for
+  /// unlocked entries instead of the Z-table (bench/ablation_ztable).
+  VertexCache(int num_buckets, int64_t capacity, double alpha,
+              int counter_delta, MemTracker* mem = nullptr,
+              bool use_z_table = true)
+      : buckets_(num_buckets),
+        capacity_(capacity),
+        alpha_(alpha),
+        counter_delta_(counter_delta),
+        use_z_table_(use_z_table),
+        mem_(mem) {
+    GT_CHECK_GT(num_buckets, 0);
+    GT_CHECK_GT(capacity, 0);
+  }
+
+  VertexCache(const VertexCache&) = delete;
+  VertexCache& operator=(const VertexCache&) = delete;
+
+  /// OP1: task `task_id` requests Γ(v). On kHit the vertex is locked for the
+  /// caller and *out points at it (stable until the matching Release — the
+  /// lock count keeps GC away and the node-based Γ-table keeps the address).
+  RequestResult Request(VertexId v, uint64_t task_id, SCacheCounter* counter,
+                        const VertexT** out) {
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    Bucket& bucket = BucketFor(v);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    auto git = bucket.gamma.find(v);
+    if (git != bucket.gamma.end()) {
+      if (git->second.lock_count == 0) bucket.zero.erase(v);
+      ++git->second.lock_count;
+      *out = &git->second.vertex;
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return RequestResult::kHit;
+    }
+    auto rit = bucket.rtable.find(v);
+    if (rit != bucket.rtable.end()) {
+      ++rit->second.lock_count;
+      rit->second.waiting.push_back(task_id);
+      stats_.wait_joins.fetch_add(1, std::memory_order_relaxed);
+      return RequestResult::kAlreadyRequested;
+    }
+    RequestEntry entry;
+    entry.lock_count = 1;
+    entry.waiting.push_back(task_id);
+    bucket.rtable.emplace(v, std::move(entry));
+    Bump(counter, +1);
+    stats_.new_requests.fetch_add(1, std::memory_order_relaxed);
+    return RequestResult::kNewRequest;
+  }
+
+  /// OP2: the receiving thread installs a response, moving v from R-table to
+  /// Γ-table with its lock count transferred. Returns the IDs of the tasks
+  /// that were waiting for v.
+  std::vector<uint64_t> InsertResponse(VertexT vertex) {
+    const VertexId v = vertex.id;
+    Bucket& bucket = BucketFor(v);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    auto rit = bucket.rtable.find(v);
+    GT_CHECK(rit != bucket.rtable.end())
+        << "response for never-requested vertex " << v;
+    GammaEntry entry;
+    entry.lock_count = rit->second.lock_count;
+    if (mem_ != nullptr) mem_->Consume(ValueBytes(vertex));
+    entry.vertex = std::move(vertex);
+    std::vector<uint64_t> waiting = std::move(rit->second.waiting);
+    bucket.rtable.erase(rit);
+    auto [git, inserted] = bucket.gamma.emplace(v, std::move(entry));
+    GT_CHECK(inserted) << "vertex " << v << " in both Γ-table and R-table";
+    if (git->second.lock_count == 0) bucket.zero.insert(v);
+    return waiting;
+  }
+
+  /// Looks up a vertex the calling task already holds a lock on (used when a
+  /// pending task becomes ready and builds its frontier).
+  const VertexT* GetLocked(VertexId v) {
+    Bucket& bucket = BucketFor(v);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    auto git = bucket.gamma.find(v);
+    GT_CHECK(git != bucket.gamma.end()) << "GetLocked miss for vertex " << v;
+    GT_CHECK_GT(git->second.lock_count, 0);
+    return &git->second.vertex;
+  }
+
+  /// OP3: a task releases its hold after an iteration; at zero the vertex
+  /// becomes evictable (enters the Z-table).
+  void Release(VertexId v) {
+    Bucket& bucket = BucketFor(v);
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    auto git = bucket.gamma.find(v);
+    GT_CHECK(git != bucket.gamma.end()) << "release of uncached vertex " << v;
+    GT_CHECK_GT(git->second.lock_count, 0);
+    if (--git->second.lock_count == 0) bucket.zero.insert(v);
+  }
+
+  /// OP4: GC eviction. Scans buckets round-robin, evicting unlocked
+  /// vertices, until `target` vertices are evicted or every bucket was
+  /// scanned once. Returns the number evicted. Single caller (the GC
+  /// thread). With the Z-table (default) each bucket scan touches exactly
+  /// the evictable entries; the ablation walks the whole Γ-table under the
+  /// bucket lock.
+  int64_t EvictUpTo(int64_t target) {
+    int64_t evicted = 0;
+    const size_t n = buckets_.size();
+    Timer scan_timer;
+    for (size_t scanned = 0; scanned < n && evicted < target; ++scanned) {
+      Bucket& bucket = buckets_[next_evict_bucket_];
+      next_evict_bucket_ = (next_evict_bucket_ + 1) % n;
+      std::lock_guard<std::mutex> lock(bucket.mutex);
+      if (use_z_table_) {
+        auto zit = bucket.zero.begin();
+        while (zit != bucket.zero.end() && evicted < target) {
+          auto git = bucket.gamma.find(*zit);
+          GT_CHECK(git != bucket.gamma.end());
+          GT_CHECK_EQ(git->second.lock_count, 0);
+          if (mem_ != nullptr) mem_->Release(ValueBytes(git->second.vertex));
+          bucket.gamma.erase(git);
+          zit = bucket.zero.erase(zit);
+          ++evicted;
+        }
+      } else {
+        auto git = bucket.gamma.begin();
+        while (git != bucket.gamma.end() && evicted < target) {
+          if (git->second.lock_count != 0) {
+            ++git;
+            continue;
+          }
+          bucket.zero.erase(git->first);
+          if (mem_ != nullptr) mem_->Release(ValueBytes(git->second.vertex));
+          git = bucket.gamma.erase(git);
+          ++evicted;
+        }
+      }
+    }
+    stats_.evict_scan_us.fetch_add(scan_timer.ElapsedMicros(),
+                                   std::memory_order_relaxed);
+    // Bulk commit: batch eviction amortizes the shared-counter update just
+    // like it amortizes bucket locking.
+    s_cache_.fetch_sub(evicted, std::memory_order_relaxed);
+    stats_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+    return evicted;
+  }
+
+  /// Commits a thread-local counter (call before a thread exits).
+  void FlushCounter(SCacheCounter* counter) {
+    if (counter->delta_ != 0) {
+      s_cache_.fetch_add(counter->delta_, std::memory_order_relaxed);
+      counter->delta_ = 0;
+    }
+  }
+
+  /// Approximate |Γ-tables| + |R-tables| (paper's s_cache).
+  int64_t ApproxSize() const {
+    return s_cache_.load(std::memory_order_relaxed);
+  }
+
+  int64_t capacity() const { return capacity_; }
+
+  /// True when compers must stop fetching new tasks:
+  /// s_cache > (1+α)·c_cache.
+  bool Overflowed() const {
+    return static_cast<double>(ApproxSize()) >
+           (1.0 + alpha_) * static_cast<double>(capacity_);
+  }
+
+  /// δ_evict = s_cache − c_cache (how much the lazy GC should remove).
+  int64_t ExcessOverCapacity() const { return ApproxSize() - capacity_; }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Exact entry count (locks every bucket; tests/diagnostics only).
+  int64_t ExactSize() const {
+    int64_t total = 0;
+    for (const Bucket& bucket : buckets_) {
+      std::lock_guard<std::mutex> lock(bucket.mutex);
+      total += static_cast<int64_t>(bucket.gamma.size() +
+                                    bucket.rtable.size());
+    }
+    return total;
+  }
+
+ private:
+  struct GammaEntry {
+    VertexT vertex;
+    int32_t lock_count = 0;
+  };
+  struct RequestEntry {
+    int32_t lock_count = 0;
+    std::vector<uint64_t> waiting;
+  };
+  struct Bucket {
+    mutable std::mutex mutex;
+    std::unordered_map<VertexId, GammaEntry> gamma;
+    std::unordered_set<VertexId> zero;
+    std::unordered_map<VertexId, RequestEntry> rtable;
+  };
+
+  Bucket& BucketFor(VertexId v) {
+    return buckets_[Mix64(v) % buckets_.size()];
+  }
+
+  void Bump(SCacheCounter* counter, int64_t d) {
+    counter->delta_ += d;
+    if (counter->delta_ >= counter_delta_ ||
+        counter->delta_ <= -counter_delta_) {
+      s_cache_.fetch_add(counter->delta_, std::memory_order_relaxed);
+      counter->delta_ = 0;
+    }
+  }
+
+  std::vector<Bucket> buckets_;
+  const int64_t capacity_;
+  const double alpha_;
+  const int counter_delta_;
+  const bool use_z_table_;
+  MemTracker* mem_;
+  std::atomic<int64_t> s_cache_{0};
+  size_t next_evict_bucket_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_VERTEX_CACHE_H_

@@ -1,0 +1,976 @@
+#ifndef GTHINKER_CORE_WORKER_H_
+#define GTHINKER_CORE_WORKER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/comper.h"
+#include "core/config.h"
+#include "core/protocol.h"
+#include "core/vertex_cache.h"
+#include "net/comm_hub.h"
+#include "storage/file_list.h"
+#include "storage/mini_dfs.h"
+#include "storage/spill_file.h"
+#include "util/logging.h"
+#include "util/mem_tracker.h"
+#include "util/timer.h"
+
+namespace gthinker {
+
+/// One simulated machine (paper Fig. 3 / Fig. 7): a local vertex table
+/// T_local, a remote-vertex cache T_cache, a list of spilled task files
+/// L_file, n comper threads (each with Q_task / B_task / T_task), one
+/// communication thread, and one GC thread. The cluster driver plays the
+/// paper's "main thread of the master": it receives progress reports and
+/// issues steal/terminate/checkpoint control messages.
+///
+/// ComperT must derive from Comper<TaskT, AggT> (core/comper.h).
+template <typename ComperT>
+class Worker {
+ public:
+  using TaskT = typename ComperT::TaskT;
+  using AggT = typename ComperT::AggT;
+  using VertexT = typename TaskT::VertexT;
+  using ComperFactory = std::function<std::unique_ptr<ComperT>()>;
+  using TrimmerFn = std::function<void(VertexT&)>;
+
+  Worker(int worker_id, const JobConfig& config, CommHub* hub,
+         ComperFactory factory, TrimmerFn trimmer, std::string spill_dir)
+      : id_(worker_id),
+        config_(config),
+        hub_(hub),
+        trimmer_(std::move(trimmer)),
+        spill_dir_(std::move(spill_dir)),
+        cache_(config.cache_num_buckets, config.cache_capacity,
+               config.cache_overflow_alpha, config.cache_counter_delta,
+               &mem_, config.cache_use_z_table) {
+    master_id_ = config_.num_workers;  // master mailbox index
+    if (config_.enable_tracing) trace_ = std::make_unique<TraceRing>();
+    request_buffers_ =
+        std::vector<RequestBuffer>(static_cast<size_t>(config_.num_workers));
+    for (int i = 0; i < config_.compers_per_worker; ++i) {
+      engines_.push_back(std::make_unique<ComperEngine>(this, i, factory()));
+    }
+    steal_comper_ = factory();
+    steal_runtime_ = std::make_unique<StealRuntime>(this);
+    steal_comper_->BindRuntime(steal_runtime_.get());
+  }
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  ~Worker() { Join(); }
+
+  // ---------------------------------------------------------------------
+  // Loading (before Start).
+  // ---------------------------------------------------------------------
+
+  /// True if vertex id is assigned to this worker (Pregel-style ID hashing).
+  static int OwnerOf(VertexId v, int num_workers) {
+    return static_cast<int>(v % static_cast<VertexId>(num_workers));
+  }
+
+  /// Installs one local vertex; the Trimmer UDF (if any) runs here, right
+  /// after loading, so pulled responses already carry trimmed lists (§IV).
+  void AddLocalVertex(VertexT v) {
+    if (trimmer_) trimmer_(v);
+    GT_CHECK_EQ(OwnerOf(v.id, config_.num_workers), id_);
+    const VertexId id = v.id;
+    local_.emplace(id, std::move(v));
+    spawn_order_.push_back(id);
+  }
+
+  /// Sorts the spawn order; call once after all AddLocalVertex calls.
+  void FinalizeLoad() {
+    std::sort(spawn_order_.begin(), spawn_order_.end());
+    mem_.Consume(LocalTableBytes());
+  }
+
+  /// Pre-seeds state from a checkpoint blob (see EncodeCheckpoint). Restored
+  /// tasks enter L_file as spill batches and re-pull into the cold cache,
+  /// exactly as §V-B "Fault Tolerance" prescribes.
+  Status RestoreFromCheckpoint(const std::string& blob) {
+    Deserializer des(blob);
+    uint64_t spawn_next = 0;
+    GT_RETURN_IF_ERROR(des.Read(&spawn_next));
+    uint64_t n = 0;
+    GT_RETURN_IF_ERROR(des.Read(&n));
+    std::vector<std::string> batch;
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string rec;
+      GT_RETURN_IF_ERROR(des.ReadString(&rec));
+      batch.push_back(std::move(rec));
+      if (batch.size() == static_cast<size_t>(config_.task_batch_size)) {
+        std::string path;
+        GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
+        l_file_.PushBack(path);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      std::string path;
+      GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
+      l_file_.PushBack(path);
+    }
+    next_spawn_.store(spawn_next, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // ---------------------------------------------------------------------
+  // Lifecycle.
+  // ---------------------------------------------------------------------
+
+  void Start() {
+    GT_CHECK(!started_);
+    started_ = true;
+    for (auto& engine : engines_) {
+      threads_.emplace_back([e = engine.get()] { e->Loop(); });
+    }
+    threads_.emplace_back([this] { CommLoop(); });
+    threads_.emplace_back([this] { GcLoop(); });
+  }
+
+  void Join() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  /// True once the final progress report has been sent (job over).
+  bool Finished() const {
+    return final_sent_.load(std::memory_order_acquire);
+  }
+
+  int64_t PeakMemBytes() const { return mem_.peak(); }
+  const VertexCache<VertexT>& cache() const { return cache_; }
+  AggregatorState<ComperT>& aggregator() { return agg_; }
+  size_t NumLocalVertices() const { return spawn_order_.size(); }
+
+ private:
+  // =======================================================================
+  // ComperEngine: the per-mining-thread state machine of Fig. 7.
+  // =======================================================================
+  class ComperEngine final : public Comper<TaskT, AggT>::Runtime {
+   public:
+    ComperEngine(Worker* worker, int index, std::unique_ptr<ComperT> user)
+        : worker_(worker), index_(index), user_(std::move(user)) {
+      user_->BindRuntime(this);
+    }
+
+    // ---- Comper<>::Runtime ----
+    void AddTask(std::unique_ptr<TaskT> task) override {
+      worker_->tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+      worker_->Trace(index_, TaskEvent::kSpawned);
+      AddToQueue(std::move(task));
+    }
+    void Aggregate(const AggT& delta) override { worker_->agg_.Aggregate(delta); }
+    AggT CurrentAgg() const override { return worker_->agg_.CurrentView(); }
+    void Output(std::string record) override {
+      worker_->WriteOutput(std::move(record));
+    }
+
+    /// Mining-thread body: each round runs push() then (gates permitting)
+    /// pop() (paper §V-B "Algorithm of a Comper").
+    void Loop() {
+      while (!worker_->stop_compers_.load(std::memory_order_acquire)) {
+        worker_->MaybePark();
+        bool did = Push();
+        if (CanPop()) did = Pop() || did;
+        if (!did) {
+          // A round that processed nothing = CPU idle time, the quantity
+          // G-thinker's design minimizes (paper §I). Reported per job.
+          idle_rounds_.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+      worker_->cache_.FlushCounter(&counter_);
+    }
+
+    /// Called by the comm thread when Γ(v) lands for a task of this comper.
+    void OnVertexReady(uint64_t task_id) {
+      std::unique_ptr<TaskT> ready;
+      {
+        std::lock_guard<std::mutex> lock(t_mutex_);
+        auto it = t_task_.find(task_id);
+        GT_CHECK(it != t_task_.end())
+            << "vertex response for unknown task " << task_id;
+        Pending& pending = it->second;
+        ++pending.met;
+        if (pending.req >= 0 && pending.met == pending.req) {
+          ready = std::move(pending.task);
+          t_task_.erase(it);
+          t_size_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      if (ready != nullptr) {
+        worker_->Trace(index_, TaskEvent::kReady);
+        b_task_.Push(std::move(ready));
+      }
+    }
+
+    bool IsIdle() const {
+      return q_size_.load(std::memory_order_acquire) == 0 &&
+             b_task_.Empty() &&
+             t_size_.load(std::memory_order_acquire) == 0 &&
+             !executing_.load(std::memory_order_acquire);
+    }
+
+    size_t QueueSize() const {
+      return q_size_.load(std::memory_order_relaxed);
+    }
+
+    size_t InflightSize() const {
+      return t_size_.load(std::memory_order_relaxed) + b_task_.Size();
+    }
+
+    int64_t IdleRounds() const {
+      return idle_rounds_.load(std::memory_order_relaxed);
+    }
+
+    /// Checkpoint support: serializes every in-memory task of this engine.
+    /// Only safe while the comper thread is parked.
+    void CollectCheckpointRecords(std::vector<std::string>* records) {
+      for (const auto& task : q_) {
+        Serializer ser;
+        task->Serialize(ser);
+        records->push_back(ser.Release());
+      }
+      b_task_.ForEach([records](const std::unique_ptr<TaskT>& task) {
+        Serializer ser;
+        task->Serialize(ser);
+        records->push_back(ser.Release());
+      });
+      std::lock_guard<std::mutex> lock(t_mutex_);
+      for (const auto& [id, pending] : t_task_) {
+        Serializer ser;
+        pending.task->Serialize(ser);
+        records->push_back(ser.Release());
+      }
+    }
+
+   private:
+    struct Pending {
+      std::unique_ptr<TaskT> task;
+      int met = 0;
+      int req = -1;  // -1 = not yet committed by the popping comper
+    };
+
+    /// push(): run one ready task from B_task (its pulls are all cached and
+    /// locked for it).
+    bool Push() {
+      auto ready = b_task_.TryPop();
+      if (!ready.has_value()) return false;
+      // The task was tracked while pending; ExecuteIteration re-tracks it.
+      worker_->mem_.Release((*ready)->MemoryBytes());
+      ExecuteIteration(std::move(*ready));
+      return true;
+    }
+
+    /// pop() gates (paper: cache not overflowed, |T_task|+|B_task| <= D).
+    bool CanPop() const {
+      return !worker_->cache_.Overflowed() &&
+             InflightSize() <=
+                 static_cast<size_t>(worker_->config_.inflight_task_cap);
+    }
+
+    /// pop(): refill if low, then take the head task and resolve its pulls.
+    bool Pop() {
+      const size_t batch = worker_->config_.task_batch_size;
+      if (q_.size() <= batch) Refill();
+      if (q_.empty()) return false;
+      std::unique_ptr<TaskT> task = std::move(q_.front());
+      q_.pop_front();
+      q_size_.store(q_.size(), std::memory_order_release);
+      Resolve(std::move(task));
+      return true;
+    }
+
+    /// Refills Q_task up to 2C from (1) spilled task files, then (2) fresh
+    /// spawns from T_local. (B_task, the paper's source (2), is consumed
+    /// directly by push() every round, which has the same effect without
+    /// moving ready tasks through the queue.) The spilled-first priority is
+    /// what keeps the number of disk-resident tasks minimal (§V-B); the
+    /// refill_spawn_first ablation inverts it.
+    void Refill() {
+      const size_t target = 2 * worker_->config_.task_batch_size;
+      while (q_.size() < target) {
+        if (worker_->config_.refill_spawn_first && SpawnBatch()) continue;
+        if (auto file = worker_->l_file_.TryPopFront()) {
+          std::vector<std::string> records;
+          GT_CHECK_OK(SpillFile::ReadBatchAndDelete(*file, &records));
+          for (const std::string& rec : records) {
+            auto task = std::make_unique<TaskT>();
+            Deserializer des(rec);
+            GT_CHECK_OK(task->Deserialize(des));
+            worker_->mem_.Consume(task->MemoryBytes());
+            q_.push_back(std::move(task));
+          }
+          q_size_.store(q_.size(), std::memory_order_release);
+          worker_->Trace(index_, TaskEvent::kLoadedBatch);
+          continue;
+        }
+        if (worker_->config_.refill_spawn_first) break;
+        if (!SpawnBatch()) break;
+      }
+    }
+
+    /// Spawns one batch of new tasks from T_local; false when exhausted.
+    bool SpawnBatch() {
+      std::vector<VertexId> to_spawn;
+      worker_->ClaimSpawnBatch(worker_->config_.task_batch_size, &to_spawn);
+      if (to_spawn.empty()) {
+        if (!spawn_flushed_) {
+          spawn_flushed_ = true;
+          user_->SpawnFlush();  // emit any partially-bundled task
+        }
+        return false;
+      }
+      for (VertexId v : to_spawn) {
+        user_->TaskSpawn(worker_->local_.at(v));  // UDF; calls AddTask
+      }
+      return true;
+    }
+
+    /// Appends to Q_task; when full (3C), the C tasks at the tail are spilled
+    /// to one file so that `task` can be appended (paper §V-B (1)).
+    void AddToQueue(std::unique_ptr<TaskT> task) {
+      worker_->mem_.Consume(task->MemoryBytes());
+      const size_t batch = worker_->config_.task_batch_size;
+      const size_t cap =
+          batch * worker_->config_.task_queue_capacity_batches;
+      if (q_.size() >= cap) {
+        std::vector<std::string> records(batch);
+        for (size_t i = 0; i < batch; ++i) {
+          std::unique_ptr<TaskT> victim = std::move(q_.back());
+          q_.pop_back();
+          worker_->mem_.Release(victim->MemoryBytes());
+          Serializer ser;
+          victim->Serialize(ser);
+          // Keep original queue order inside the file.
+          records[batch - 1 - i] = ser.Release();
+        }
+        std::string path;
+        GT_CHECK_OK(SpillFile::WriteBatch(worker_->spill_dir_, records, &path));
+        worker_->l_file_.PushBack(path);
+        worker_->spilled_batches_.fetch_add(1, std::memory_order_relaxed);
+        worker_->Trace(index_, TaskEvent::kSpilledBatch);
+      }
+      q_.push_back(std::move(task));
+      q_size_.store(q_.size(), std::memory_order_release);
+    }
+
+    /// Resolves P(t): local pulls read T_local directly; remote pulls go
+    /// through T_cache (OP1). If everything is available the task computes
+    /// right away; otherwise it parks in T_task until the comm thread
+    /// declares it ready.
+    void Resolve(std::unique_ptr<TaskT> task) {
+      worker_->mem_.Release(task->MemoryBytes());
+      bool any_remote = false;
+      for (VertexId v : task->pulls()) {
+        if (!worker_->IsLocal(v)) {
+          any_remote = true;
+          break;
+        }
+      }
+      if (!any_remote) {
+        ExecuteIteration(std::move(task));
+        return;
+      }
+      const uint64_t tid = MakeTaskId(index_, seq_++);
+      worker_->Trace(index_, TaskEvent::kPending);
+      TaskT* raw = task.get();
+      {
+        std::lock_guard<std::mutex> lock(t_mutex_);
+        t_task_.emplace(tid, Pending{std::move(task), 0, -1});
+        t_size_.fetch_add(1, std::memory_order_relaxed);
+      }
+      worker_->mem_.Consume(raw->MemoryBytes());
+      int hits = 0;
+      int total_remote = 0;
+      for (VertexId v : raw->pulls()) {
+        if (worker_->IsLocal(v)) continue;
+        ++total_remote;
+        const VertexT* unused = nullptr;
+        switch (worker_->cache_.Request(v, tid, &counter_, &unused)) {
+          case VertexCache<VertexT>::RequestResult::kHit:
+            ++hits;
+            break;
+          case VertexCache<VertexT>::RequestResult::kAlreadyRequested:
+            break;
+          case VertexCache<VertexT>::RequestResult::kNewRequest:
+            worker_->EnqueueVertexRequest(v);
+            break;
+        }
+      }
+      // Commit req; the task may already be complete (all hits, or responses
+      // raced in while we were requesting).
+      std::unique_ptr<TaskT> ready;
+      {
+        std::lock_guard<std::mutex> lock(t_mutex_);
+        auto it = t_task_.find(tid);
+        if (it != t_task_.end()) {
+          Pending& pending = it->second;
+          pending.met += hits;
+          if (pending.met == total_remote) {
+            ready = std::move(pending.task);
+            t_task_.erase(it);
+            t_size_.fetch_sub(1, std::memory_order_relaxed);
+          } else {
+            pending.req = total_remote;
+          }
+        }
+        // (it == end() cannot happen: req was -1, so only we can remove it.)
+      }
+      if (ready != nullptr) {
+        // The responses raced in while we were still registering pulls.
+        worker_->Trace(index_, TaskEvent::kReady);
+        worker_->mem_.Release(ready->MemoryBytes());
+        ExecuteIteration(std::move(ready));
+      }
+    }
+
+    /// One compute() iteration: build the frontier in pull order, run the
+    /// UDF, then release every remote pull back to the cache (OP3) so GC can
+    /// evict in time.
+    void ExecuteIteration(std::unique_ptr<TaskT> task) {
+      executing_.store(true, std::memory_order_release);
+      worker_->mem_.Consume(task->MemoryBytes());
+      const std::vector<VertexId> pulls = task->TakePulls();
+      typename ComperT::Frontier frontier;
+      frontier.reserve(pulls.size());
+      for (VertexId v : pulls) {
+        if (worker_->IsLocal(v)) {
+          frontier.push_back(&worker_->local_.at(v));
+        } else {
+          frontier.push_back(worker_->cache_.GetLocked(v));
+        }
+      }
+      const bool more = user_->Compute(task.get(), frontier);
+      worker_->Trace(index_, TaskEvent::kExecuted);
+      task->BumpIteration();
+      worker_->mem_.Release(task->MemoryBytes());
+      for (VertexId v : pulls) {
+        if (!worker_->IsLocal(v)) worker_->cache_.Release(v);
+      }
+      worker_->task_iterations_.fetch_add(1, std::memory_order_relaxed);
+      if (more) {
+        AddToQueue(std::move(task));
+      } else {
+        worker_->tasks_finished_.fetch_add(1, std::memory_order_relaxed);
+        worker_->Trace(index_, TaskEvent::kFinished);
+      }
+      executing_.store(false, std::memory_order_release);
+    }
+
+    Worker* worker_;
+    const int index_;
+    std::unique_ptr<ComperT> user_;
+    SCacheCounter counter_;
+
+    std::deque<std::unique_ptr<TaskT>> q_;  // Q_task: comper thread only
+    std::atomic<size_t> q_size_{0};         // mirror for cross-thread reads
+    ConcurrentQueue<std::unique_ptr<TaskT>> b_task_;
+    std::mutex t_mutex_;
+    std::unordered_map<uint64_t, Pending> t_task_;
+    std::atomic<size_t> t_size_{0};
+    uint64_t seq_ = 0;
+    bool spawn_flushed_ = false;
+    std::atomic<bool> executing_{false};
+    std::atomic<int64_t> idle_rounds_{0};
+  };
+
+  // =======================================================================
+  // StealRuntime: lets the comm thread spawn tasks for donation without
+  // touching any comper's queue. AddTask serializes straight into the
+  // donation batch.
+  // =======================================================================
+  class StealRuntime final : public Comper<TaskT, AggT>::Runtime {
+   public:
+    explicit StealRuntime(Worker* worker) : worker_(worker) {}
+    void AddTask(std::unique_ptr<TaskT> task) override {
+      worker_->tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+      Serializer ser;
+      task->Serialize(ser);
+      sink_->push_back(ser.Release());
+    }
+    void Aggregate(const AggT& delta) override {
+      worker_->agg_.Aggregate(delta);
+    }
+    AggT CurrentAgg() const override { return worker_->agg_.CurrentView(); }
+    void Output(std::string record) override {
+      worker_->WriteOutput(std::move(record));
+    }
+    void SetSink(std::vector<std::string>* sink) { sink_ = sink; }
+
+   private:
+    Worker* worker_;
+    std::vector<std::string>* sink_ = nullptr;
+  };
+
+  friend class ComperEngine;
+  friend class StealRuntime;
+
+  // ---------------------------------------------------------------------
+  // Shared helpers.
+  // ---------------------------------------------------------------------
+
+  bool IsLocal(VertexId v) const {
+    return OwnerOf(v, config_.num_workers) == id_;
+  }
+
+  void Trace(int comper, TaskEvent kind) {
+    if (trace_ != nullptr) {
+      trace_->Record(static_cast<int16_t>(id_), static_cast<int16_t>(comper),
+                     kind);
+    }
+  }
+
+  /// Thread-safe output collection (paper §IV (5), data export): records
+  /// buffer in memory and flush to batch files under the job's output dir.
+  void WriteOutput(std::string record) {
+    GT_CHECK(!output_dir_.empty())
+        << "Comper::Output used without Job::output_dir";
+    std::vector<std::string> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(output_mutex_);
+      output_buffer_.push_back(std::move(record));
+      records_output_.fetch_add(1, std::memory_order_relaxed);
+      if (output_buffer_.size() >= kOutputFlushRecords) {
+        to_flush.swap(output_buffer_);
+      }
+    }
+    if (!to_flush.empty()) FlushOutputBatch(to_flush);
+  }
+
+  void FlushOutputBatch(const std::vector<std::string>& records) {
+    std::string path;
+    GT_CHECK_OK(SpillFile::WriteBatch(output_dir_, records, &path));
+  }
+
+  void FinalFlushOutput() {
+    std::vector<std::string> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(output_mutex_);
+      to_flush.swap(output_buffer_);
+    }
+    if (!to_flush.empty()) FlushOutputBatch(to_flush);
+  }
+
+  int64_t LocalTableBytes() const {
+    int64_t bytes = 0;
+    for (const auto& [id, vertex] : local_) bytes += ValueBytes(vertex) + 16;
+    return bytes;
+  }
+
+  /// Atomically claims up to `count` not-yet-spawned local vertices.
+  void ClaimSpawnBatch(size_t count, std::vector<VertexId>* out) {
+    out->clear();
+    const size_t total = spawn_order_.size();
+    size_t begin = next_spawn_.fetch_add(count, std::memory_order_relaxed);
+    if (begin >= total) {
+      next_spawn_.store(total, std::memory_order_relaxed);
+      return;
+    }
+    const size_t end = std::min(begin + count, total);
+    out->assign(spawn_order_.begin() + begin, spawn_order_.begin() + end);
+  }
+
+  bool SpawnDone() const {
+    return next_spawn_.load(std::memory_order_relaxed) >= spawn_order_.size();
+  }
+
+  /// Appends a vertex request for batched sending (paper: requests are
+  /// batched per destination to combat round-trip time).
+  void EnqueueVertexRequest(VertexId v) {
+    const int dst = OwnerOf(v, config_.num_workers);
+    GT_CHECK_NE(dst, id_) << "local vertex routed to the cache";
+    RequestBuffer& buf = request_buffers_[dst];
+    std::vector<VertexId> to_send;
+    {
+      std::lock_guard<std::mutex> lock(buf.mutex);
+      buf.ids.push_back(v);
+      if (buf.ids.size() >= static_cast<size_t>(config_.request_batch_size)) {
+        to_send.swap(buf.ids);
+      }
+    }
+    if (!to_send.empty()) SendVertexRequest(dst, to_send);
+  }
+
+  void FlushAllRequests() {
+    for (int dst = 0; dst < config_.num_workers; ++dst) {
+      RequestBuffer& buf = request_buffers_[dst];
+      std::vector<VertexId> to_send;
+      {
+        std::lock_guard<std::mutex> lock(buf.mutex);
+        to_send.swap(buf.ids);
+      }
+      if (!to_send.empty()) SendVertexRequest(dst, to_send);
+    }
+  }
+
+  void SendVertexRequest(int dst, const std::vector<VertexId>& ids) {
+    MessageBatch mb;
+    mb.src_worker = id_;
+    mb.dst_worker = dst;
+    mb.type = MsgType::kVertexRequest;
+    mb.payload = EncodeVertexRequest(ids);
+    data_sent_.fetch_add(1, std::memory_order_relaxed);
+    hub_->Send(std::move(mb));
+  }
+
+  // ---------------------------------------------------------------------
+  // Communication thread.
+  // ---------------------------------------------------------------------
+
+  void CommLoop() {
+    Timer progress_timer;
+    while (true) {
+      MessageBatch mb;
+      if (hub_->Receive(id_, config_.comm_poll_us, &mb)) {
+        HandleMessage(mb);
+      }
+      FlushAllRequests();
+      if (progress_timer.ElapsedMicros() >= config_.progress_interval_us) {
+        SendProgress(/*final_report=*/false);
+        progress_timer.Restart();
+      }
+      if (stop_compers_.load(std::memory_order_acquire)) {
+        break;
+      }
+    }
+    // Drain any last control traffic, then report final state (the final
+    // report carries the last committed aggregator delta).
+    if (!output_dir_.empty()) FinalFlushOutput();
+    SendProgress(/*final_report=*/true);
+    final_sent_.store(true, std::memory_order_release);
+  }
+
+  void HandleMessage(const MessageBatch& mb) {
+    switch (mb.type) {
+      case MsgType::kVertexRequest: {
+        data_processed_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<VertexId> ids;
+        GT_CHECK_OK(DecodeVertexRequest(mb.payload, &ids));
+        Serializer ser;
+        ser.Write<uint64_t>(ids.size());
+        for (VertexId v : ids) {
+          auto it = local_.find(v);
+          GT_CHECK(it != local_.end())
+              << "request for vertex " << v << " not owned by worker " << id_;
+          SerializeValue(ser, it->second);
+        }
+        MessageBatch resp;
+        resp.src_worker = id_;
+        resp.dst_worker = mb.src_worker;
+        resp.type = MsgType::kVertexResponse;
+        resp.payload = ser.Release();
+        data_sent_.fetch_add(1, std::memory_order_relaxed);
+        hub_->Send(std::move(resp));
+        break;
+      }
+      case MsgType::kVertexResponse: {
+        data_processed_.fetch_add(1, std::memory_order_relaxed);
+        Deserializer des(mb.payload);
+        uint64_t n = 0;
+        GT_CHECK_OK(des.Read(&n));
+        for (uint64_t i = 0; i < n; ++i) {
+          VertexT v;
+          GT_CHECK_OK(DeserializeValue(des, &v));
+          std::vector<uint64_t> waiting = cache_.InsertResponse(std::move(v));
+          for (uint64_t tid : waiting) {
+            const int comper = ComperOfTaskId(tid);
+            GT_CHECK_LT(comper, static_cast<int>(engines_.size()));
+            engines_[comper]->OnVertexReady(tid);
+          }
+        }
+        break;
+      }
+      case MsgType::kTaskBatch: {
+        data_processed_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::string> records;
+        GT_CHECK_OK(DecodeRecordBatch(mb.payload, &records));
+        if (!records.empty()) {
+          std::string path;
+          GT_CHECK_OK(SpillFile::WriteBatch(spill_dir_, records, &path));
+          l_file_.PushBack(path);
+          stolen_batches_.fetch_add(1, std::memory_order_relaxed);
+          Trace(-1, TaskEvent::kStolenBatch);
+        }
+        break;
+      }
+      case MsgType::kStealOrder: {
+        int32_t dst = -1;
+        GT_CHECK_OK(DecodeStealOrder(mb.payload, &dst));
+        DonateTasks(dst);
+        break;
+      }
+      case MsgType::kAggregatorSync: {
+        AggT global{};
+        Deserializer des(mb.payload);
+        GT_CHECK_OK(DeserializeValue(des, &global));
+        agg_.SetGlobal(std::move(global));
+        break;
+      }
+      case MsgType::kCheckpointRequest: {
+        CheckpointRequest req;
+        GT_CHECK_OK(req.Decode(mb.payload));
+        DoCheckpoint(req.epoch);
+        break;
+      }
+      case MsgType::kTerminate: {
+        stop_compers_.store(true, std::memory_order_release);
+        break;
+      }
+      default:
+        LOG_FATAL << "worker " << id_ << ": unexpected message type "
+                  << static_cast<int>(mb.type);
+    }
+  }
+
+  /// Sends a batch of tasks to `dst` (executing a steal order): first from a
+  /// spilled file (newest batch, so the donor keeps its oldest work), else by
+  /// spawning fresh tasks from not-yet-spawned local vertices.
+  void DonateTasks(int dst) {
+    std::vector<std::string> records;
+    if (auto file = l_file_.TryPopBack()) {
+      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(*file, &records));
+    } else {
+      std::vector<VertexId> to_spawn;
+      ClaimSpawnBatch(config_.task_batch_size, &to_spawn);
+      if (!to_spawn.empty()) {
+        std::lock_guard<std::mutex> lock(steal_mutex_);
+        steal_runtime_->SetSink(&records);
+        for (VertexId v : to_spawn) steal_comper_->TaskSpawn(local_.at(v));
+        // Close any partial bundle per donation batch so no spawned state
+        // is ever stranded in the steal comper.
+        steal_comper_->SpawnFlush();
+        steal_runtime_->SetSink(nullptr);
+      }
+    }
+    if (records.empty()) return;
+    MessageBatch mb;
+    mb.src_worker = id_;
+    mb.dst_worker = dst;
+    mb.type = MsgType::kTaskBatch;
+    mb.payload = EncodeRecordBatch(records);
+    data_sent_.fetch_add(1, std::memory_order_relaxed);
+    hub_->Send(std::move(mb));
+  }
+
+  bool AllCompersIdle() const {
+    for (const auto& engine : engines_) {
+      if (!engine->IsIdle()) return false;
+    }
+    return true;
+  }
+
+  void SendProgress(bool final_report) {
+    ProgressReport report;
+    report.worker_id = id_;
+    report.final_report = final_report ? 1 : 0;
+    size_t queued = 0;
+    for (const auto& engine : engines_) queued += engine->QueueSize();
+    const size_t unspawned =
+        spawn_order_.size() -
+        std::min(next_spawn_.load(std::memory_order_relaxed),
+                 spawn_order_.size());
+    report.remaining_estimate =
+        static_cast<int64_t>(l_file_.Size()) * config_.task_batch_size +
+        static_cast<int64_t>(unspawned) + static_cast<int64_t>(queued);
+    report.idle = (SpawnDone() && l_file_.Empty() && AllCompersIdle()) ? 1 : 0;
+    report.data_sent = data_sent_.load(std::memory_order_acquire);
+    report.data_processed = data_processed_.load(std::memory_order_acquire);
+    report.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    report.task_iterations = task_iterations_.load(std::memory_order_relaxed);
+    report.tasks_finished = tasks_finished_.load(std::memory_order_relaxed);
+    report.spilled_batches = spilled_batches_.load(std::memory_order_relaxed);
+    report.stolen_batches = stolen_batches_.load(std::memory_order_relaxed);
+    report.vertex_requests =
+        cache_.stats().new_requests.load(std::memory_order_relaxed);
+    report.cache_hits = cache_.stats().hits.load(std::memory_order_relaxed);
+    report.cache_evictions =
+        cache_.stats().evictions.load(std::memory_order_relaxed);
+    report.peak_mem_bytes = mem_.peak();
+    for (const auto& engine : engines_) {
+      report.comper_idle_rounds += engine->IdleRounds();
+    }
+    {
+      Serializer ser;
+      SerializeValue(ser, agg_.TakeLocal());
+      report.agg_delta = ser.Release();
+    }
+    MessageBatch mb;
+    mb.src_worker = id_;
+    mb.dst_worker = master_id_;
+    mb.type = MsgType::kProgressReport;
+    mb.payload = report.Encode();
+    hub_->Send(std::move(mb));
+  }
+
+  // ---------------------------------------------------------------------
+  // Checkpointing (paper §V-B "Fault Tolerance").
+  // ---------------------------------------------------------------------
+
+  void MaybePark() {
+    if (!pause_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(pause_mutex_);
+    ++parked_;
+    pause_cv_.notify_all();
+    pause_cv_.wait(lock, [this] {
+      return !pause_.load(std::memory_order_acquire) ||
+             stop_compers_.load(std::memory_order_acquire);
+    });
+    --parked_;
+  }
+
+  void DoCheckpoint(uint64_t epoch) {
+    GT_CHECK(checkpoint_dfs_ != nullptr) << "checkpoint without a DFS";
+    // Park every comper between iterations so the snapshot is quiescent.
+    pause_.store(true, std::memory_order_release);
+    {
+      std::unique_lock<std::mutex> lock(pause_mutex_);
+      pause_cv_.wait(lock, [this] {
+        return parked_ == static_cast<int>(engines_.size());
+      });
+    }
+    std::vector<std::string> records;
+    for (auto& engine : engines_) engine->CollectCheckpointRecords(&records);
+    // Spilled files are checkpointed by content (they stay on local disk for
+    // the continuing run, which a failure would wipe).
+    for (const std::string& path : l_file_.Snapshot()) {
+      std::vector<std::string> batch;
+      GT_CHECK_OK(SpillFile::ReadBatch(path, &batch));
+      for (std::string& r : batch) records.push_back(std::move(r));
+    }
+    Serializer ser;
+    ser.Write<uint64_t>(next_spawn_.load(std::memory_order_relaxed));
+    ser.Write<uint64_t>(records.size());
+    for (const std::string& r : records) ser.WriteString(r);
+    const std::string key = "ckpt/" + std::to_string(epoch) + "/worker_" +
+                            std::to_string(id_);
+    GT_CHECK_OK(checkpoint_dfs_->Put(key, ser.data()));
+    // Resume mining before acking; the ack commits our aggregator delta.
+    pause_.store(false, std::memory_order_release);
+    pause_cv_.notify_all();
+    CheckpointAck ack;
+    ack.worker_id = id_;
+    ack.epoch = epoch;
+    {
+      Serializer agg_ser;
+      SerializeValue(agg_ser, agg_.TakeLocal());
+      ack.agg_delta = agg_ser.Release();
+    }
+    MessageBatch mb;
+    mb.src_worker = id_;
+    mb.dst_worker = master_id_;
+    mb.type = MsgType::kCheckpointAck;
+    mb.payload = ack.Encode();
+    hub_->Send(std::move(mb));
+  }
+
+  // ---------------------------------------------------------------------
+  // GC thread (paper §V-A): lazy eviction when T_cache overflows.
+  // ---------------------------------------------------------------------
+
+  void GcLoop() {
+    while (!stop_compers_.load(std::memory_order_acquire)) {
+      if (cache_.Overflowed()) {
+        const int64_t excess = cache_.ExcessOverCapacity();
+        if (excess > 0) cache_.EvictUpTo(excess);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.gc_interval_us));
+    }
+  }
+
+ public:
+  /// Wires the DFS used for checkpoints (set by the cluster before Start).
+  void SetCheckpointDfs(MiniDfs* dfs) { checkpoint_dfs_ = dfs; }
+
+  /// Enables Comper::Output, writing record batches under `dir`.
+  void SetOutputDir(std::string dir) { output_dir_ = std::move(dir); }
+
+  int64_t RecordsOutput() const {
+    return records_output_.load(std::memory_order_relaxed);
+  }
+
+  /// Trace ring (null when tracing is disabled).
+  const TraceRing* trace() const { return trace_.get(); }
+
+ private:
+  const int id_;
+  const JobConfig config_;
+  CommHub* hub_;
+  int master_id_;
+  TrimmerFn trimmer_;
+  const std::string spill_dir_;
+
+  std::unordered_map<VertexId, VertexT> local_;  // T_local
+  std::vector<VertexId> spawn_order_;
+  std::atomic<size_t> next_spawn_{0};
+
+  MemTracker mem_;
+  VertexCache<VertexT> cache_;  // T_cache
+  FileList l_file_;             // L_file
+  AggregatorState<ComperT> agg_;
+
+  std::vector<std::unique_ptr<ComperEngine>> engines_;
+  std::unique_ptr<ComperT> steal_comper_;
+  std::unique_ptr<StealRuntime> steal_runtime_;
+  std::mutex steal_mutex_;
+
+  struct RequestBuffer {
+    std::mutex mutex;
+    std::vector<VertexId> ids;
+  };
+  std::vector<RequestBuffer> request_buffers_;
+
+  MiniDfs* checkpoint_dfs_ = nullptr;
+
+  // task lifecycle tracing (JobConfig::enable_tracing)
+  std::unique_ptr<TraceRing> trace_;
+
+  // output collection
+  static constexpr size_t kOutputFlushRecords = 4096;
+  std::string output_dir_;
+  std::mutex output_mutex_;
+  std::vector<std::string> output_buffer_;
+  std::atomic<int64_t> records_output_{0};
+
+  // control
+  std::atomic<bool> stop_compers_{false};
+  std::atomic<bool> final_sent_{false};
+  std::atomic<bool> pause_{false};
+  std::mutex pause_mutex_;
+  std::condition_variable pause_cv_;
+  int parked_ = 0;
+  bool started_ = false;
+  std::vector<std::thread> threads_;
+
+  // counters
+  std::atomic<int64_t> data_sent_{0};
+  std::atomic<int64_t> data_processed_{0};
+  std::atomic<int64_t> tasks_spawned_{0};
+  std::atomic<int64_t> task_iterations_{0};
+  std::atomic<int64_t> tasks_finished_{0};
+  std::atomic<int64_t> spilled_batches_{0};
+  std::atomic<int64_t> stolen_batches_{0};
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_WORKER_H_

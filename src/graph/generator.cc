@@ -1,0 +1,169 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace gthinker {
+
+Graph Generator::ErdosRenyi(VertexId n, uint64_t m, uint64_t seed) {
+  GT_CHECK_GE(n, 2u);
+  Random rng(seed);
+  Graph g(n);
+  for (uint64_t i = 0; i < m; ++i) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph Generator::PowerLaw(VertexId n, double avg_degree, double exponent,
+                          uint64_t seed) {
+  GT_CHECK_GE(n, 2u);
+  GT_CHECK_GT(exponent, 1.0);
+  Random rng(seed);
+
+  // Sample a Pareto degree sequence, then rescale to the requested mean.
+  std::vector<double> raw(n);
+  double sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    // Inverse-CDF Pareto sample with shape (exponent - 1), xmin = 1.
+    double u = rng.NextDouble();
+    if (u < 1e-12) u = 1e-12;
+    raw[v] = std::pow(u, -1.0 / (exponent - 1.0));
+    // Cap extreme samples at n/4 so one vertex cannot absorb the graph.
+    raw[v] = std::min(raw[v], static_cast<double>(n) / 4.0);
+    sum += raw[v];
+  }
+  const double scale = avg_degree * n / sum;
+
+  // Build the stub list (configuration model).
+  std::vector<VertexId> stubs;
+  stubs.reserve(static_cast<size_t>(avg_degree * n) + n);
+  for (VertexId v = 0; v < n; ++v) {
+    uint32_t deg = static_cast<uint32_t>(std::lround(raw[v] * scale));
+    if (deg == 0) deg = 1;
+    for (uint32_t i = 0; i < deg; ++i) stubs.push_back(v);
+  }
+  // Fisher–Yates shuffle, then pair consecutive stubs.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.Uniform(i)]);
+  }
+  Graph g(n);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) g.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph Generator::Rmat(int scale, uint64_t edges, uint64_t seed) {
+  GT_CHECK_GT(scale, 0);
+  GT_CHECK_LE(scale, 30);
+  Random rng(seed);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;  // kD = 0.05
+  Graph g(n);
+  for (uint64_t e = 0; e < edges; ++e) {
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < kA) {
+        // top-left quadrant: no bits set
+      } else if (r < kA + kB) {
+        v |= 1;
+      } else if (r < kA + kB + kC) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) g.AddEdge(u, v);
+  }
+  g.Finalize();
+  return g;
+}
+
+Graph Generator::HubSkewed(VertexId n, VertexId hubs, uint32_t hub_degree,
+                           double background_avg_degree, uint64_t seed) {
+  GT_CHECK_GE(n, 2u);
+  GT_CHECK_LE(hubs, n);
+  Random rng(seed);
+  Graph g(n);
+  // Sparse random background.
+  const uint64_t background_edges =
+      static_cast<uint64_t>(background_avg_degree * n / 2.0);
+  for (uint64_t i = 0; i < background_edges; ++i) {
+    VertexId u = static_cast<VertexId>(rng.Uniform(n));
+    VertexId v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) g.AddEdge(u, v);
+  }
+  // Dense hubs. Hubs are random vertices; their neighborhoods overlap, which
+  // concentrates mining work in one region like BTC's dense core.
+  for (VertexId h = 0; h < hubs; ++h) {
+    const VertexId hub = static_cast<VertexId>(rng.Uniform(n));
+    for (uint32_t i = 0; i < hub_degree; ++i) {
+      const VertexId v = static_cast<VertexId>(rng.Uniform(n));
+      if (v != hub) g.AddEdge(hub, v);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+std::vector<Label> Generator::RandomLabels(VertexId n, Label num_labels,
+                                           uint64_t seed) {
+  GT_CHECK_GT(num_labels, 0);
+  Random rng(seed);
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = static_cast<Label>(rng.Uniform(num_labels));
+  }
+  return labels;
+}
+
+Dataset MakeDataset(const std::string& name, double scale) {
+  GT_CHECK_GT(scale, 0.0);
+  GT_CHECK_LE(scale, 1.0);
+  auto sz = [scale](VertexId full) {
+    VertexId v = static_cast<VertexId>(full * scale);
+    return std::max<VertexId>(v, 64);
+  };
+  // Sizes are laptop-scale stand-ins for Table II; relative density and skew
+  // between datasets mirror the originals (Friendster largest+dense, Orkut
+  // densest per-vertex, BTC most skewed).
+  if (name == "youtube") {
+    return {name, Generator::PowerLaw(sz(20000), 5.2, 2.4, /*seed=*/101)};
+  }
+  if (name == "skitter") {
+    return {name, Generator::PowerLaw(sz(34000), 13.0, 2.2, /*seed=*/202)};
+  }
+  if (name == "orkut") {
+    return {name, Generator::PowerLaw(sz(15000), 76.0, 2.6, /*seed=*/303)};
+  }
+  if (name == "btc") {
+    return {name, Generator::HubSkewed(sz(40000), /*hubs=*/40,
+                                       /*hub_degree=*/900,
+                                       /*background_avg_degree=*/2.2,
+                                       /*seed=*/404)};
+  }
+  if (name == "friendster") {
+    return {name, Generator::PowerLaw(sz(60000), 28.0, 2.5, /*seed=*/505)};
+  }
+  LOG_FATAL << "unknown dataset: " << name;
+  return {};
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"youtube", "skitter", "orkut", "btc", "friendster"};
+}
+
+}  // namespace gthinker

@@ -1,0 +1,58 @@
+#ifndef GTHINKER_GRAPH_GENERATOR_H_
+#define GTHINKER_GRAPH_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace gthinker {
+
+/// Deterministic synthetic graph generators. These stand in for the paper's
+/// real datasets (Table II): what the evaluation exercises is graph *density*
+/// and *degree skew*, which the generators control directly. Every generator
+/// is seeded, so repeated runs (and test expectations) see identical graphs.
+class Generator {
+ public:
+  /// Erdős–Rényi G(n, m): n vertices, ~m random undirected edges.
+  static Graph ErdosRenyi(VertexId n, uint64_t m, uint64_t seed);
+
+  /// Configuration-model power-law graph: degrees sampled from a Pareto-like
+  /// distribution with the given exponent (typical social networks: 2–3),
+  /// scaled so the mean degree is ~avg_degree; stubs paired at random,
+  /// self-loops and duplicate edges dropped.
+  static Graph PowerLaw(VertexId n, double avg_degree, double exponent,
+                        uint64_t seed);
+
+  /// R-MAT recursive generator (a,b,c,d = 0.57,0.19,0.19,0.05).
+  static Graph Rmat(int scale, uint64_t edges, uint64_t seed);
+
+  /// Hub-skewed graph imitating BTC's extremely uneven degree distribution:
+  /// `hubs` vertices each adjacent to a large random vertex subset, over a
+  /// sparse random background.
+  static Graph HubSkewed(VertexId n, VertexId hubs, uint32_t hub_degree,
+                         double background_avg_degree, uint64_t seed);
+
+  /// Uniformly-random vertex labels in [0, num_labels).
+  static std::vector<Label> RandomLabels(VertexId n, Label num_labels,
+                                         uint64_t seed);
+};
+
+/// One of the five dataset stand-ins used across the benchmarks.
+struct Dataset {
+  std::string name;
+  Graph graph;
+};
+
+/// Names: "youtube", "skitter", "orkut", "btc", "friendster".
+/// `scale` in (0, 1] shrinks vertex counts for fast tests (default full
+/// benchmark size, which is itself laptop-scale).
+Dataset MakeDataset(const std::string& name, double scale = 1.0);
+
+/// All five stand-ins in Table II order.
+std::vector<std::string> DatasetNames();
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_GRAPH_GENERATOR_H_

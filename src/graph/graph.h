@@ -1,0 +1,85 @@
+#ifndef GTHINKER_GRAPH_GRAPH_H_
+#define GTHINKER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Simple undirected graph stored as per-vertex sorted adjacency lists, the
+/// representation G-thinker's local vertex tables hold (each vertex v with
+/// Γ(v)). Vertices are 0..NumVertices()-1.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(VertexId num_vertices) : adj_(num_vertices) {}
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
+
+  /// Number of undirected edges (each counted once).
+  uint64_t NumEdges() const { return num_edges_; }
+
+  void Resize(VertexId num_vertices) { adj_.resize(num_vertices); }
+
+  /// Appends both directions; call Finalize() before queries. Self-loops are
+  /// ignored. Duplicate edges are removed by Finalize().
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Sorts and deduplicates every adjacency list and recomputes NumEdges.
+  void Finalize();
+
+  const AdjList& Neighbors(VertexId v) const { return adj_[v]; }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adj_[v].size());
+  }
+
+  /// Binary search on the (sorted) adjacency list.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t MaxDegree() const;
+  double AvgDegree() const;
+
+  /// Approximate heap bytes held by the adjacency structure.
+  int64_t MemoryBytes() const;
+
+  /// Returns the neighbors of v with IDs strictly greater than v (Γ_>(v)),
+  /// the trimmed lists used when following a set-enumeration tree.
+  AdjList GreaterNeighbors(VertexId v) const;
+
+ private:
+  std::vector<AdjList> adj_;
+  uint64_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+/// Undirected graph with a label per vertex, for subgraph matching.
+class LabeledGraph {
+ public:
+  LabeledGraph() = default;
+  LabeledGraph(Graph graph, std::vector<Label> labels)
+      : graph_(std::move(graph)), labels_(std::move(labels)) {}
+
+  const Graph& graph() const { return graph_; }
+  Graph* mutable_graph() { return &graph_; }
+
+  Label LabelOf(VertexId v) const { return labels_[v]; }
+  const std::vector<Label>& labels() const { return labels_; }
+  void SetLabels(std::vector<Label> labels) { labels_ = std::move(labels); }
+
+ private:
+  Graph graph_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_GRAPH_GRAPH_H_

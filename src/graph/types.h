@@ -1,0 +1,26 @@
+#ifndef GTHINKER_GRAPH_TYPES_H_
+#define GTHINKER_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gthinker {
+
+/// Vertex identifier. The paper hashes vertices to machines by ID (Pregel
+/// style) and orders set-enumeration trees by ID, so IDs are dense unsigned
+/// integers.
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Vertex label for labeled graphs (subgraph matching).
+using Label = uint16_t;
+
+/// An adjacency list: sorted, duplicate-free neighbor IDs.
+using AdjList = std::vector<VertexId>;
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_GRAPH_TYPES_H_

@@ -1,0 +1,75 @@
+#ifndef GTHINKER_NET_COMM_HUB_H_
+#define GTHINKER_NET_COMM_HUB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.h"
+#include "util/concurrent_queue.h"
+
+namespace gthinker {
+
+/// Per-worker inbox of message batches.
+using Mailbox = ConcurrentQueue<MessageBatch>;
+
+/// In-process interconnect between the workers of a simulated cluster
+/// (DESIGN.md substitution table). All inter-worker data crosses this hub as
+/// serialized batches — workers never touch each other's memory — so the code
+/// path is the same as a socket/MPI deployment, and the hub can impose
+/// latency and bandwidth costs on every batch.
+///
+/// Thread-safe: any worker thread may Send concurrently.
+class CommHub {
+ public:
+  explicit CommHub(int num_workers, NetConfig config = {});
+
+  int num_workers() const { return num_workers_; }
+  const NetConfig& config() const { return config_; }
+
+  /// Stamps the batch with its simulated delivery time and enqueues it at the
+  /// destination mailbox. FIFO order per (src,dst) link is preserved.
+  void Send(MessageBatch batch);
+
+  /// The destination-side receive: pops the next batch for `worker`, waiting
+  /// up to `timeout_us` real microseconds. Honors the batch's simulated
+  /// delivery time (sleeps out any remaining latency). Returns false on
+  /// timeout.
+  bool Receive(int worker, int64_t timeout_us, MessageBatch* out);
+
+  /// Monotonic hub clock, microseconds.
+  int64_t NowUs() const;
+
+  // --- wire statistics (for benches and termination detection) ---
+  int64_t TotalBatchesSent() const {
+    return batches_sent_.load(std::memory_order_acquire);
+  }
+  int64_t TotalBatchesDelivered() const {
+    return batches_delivered_.load(std::memory_order_acquire);
+  }
+  int64_t TotalBytesSent() const {
+    return bytes_sent_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Link {
+    /// Time at which the simulated link becomes free (bandwidth modeling).
+    std::atomic<int64_t> free_at_us{0};
+  };
+
+  Link& LinkFor(int src, int dst) { return links_[src * num_workers_ + dst]; }
+
+  const int num_workers_;
+  const NetConfig config_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<Link> links_;
+  std::atomic<int64_t> batches_sent_{0};
+  std::atomic<int64_t> batches_delivered_{0};
+  std::atomic<int64_t> bytes_sent_{0};
+  const int64_t epoch_us_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_NET_COMM_HUB_H_

@@ -1,0 +1,47 @@
+#ifndef GTHINKER_NET_MESSAGE_H_
+#define GTHINKER_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gthinker {
+
+/// Simulated interconnect parameters. Zero values mean "instantaneous".
+/// The defaults model nothing; benches pass GigE-like numbers when the
+/// experiment depends on communication cost (e.g. fig2_cost_crossover).
+struct NetConfig {
+  /// One-way per-batch latency, microseconds (GigE RTT/2 ≈ 50–100 µs).
+  int64_t latency_us = 0;
+  /// Link bandwidth in megabits/s; 0 = infinite.
+  double bandwidth_mbps = 0.0;
+};
+
+/// Kinds of batches moving between workers. Everything inter-worker — vertex
+/// pulls, responses, control/progress traffic, stolen task batches, aggregator
+/// sync — goes through this one framing, exactly like an MPI deployment.
+enum class MsgType : uint8_t {
+  kVertexRequest = 0,   // payload: u32 count + VertexId[count] + u64 task tag?
+  kVertexResponse = 1,  // payload: serialized (id, Γ(id)) records
+  kProgressReport = 2,  // worker -> master periodic progress
+  kStealOrder = 3,      // master -> busy worker: send tasks to idle worker
+  kTaskBatch = 4,       // busy worker -> idle worker: serialized tasks
+  kAggregatorSync = 5,  // worker <-> master partial aggregates
+  kTerminate = 6,       // master -> all: job done
+  kCheckpointRequest = 7,  // master -> all: snapshot state at this epoch
+  kCheckpointAck = 8,      // worker -> master: snapshot committed
+};
+
+/// One batch on the wire.
+struct MessageBatch {
+  int src_worker = -1;
+  int dst_worker = -1;
+  MsgType type = MsgType::kVertexRequest;
+  std::string payload;
+  /// Simulated delivery timestamp (microseconds on the hub clock); the
+  /// receiver must not process the batch before this instant.
+  int64_t deliver_at_us = 0;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_NET_MESSAGE_H_

@@ -1,0 +1,66 @@
+#ifndef GTHINKER_STORAGE_FILE_LIST_H_
+#define GTHINKER_STORAGE_FILE_LIST_H_
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace gthinker {
+
+/// The paper's L_file: a machine-wide concurrent list of spilled task-file
+/// metadata (Fig. 7). Compers push files when their queues overflow and pop
+/// files (FIFO, oldest first) when refilling; the stealing machinery pushes
+/// batches received from busy workers.
+class FileList {
+ public:
+  FileList() = default;
+
+  FileList(const FileList&) = delete;
+  FileList& operator=(const FileList&) = delete;
+
+  void PushBack(std::string path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files_.push_back(std::move(path));
+  }
+
+  /// FIFO pop: the oldest spilled batch is refilled first, which is what
+  /// keeps the number of disk-resident tasks minimal (§V-B).
+  std::optional<std::string> TryPopFront() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (files_.empty()) return std::nullopt;
+    std::string path = std::move(files_.front());
+    files_.pop_front();
+    return path;
+  }
+
+  /// Pop from the back: used when *donating* tasks to a stealing worker so
+  /// the donor keeps working on its oldest tasks.
+  std::optional<std::string> TryPopBack() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (files_.empty()) return std::nullopt;
+    std::string path = std::move(files_.back());
+    files_.pop_back();
+    return path;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return files_.size();
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  std::deque<std::string> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return files_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::string> files_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_STORAGE_FILE_LIST_H_

@@ -1,0 +1,34 @@
+#include "storage/partitioned_graph.h"
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gthinker {
+
+Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
+                                 const std::string& dir, int num_parts) {
+  if (num_parts <= 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  std::vector<std::string> parts(num_parts);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    std::string& out = parts[v % static_cast<VertexId>(num_parts)];
+    out += std::to_string(v);
+    out += '\t';
+    const AdjList& adj = graph.Neighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(adj[i]);
+    }
+    out += '\n';
+  }
+  for (int p = 0; p < num_parts; ++p) {
+    GT_RETURN_IF_ERROR(
+        dfs->Put(dir + "/part_" + std::to_string(p), parts[p]));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gthinker

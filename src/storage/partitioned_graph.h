@@ -1,0 +1,21 @@
+#ifndef GTHINKER_STORAGE_PARTITIONED_GRAPH_H_
+#define GTHINKER_STORAGE_PARTITIONED_GRAPH_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "storage/mini_dfs.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Splits a graph into `num_parts` adjacency-format part files
+/// (`<dir>/part_<i>`) on a MiniDfs, vertices assigned round-robin — the
+/// HDFS-style input layout that Cluster's DFS loading path consumes
+/// (Job::dfs + Job::dfs_graph_dir).
+Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
+                                 const std::string& dir, int num_parts);
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_STORAGE_PARTITIONED_GRAPH_H_

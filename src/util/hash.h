@@ -1,0 +1,27 @@
+#ifndef GTHINKER_UTIL_HASH_H_
+#define GTHINKER_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gthinker {
+
+/// 64-bit avalanche mix (splitmix64 finalizer). Used for vertex-to-bucket and
+/// vertex-to-worker hashing so that sequential IDs spread evenly.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_UTIL_HASH_H_

@@ -1,0 +1,71 @@
+#ifndef GTHINKER_UTIL_MEM_TRACKER_H_
+#define GTHINKER_UTIL_MEM_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gthinker {
+
+/// Explicit byte accounting for the structures whose growth the paper's
+/// memory columns report (vertex cache entries, task subgraphs, queues,
+/// materialized embeddings, in-flight messages). A process-wide RSS is
+/// meaningless in our one-process cluster simulation, so each engine consumes
+/// and releases bytes against trackers and peaks are reported per worker.
+///
+/// Thread-safe; Consume/Release are lock-free.
+class MemTracker {
+ public:
+  MemTracker() = default;
+
+  MemTracker(const MemTracker&) = delete;
+  MemTracker& operator=(const MemTracker&) = delete;
+
+  void Consume(int64_t bytes) {
+    int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free peak update; stale peaks are retried.
+    int64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Release(int64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int64_t current() const { return current_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> current_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// RAII consumption of a fixed number of bytes.
+class ScopedMem {
+ public:
+  ScopedMem(MemTracker* tracker, int64_t bytes)
+      : tracker_(tracker), bytes_(bytes) {
+    if (tracker_ != nullptr) tracker_->Consume(bytes_);
+  }
+  ~ScopedMem() {
+    if (tracker_ != nullptr) tracker_->Release(bytes_);
+  }
+
+  ScopedMem(const ScopedMem&) = delete;
+  ScopedMem& operator=(const ScopedMem&) = delete;
+
+ private:
+  MemTracker* tracker_;
+  int64_t bytes_;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_UTIL_MEM_TRACKER_H_

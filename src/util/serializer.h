@@ -1,0 +1,130 @@
+#ifndef GTHINKER_UTIL_SERIALIZER_H_
+#define GTHINKER_UTIL_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Append-only binary encoder. Tasks, messages, spill batches and checkpoints
+/// all serialize through this so that the bytes moved over the simulated
+/// network / written to disk are the real framing cost.
+///
+/// Encoding: little-endian fixed width for integral/floating types, u64
+/// length prefix for strings and vectors.
+class Serializer {
+ public:
+  Serializer() = default;
+
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Write requires a trivially copyable type");
+    const size_t old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &value, sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    const size_t old = buf_.size();
+    buf_.resize(old + s.size());
+    std::memcpy(buf_.data() + old, s.data(), s.size());
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "WriteVector requires trivially copyable elements");
+    Write<uint64_t>(v.size());
+    const size_t old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  void WriteBytes(const void* data, size_t n) {
+    const size_t old = buf_.size();
+    buf_.resize(old + n);
+    if (n > 0) std::memcpy(buf_.data() + old, data, n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Sequential binary decoder over a byte buffer (not owned). All reads are
+/// bounds-checked and report Corruption instead of over-reading.
+class Deserializer {
+ public:
+  Deserializer(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  explicit Deserializer(const std::string& buf)
+      : Deserializer(buf.data(), buf.size()) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Read requires a trivially copyable type");
+    if (pos_ + sizeof(T) > size_) {
+      return Status::Corruption("deserializer: read past end");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t n = 0;
+    GT_RETURN_IF_ERROR(Read(&n));
+    // Division-based bound: robust against overflow from garbage lengths.
+    if (n > size_ - pos_) {
+      return Status::Corruption("deserializer: string past end");
+    }
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ReadVector requires trivially copyable elements");
+    uint64_t n = 0;
+    GT_RETURN_IF_ERROR(Read(&n));
+    if (n > (size_ - pos_) / sizeof(T)) {
+      return Status::Corruption("deserializer: vector past end");
+    }
+    out->resize(n);
+    if (n > 0) {
+      std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    }
+    pos_ += n * sizeof(T);
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_UTIL_SERIALIZER_H_

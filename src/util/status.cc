@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+namespace gthinker {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kAborted:
+      return "Aborted";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace gthinker

@@ -1,0 +1,90 @@
+#ifndef GTHINKER_UTIL_STATUS_H_
+#define GTHINKER_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gthinker {
+
+/// Error-code based result type used throughout the library instead of
+/// exceptions (library code never throws). Modeled after the RocksDB /
+/// absl::Status idiom: a cheap value type that is OK by default and carries a
+/// code plus a human-readable message otherwise.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIoError,
+    kCorruption,
+    kOutOfRange,
+    kAborted,
+    kInternal,
+  };
+
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(Code::kIoError, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(Code::kOutOfRange, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code();
+}
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function. For use in functions returning Status.
+#define GT_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::gthinker::Status _gt_status = (expr);         \
+    if (!_gt_status.ok()) return _gt_status;        \
+  } while (0)
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_UTIL_STATUS_H_

@@ -1,0 +1,102 @@
+// Tests for the per-worker aggregator state and the app algebras.
+
+#include "core/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"
+
+namespace gthinker {
+namespace {
+
+TEST(AggregatorState, SumAlgebraAccumulates) {
+  AggregatorState<TriangleComper> agg;
+  agg.Aggregate(5);
+  agg.Aggregate(7);
+  EXPECT_EQ(agg.CurrentView(), 12u);
+}
+
+TEST(AggregatorState, TakeLocalResetsAndReturnsPartial) {
+  AggregatorState<TriangleComper> agg;
+  agg.Aggregate(5);
+  EXPECT_EQ(agg.TakeLocal(), 5u);
+  EXPECT_EQ(agg.TakeLocal(), 0u);  // reset to zero
+  EXPECT_EQ(agg.CurrentView(), 0u);
+}
+
+TEST(AggregatorState, CurrentViewMergesGlobalAndLocal) {
+  AggregatorState<TriangleComper> agg;
+  agg.SetGlobal(100);
+  agg.Aggregate(3);
+  EXPECT_EQ(agg.CurrentView(), 103u);
+  // Committing the local delta removes it from the view until the master
+  // broadcasts a fresh global.
+  EXPECT_EQ(agg.TakeLocal(), 3u);
+  EXPECT_EQ(agg.CurrentView(), 100u);
+  agg.SetGlobal(103);
+  EXPECT_EQ(agg.CurrentView(), 103u);
+}
+
+TEST(AggregatorState, NoDoubleCountingAcrossCommits) {
+  AggregatorState<TriangleComper> agg;
+  uint64_t master = 0;
+  for (int round = 0; round < 10; ++round) {
+    agg.Aggregate(1);
+    master += agg.TakeLocal();
+    agg.SetGlobal(master);
+  }
+  EXPECT_EQ(master, 10u);
+  EXPECT_EQ(agg.CurrentView(), 10u);
+}
+
+TEST(AggregatorState, ConcurrentAggregation) {
+  AggregatorState<TriangleComper> agg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&agg] {
+      for (int i = 0; i < 10000; ++i) agg.Aggregate(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(agg.CurrentView(), 40000u);
+}
+
+TEST(MaxCliqueAlgebra, LargerWins) {
+  using A = MaxCliqueComper;
+  EXPECT_EQ(A::AggMerge({1, 2, 3}, {4, 5}), (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(A::AggMerge({4, 5}, {1, 2, 3}), (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(MaxCliqueAlgebra, TieBreaksLexicographically) {
+  using A = MaxCliqueComper;
+  EXPECT_EQ(A::AggMerge({2, 9}, {1, 5}), (std::vector<VertexId>{1, 5}));
+  EXPECT_EQ(A::AggMerge({1, 5}, {2, 9}), (std::vector<VertexId>{1, 5}));
+}
+
+TEST(MaxCliqueAlgebra, ZeroIsIdentity) {
+  using A = MaxCliqueComper;
+  EXPECT_EQ(A::AggMerge(A::AggZero(), {7}), (std::vector<VertexId>{7}));
+  EXPECT_EQ(A::AggMerge({7}, A::AggZero()), (std::vector<VertexId>{7}));
+  EXPECT_TRUE(A::AggMerge(A::AggZero(), A::AggZero()).empty());
+}
+
+TEST(MaxCliqueAlgebra, AssociativeOnSamples) {
+  using A = MaxCliqueComper;
+  const std::vector<std::vector<VertexId>> samples = {
+      {}, {3}, {1, 2}, {2, 9}, {1, 5, 7}};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      for (const auto& c : samples) {
+        EXPECT_EQ(A::AggMerge(A::AggMerge(a, b), c),
+                  A::AggMerge(a, A::AggMerge(b, c)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,117 @@
+#include "util/concurrent_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace gthinker {
+namespace {
+
+TEST(ConcurrentQueue, FifoOrder) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto got = q.TryPop();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, i);
+  }
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(ConcurrentQueue, TryPopEmptyReturnsNullopt) {
+  ConcurrentQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(ConcurrentQueue, PushBatchPreservesOrder) {
+  ConcurrentQueue<int> q;
+  std::vector<int> items = {5, 6, 7};
+  q.PushBatch(items.begin(), items.end());
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(*q.TryPop(), 5);
+  EXPECT_EQ(*q.TryPop(), 6);
+  EXPECT_EQ(*q.TryPop(), 7);
+}
+
+TEST(ConcurrentQueue, TryPopBatchRespectsLimit) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.TryPopBatch(4, &out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.Size(), 6u);
+  out.clear();
+  EXPECT_EQ(q.TryPopBatch(100, &out), 6u);
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(ConcurrentQueue, PopForTimesOutOnEmpty) {
+  ConcurrentQueue<int> q;
+  auto got = q.PopFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(ConcurrentQueue, PopForWakesOnPush) {
+  ConcurrentQueue<int> q;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.Push(42);
+  });
+  auto got = q.PopFor(std::chrono::seconds(5));
+  producer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(ConcurrentQueue, ForEachSeesAllItemsWithoutRemoving) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  int sum = 0;
+  q.ForEach([&sum](const int& x) { sum += x; });
+  EXPECT_EQ(sum, 10);
+  EXPECT_EQ(q.Size(), 5u);
+}
+
+TEST(ConcurrentQueue, MoveOnlyPayload) {
+  ConcurrentQueue<std::unique_ptr<int>> q;
+  q.Push(std::make_unique<int>(9));
+  auto got = q.TryPop();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(**got, 9);
+}
+
+TEST(ConcurrentQueue, MpmcNoLossNoDuplication) {
+  ConcurrentQueue<int> q;
+  constexpr int kProducers = 4, kPerProducer = 500, kConsumers = 4;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        auto got = q.PopFor(std::chrono::milliseconds(50));
+        if (!got.has_value()) continue;
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        EXPECT_TRUE(seen.insert(*got).second) << "duplicate " << *got;
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,90 @@
+// Tests for JobConfig::Validate.
+
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace gthinker {
+namespace {
+
+TEST(ConfigValidate, DefaultsAreValid) {
+  EXPECT_TRUE(JobConfig{}.Validate().ok());
+}
+
+TEST(ConfigValidate, RejectsBadWorkerCounts) {
+  JobConfig c;
+  c.num_workers = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c.num_workers = -3;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c.num_workers = 1 << 17;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(ConfigValidate, RejectsBadComperCounts) {
+  JobConfig c;
+  c.compers_per_worker = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c.compers_per_worker = (1 << 16) + 1;  // task IDs carry 16-bit comper ids
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(ConfigValidate, RejectsBadCacheParameters) {
+  JobConfig c;
+  c.cache_capacity = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.cache_overflow_alpha = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.cache_num_buckets = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.cache_counter_delta = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigValidate, RejectsBadTaskParameters) {
+  JobConfig c;
+  c.task_batch_size = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.task_queue_capacity_batches = 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.inflight_task_cap = c.task_batch_size - 1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.request_batch_size = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigValidate, RejectsNegativeBudgetsAndWire) {
+  JobConfig c;
+  c.net.latency_us = -1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.net.bandwidth_mbps = -5.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.time_budget_s = -1.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = JobConfig{};
+  c.checkpoint_interval_us = -2;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigValidate, AcceptsAggressiveButLegalValues) {
+  JobConfig c;
+  c.num_workers = 16;
+  c.compers_per_worker = 16;
+  c.task_batch_size = 1;
+  c.inflight_task_cap = 1;
+  c.cache_capacity = 1;
+  c.cache_num_buckets = 1;
+  c.cache_overflow_alpha = 0.0;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,324 @@
+// End-to-end G-thinker jobs across cluster shapes, checked against serial
+// ground truth. These exercise spawning, pulling, the vertex cache, task
+// spilling, stealing, aggregation, and termination together.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/kernels.h"
+#include "apps/match_app.h"
+#include "apps/maxclique_app.h"
+#include "apps/quasiclique_app.h"
+#include "apps/triangle_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+#include "graph/loader.h"
+#include "storage/mini_dfs.h"
+
+namespace gthinker {
+namespace {
+
+struct Shape {
+  int workers;
+  int compers;
+};
+
+class ShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapeTest, TriangleCount) {
+  Graph g = Generator::PowerLaw(400, 8.0, 2.5, 71);
+  const uint64_t truth = CountTrianglesSerial(g);
+  ASSERT_GT(truth, 0u);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = GetParam().workers;
+  job.config.compers_per_worker = GetParam().compers;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+  EXPECT_FALSE(result.stats.timed_out);
+}
+
+TEST_P(ShapeTest, MaxClique) {
+  Graph g = Generator::ErdosRenyi(300, 3000, 72);
+  const size_t truth = MaxCliqueSerial(g).size();
+
+  Job<MaxCliqueComper> job;
+  job.config.num_workers = GetParam().workers;
+  job.config.compers_per_worker = GetParam().compers;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<MaxCliqueComper>(50); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<MaxCliqueComper>::Run(job);
+  EXPECT_EQ(result.result.size(), truth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeTest,
+    ::testing::Values(Shape{1, 1}, Shape{1, 4}, Shape{2, 2}, Shape{4, 1},
+                      Shape{4, 3}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      return "w" + std::to_string(info.param.workers) + "c" +
+             std::to_string(info.param.compers);
+    });
+
+TEST(Integration, MaxCliqueAnswerIsAClique) {
+  Graph g = Generator::PowerLaw(500, 12.0, 2.4, 73);
+  Job<MaxCliqueComper> job;
+  job.config.num_workers = 3;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<MaxCliqueComper>(60); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<MaxCliqueComper>::Run(job);
+  ASSERT_FALSE(result.result.empty());
+  for (size_t i = 0; i < result.result.size(); ++i) {
+    for (size_t j = i + 1; j < result.result.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(result.result[i], result.result[j]));
+    }
+  }
+  EXPECT_EQ(result.result.size(), MaxCliqueSerial(g).size());
+}
+
+TEST(Integration, SubgraphMatchTriangleQuery) {
+  Graph g = Generator::ErdosRenyi(250, 1800, 74);
+  auto labels = Generator::RandomLabels(g.NumVertices(), 3, 75);
+  const QueryGraph query = QueryGraph::Triangle(0, 1, 2);
+  const uint64_t truth = CountMatchesSerial(g, labels, query);
+  ASSERT_GT(truth, 0u);
+
+  Job<MatchComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.labels = &labels;
+  job.comper_factory = [&query] {
+    return std::make_unique<MatchComper>(query);
+  };
+  job.trimmer = [&query](Vertex<LabeledAdj>& v) {
+    MatchComper::TrimByQuery(query, v);
+  };
+  auto result = Cluster<MatchComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+}
+
+TEST(Integration, SubgraphMatchTwoHopQuery) {
+  Graph g = Generator::ErdosRenyi(120, 500, 76);
+  auto labels = Generator::RandomLabels(g.NumVertices(), 2, 77);
+  const QueryGraph query = QueryGraph::Path3(0, 1, 0);  // depth 2
+  const uint64_t truth = CountMatchesSerial(g, labels, query);
+
+  Job<MatchComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.labels = &labels;
+  job.comper_factory = [&query] {
+    return std::make_unique<MatchComper>(query);
+  };
+  auto result = Cluster<MatchComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+}
+
+TEST(Integration, QuasiCliqueMatchesSerial) {
+  Graph g = Generator::ErdosRenyi(40, 90, 78);
+  const auto truth = LargestQuasiCliqueSerial(g, 0.6, 3);
+
+  Job<QuasiCliqueComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] {
+    return std::make_unique<QuasiCliqueComper>(0.6, 3);
+  };
+  auto result = Cluster<QuasiCliqueComper>::Run(job);
+  EXPECT_EQ(result.result.size(), truth.size());
+}
+
+TEST(Integration, TinyTaskBatchForcesSpills) {
+  // C=4, queue cap 12: heavy spilling must not change the answer.
+  Graph g = Generator::PowerLaw(300, 10.0, 2.4, 79);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.config.task_batch_size = 4;
+  job.config.inflight_task_cap = 32;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+}
+
+TEST(Integration, TinyCacheForcesEviction) {
+  Graph g = Generator::PowerLaw(400, 10.0, 2.4, 80);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 3;
+  job.config.compers_per_worker = 2;
+  job.config.cache_capacity = 64;  // far below the working set
+  job.config.cache_num_buckets = 16;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+  EXPECT_GT(result.stats.cache_evictions, 0);
+}
+
+TEST(Integration, StealingStillCorrectOnSkewedGraph) {
+  // A hub-heavy graph concentrates work; stealing must not lose tasks.
+  Graph g = Generator::HubSkewed(500, 6, 120, 2.0, 81);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 4;
+  job.config.compers_per_worker = 1;
+  job.config.enable_stealing = true;
+  job.config.task_batch_size = 8;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+}
+
+TEST(Integration, StealingDisabledAlsoCorrect) {
+  Graph g = Generator::HubSkewed(400, 4, 100, 2.0, 82);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 4;
+  job.config.compers_per_worker = 1;
+  job.config.enable_stealing = false;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+  EXPECT_EQ(result.stats.stolen_batches, 0);
+}
+
+TEST(Integration, SimulatedLatencyStillCorrect) {
+  Graph g = Generator::ErdosRenyi(150, 900, 83);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.config.net.latency_us = 500;
+  job.config.net.bandwidth_mbps = 100.0;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+}
+
+TEST(Integration, LoadFromDfsPartFiles) {
+  Graph g = Generator::ErdosRenyi(200, 1200, 84);
+  const uint64_t truth = CountTrianglesSerial(g);
+
+  // Split the adjacency lines over three part files, HDFS style.
+  const std::string dir = MakeTempDir("dfs_input");
+  MiniDfs dfs(dir);
+  {
+    std::string parts[3];
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      std::string line = std::to_string(v) + "\t";
+      const AdjList& adj = g.Neighbors(v);
+      for (size_t i = 0; i < adj.size(); ++i) {
+        if (i > 0) line += ' ';
+        line += std::to_string(adj[i]);
+      }
+      parts[v % 3] += line + "\n";
+    }
+    for (int p = 0; p < 3; ++p) {
+      ASSERT_TRUE(
+          dfs.Put("graph/part_" + std::to_string(p), parts[p]).ok());
+    }
+  }
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.dfs = &dfs;
+  job.dfs_graph_dir = "graph";
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+  RemoveTree(dir);
+}
+
+TEST(Integration, TimeBudgetAborts) {
+  // A TC job that takes far longer than the budget must abort at a task
+  // boundary and report the timeout (the paper's ">24 hr" entries).
+  Graph g = Generator::PowerLaw(20000, 40.0, 2.3, 85);
+  Job<TriangleComper> job;
+  job.config.num_workers = 1;
+  job.config.compers_per_worker = 1;
+  job.config.time_budget_s = 0.02;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_TRUE(result.stats.timed_out);
+}
+
+TEST(Integration, StatsAreConsistent) {
+  Graph g = Generator::ErdosRenyi(200, 1500, 86);
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  const JobStats& s = result.stats;
+  EXPECT_EQ(s.tasks_spawned, s.tasks_finished);  // TC tasks are one-shot
+  EXPECT_GE(s.task_iterations, s.tasks_finished);
+  EXPECT_EQ(s.peak_mem_bytes.size(), 2u);
+  EXPECT_GT(s.max_peak_mem_bytes, 0);
+  EXPECT_GT(s.elapsed_s, 0.0);
+  EXPECT_GT(s.batches_sent, 0);
+}
+
+TEST(Integration, EmptyishGraphTerminates) {
+  Graph g(50);  // no edges at all
+  g.Finalize();
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, 0u);
+}
+
+TEST(Integration, MaxCliqueDecompositionPathExercised) {
+  // τ=4 forces deep task decomposition through AddTask/spill machinery.
+  Graph g = Generator::ErdosRenyi(120, 1500, 87);
+  const size_t truth = MaxCliqueSerial(g).size();
+  Job<MaxCliqueComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.config.task_batch_size = 8;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<MaxCliqueComper>(4); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<MaxCliqueComper>::Run(job);
+  EXPECT_EQ(result.result.size(), truth);
+  EXPECT_GT(result.stats.tasks_spawned, static_cast<int64_t>(0));
+}
+
+}  // namespace
+}  // namespace gthinker

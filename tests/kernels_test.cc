@@ -1,0 +1,337 @@
+// Property tests for the serial mining kernels against brute-force oracles.
+
+#include "apps/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generator.h"
+
+namespace gthinker {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Brute-force oracles (exponential; tiny graphs only).
+// ---------------------------------------------------------------------------
+
+bool IsCliqueSet(const Graph& g, const std::vector<VertexId>& s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    for (size_t j = i + 1; j < s.size(); ++j) {
+      if (!g.HasEdge(s[i], s[j])) return false;
+    }
+  }
+  return true;
+}
+
+size_t BruteMaxCliqueSize(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  EXPECT_LE(n, 18u);
+  size_t best = 0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> s;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.push_back(v);
+    }
+    if (s.size() > best && IsCliqueSet(g, s)) best = s.size();
+  }
+  return best;
+}
+
+uint64_t BruteTriangles(const Graph& g) {
+  uint64_t count = 0;
+  const VertexId n = g.NumVertices();
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t BruteMatches(const Graph& g, const std::vector<Label>& labels,
+                      const QueryGraph& q) {
+  // Enumerate all injective mappings (tiny graphs only).
+  const int k = q.NumVertices();
+  const VertexId n = g.NumVertices();
+  std::vector<VertexId> mapping(k);
+  std::vector<bool> used(n, false);
+  uint64_t count = 0;
+  std::function<void(int)> rec = [&](int qi) {
+    if (qi == k) {
+      ++count;
+      return;
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (used[v] || labels[v] != q.labels[qi]) continue;
+      bool ok = true;
+      for (int u : q.adj[qi]) {
+        if (u < qi && !g.HasEdge(mapping[u], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      used[v] = true;
+      mapping[qi] = v;
+      rec(qi + 1);
+      used[v] = false;
+    }
+  };
+  rec(0);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Max clique.
+// ---------------------------------------------------------------------------
+
+class CliqueSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CliqueSeedTest, MatchesBruteForceOnTinyGraphs) {
+  Graph g = Generator::ErdosRenyi(14, 40, GetParam());
+  const size_t brute = BruteMaxCliqueSize(g);
+  const std::vector<VertexId> found = MaxCliqueSerial(g);
+  EXPECT_EQ(found.size(), brute);
+  EXPECT_TRUE(IsCliqueSet(g, found));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliqueSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(MaxClique, PlantedCliqueIsFound) {
+  Graph g = Generator::ErdosRenyi(100, 300, 5);
+  // Plant an 8-clique on fixed vertices.
+  const std::vector<VertexId> planted = {3, 17, 25, 40, 55, 61, 77, 90};
+  for (size_t i = 0; i < planted.size(); ++i) {
+    for (size_t j = i + 1; j < planted.size(); ++j) {
+      g.AddEdge(planted[i], planted[j]);
+    }
+  }
+  g.Finalize();
+  const auto found = MaxCliqueSerial(g);
+  EXPECT_GE(found.size(), 8u);
+  EXPECT_TRUE(IsCliqueSet(g, found));
+}
+
+TEST(MaxClique, LowerBoundPrunes) {
+  Graph g = Generator::ErdosRenyi(50, 200, 6);
+  const size_t best = MaxCliqueSerial(g).size();
+  // Asking for strictly-more-than-best yields nothing.
+  EXPECT_TRUE(MaxCliqueInCompact(CompactFromGraph(g), best).empty());
+  // Asking with bound best-1 re-finds a maximum clique.
+  EXPECT_EQ(MaxCliqueInCompact(CompactFromGraph(g), best - 1).size(), best);
+}
+
+TEST(MaxClique, EmptyAndSingleVertexGraphs) {
+  Graph empty(0);
+  empty.Finalize();
+  EXPECT_TRUE(MaxCliqueSerial(empty).empty());
+  Graph one(1);
+  one.Finalize();
+  EXPECT_EQ(MaxCliqueSerial(one).size(), 1u);
+}
+
+TEST(MaxClique, EdgelessGraphGivesSingleton) {
+  Graph g(5);
+  g.Finalize();
+  EXPECT_EQ(MaxCliqueSerial(g).size(), 1u);
+}
+
+TEST(CompactFromSubgraph, SymmetrizesTrimmedLists) {
+  // Subgraph adjacency holds only Γ_> entries, as MCF tasks build them.
+  Subgraph<Vertex<AdjList>> g;
+  g.AddVertex({1, {2, 3}});
+  g.AddVertex({2, {3}});
+  g.AddVertex({3, {}});
+  const CompactGraph cg = CompactFromSubgraph(g);
+  EXPECT_TRUE(cg.HasEdge(0, 1));
+  EXPECT_TRUE(cg.HasEdge(1, 0));
+  EXPECT_TRUE(cg.HasEdge(2, 0));
+  EXPECT_TRUE(cg.HasEdge(2, 1));
+  EXPECT_EQ(MaxCliqueInCompact(cg, 0).size(), 3u);
+}
+
+TEST(CompactFromSubgraph, DropsOutOfSubgraphNeighbors) {
+  Subgraph<Vertex<AdjList>> g;
+  g.AddVertex({1, {2, 99}});  // 99 not in subgraph
+  g.AddVertex({2, {}});
+  const CompactGraph cg = CompactFromSubgraph(g);
+  EXPECT_EQ(cg.NumVertices(), 2);
+  EXPECT_EQ(cg.adj[0].size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Triangles.
+// ---------------------------------------------------------------------------
+
+class TriangleSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangleSeedTest, MatchesBruteForce) {
+  Graph g = Generator::ErdosRenyi(40, 150, GetParam());
+  EXPECT_EQ(CountTrianglesSerial(g), BruteTriangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleSeedTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(Triangles, KnownSmallCases) {
+  Graph triangle;
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  triangle.Finalize();
+  EXPECT_EQ(CountTrianglesSerial(triangle), 1u);
+
+  Graph k4;
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) k4.AddEdge(i, j);
+  }
+  k4.Finalize();
+  EXPECT_EQ(CountTrianglesSerial(k4), 4u);
+
+  Graph path;
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  path.Finalize();
+  EXPECT_EQ(CountTrianglesSerial(path), 0u);
+}
+
+TEST(Triangles, SortedIntersectionCountBasics) {
+  EXPECT_EQ(SortedIntersectionCount({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(SortedIntersectionCount({}, {1}), 0u);
+  EXPECT_EQ(SortedIntersectionCount({5}, {5}), 1u);
+  EXPECT_EQ(SortedIntersectionCount({1, 3, 5}, {2, 4, 6}), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Subgraph matching.
+// ---------------------------------------------------------------------------
+
+class MatchSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatchSeedTest, TriangleQueryMatchesBruteForce) {
+  Graph g = Generator::ErdosRenyi(30, 120, GetParam());
+  auto labels = Generator::RandomLabels(g.NumVertices(), 3, GetParam() + 1);
+  const QueryGraph q = QueryGraph::Triangle(0, 1, 2);
+  EXPECT_EQ(CountMatchesSerial(g, labels, q), BruteMatches(g, labels, q));
+}
+
+TEST_P(MatchSeedTest, PathQueryMatchesBruteForce) {
+  Graph g = Generator::ErdosRenyi(30, 100, GetParam());
+  auto labels = Generator::RandomLabels(g.NumVertices(), 2, GetParam() + 2);
+  const QueryGraph q = QueryGraph::Path3(0, 1, 0);
+  EXPECT_EQ(CountMatchesSerial(g, labels, q), BruteMatches(g, labels, q));
+}
+
+TEST_P(MatchSeedTest, StarQueryMatchesBruteForce) {
+  Graph g = Generator::ErdosRenyi(25, 80, GetParam());
+  auto labels = Generator::RandomLabels(g.NumVertices(), 2, GetParam() + 3);
+  const QueryGraph q = QueryGraph::Star(0, {1, 1});
+  EXPECT_EQ(CountMatchesSerial(g, labels, q), BruteMatches(g, labels, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchSeedTest,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+TEST(QueryGraph, Properties) {
+  const QueryGraph tri = QueryGraph::Triangle(0, 1, 2);
+  EXPECT_EQ(tri.NumVertices(), 3);
+  EXPECT_TRUE(tri.IsValidPlan());
+  EXPECT_EQ(tri.DepthFromRoot(), 1);
+  EXPECT_TRUE(tri.UsesLabel(1));
+  EXPECT_FALSE(tri.UsesLabel(9));
+
+  const QueryGraph path = QueryGraph::Path3(0, 1, 2);
+  EXPECT_EQ(path.DepthFromRoot(), 2);
+  EXPECT_TRUE(path.IsValidPlan());
+
+  const QueryGraph star = QueryGraph::Star(5, {6, 7, 8});
+  EXPECT_EQ(star.NumVertices(), 4);
+  EXPECT_EQ(star.DepthFromRoot(), 1);
+  EXPECT_TRUE(star.IsValidPlan());
+}
+
+TEST(QueryGraph, InvalidPlanDetected) {
+  QueryGraph q;
+  q.labels = {0, 1, 2};
+  q.adj = {{1}, {0}, {}};  // vertex 2 disconnected from earlier vertices
+  EXPECT_FALSE(q.IsValidPlan());
+}
+
+// ---------------------------------------------------------------------------
+// Quasi-cliques.
+// ---------------------------------------------------------------------------
+
+TEST(QuasiClique, IsQuasiCliqueBasics) {
+  Graph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  g.AddEdge(0, 2);
+  g.Finalize();
+  const CompactGraph cg = CompactFromGraph(g);
+  // {0,1,2,3}: degrees 3,2,3,2; γ=0.6 needs >= 1.8 per vertex => OK.
+  EXPECT_TRUE(IsQuasiClique(cg, {0, 1, 2, 3}, 0.6));
+  // γ=0.9 needs >= 2.7 per vertex => vertices 1,3 fail.
+  EXPECT_FALSE(IsQuasiClique(cg, {0, 1, 2, 3}, 0.9));
+  // A full triangle is a 1.0-quasi-clique.
+  EXPECT_TRUE(IsQuasiClique(cg, {0, 1, 2}, 1.0));
+  // Singletons always qualify.
+  EXPECT_TRUE(IsQuasiClique(cg, {1}, 1.0));
+}
+
+TEST(QuasiClique, CliqueIsAlwaysFound) {
+  Graph g;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) g.AddEdge(i, j);
+  }
+  g.AddEdge(4, 5);  // pendant
+  g.Finalize();
+  const auto best = LargestQuasiCliqueSerial(g, 0.8, 3);
+  EXPECT_EQ(best.size(), 5u);
+}
+
+TEST(QuasiClique, FindsDenseNonClique) {
+  // K5 minus one edge: every vertex still has >= 0.75*(5-1) = 3 neighbors.
+  Graph g;
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      if (!(i == 0 && j == 1)) g.AddEdge(i, j);
+    }
+  }
+  g.Finalize();
+  const auto best = LargestQuasiCliqueSerial(g, 0.75, 3);
+  EXPECT_EQ(best.size(), 5u);
+  // At γ=1.0 only the intact K4s qualify.
+  const auto strict = LargestQuasiCliqueSerial(g, 1.0, 3);
+  EXPECT_EQ(strict.size(), 4u);
+}
+
+TEST(QuasiClique, RespectsMinSize) {
+  Graph g;
+  g.AddEdge(0, 1);
+  g.Finalize();
+  EXPECT_TRUE(LargestQuasiCliqueSerial(g, 0.5, 3).empty());
+  EXPECT_EQ(LargestQuasiCliqueSerial(g, 0.5, 2).size(), 2u);
+}
+
+TEST(QuasiClique, VerifiedAgainstDefinitionOnRandomGraphs) {
+  for (uint64_t seed : {31, 32, 33}) {
+    Graph g = Generator::ErdosRenyi(18, 60, seed);
+    const auto best = LargestQuasiCliqueSerial(g, 0.6, 3);
+    if (best.empty()) continue;
+    const CompactGraph cg = CompactFromGraph(g);
+    std::vector<int> s(best.begin(), best.end());
+    EXPECT_TRUE(IsQuasiClique(cg, s, 0.6));
+    EXPECT_GE(best.size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,87 @@
+// Process-level lifecycle tests: several jobs in sequence, different apps
+// back-to-back, and two clusters running concurrently in one process must
+// not interfere (separate hubs, spill dirs, caches).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "apps/kernels.h"
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+
+namespace gthinker {
+namespace {
+
+RunResult<TriangleComper> RunTc(const Graph& g, int workers) {
+  Job<TriangleComper> job;
+  job.config.num_workers = workers;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  return Cluster<TriangleComper>::Run(job);
+}
+
+TEST(MultiJob, RepeatedJobsAreDeterministic) {
+  Graph g = Generator::PowerLaw(300, 9.0, 2.4, 701);
+  const uint64_t truth = CountTrianglesSerial(g);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(RunTc(g, 3).result, truth) << "round " << round;
+  }
+}
+
+TEST(MultiJob, DifferentAppsBackToBack) {
+  Graph g = Generator::ErdosRenyi(250, 2200, 702);
+  const uint64_t tc_truth = CountTrianglesSerial(g);
+  const size_t mcf_truth = MaxCliqueSerial(g).size();
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(RunTc(g, 2).result, tc_truth);
+    Job<MaxCliqueComper> job;
+    job.config.num_workers = 2;
+    job.config.compers_per_worker = 2;
+    job.graph = &g;
+    job.comper_factory = [] { return std::make_unique<MaxCliqueComper>(40); };
+    job.trimmer = TrimToGreater;
+    EXPECT_EQ(Cluster<MaxCliqueComper>::Run(job).result.size(), mcf_truth);
+  }
+}
+
+TEST(MultiJob, ConcurrentClustersDoNotInterfere) {
+  Graph g1 = Generator::PowerLaw(250, 8.0, 2.5, 703);
+  Graph g2 = Generator::PowerLaw(300, 7.0, 2.4, 704);
+  const uint64_t truth1 = CountTrianglesSerial(g1);
+  const uint64_t truth2 = CountTrianglesSerial(g2);
+
+  uint64_t result1 = 0, result2 = 0;
+  std::thread t1([&] { result1 = RunTc(g1, 2).result; });
+  std::thread t2([&] { result2 = RunTc(g2, 2).result; });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(result1, truth1);
+  EXPECT_EQ(result2, truth2);
+}
+
+TEST(MultiJob, WorkerCountAboveVertexCount) {
+  // More workers than vertices: some workers own nothing and must still
+  // participate in termination correctly.
+  Graph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.Finalize();
+  auto result = RunTc(g, 6);
+  EXPECT_EQ(result.result, 1u);
+}
+
+TEST(MultiJob, SingleVertexGraph) {
+  Graph g(1);
+  g.Finalize();
+  EXPECT_EQ(RunTc(g, 2).result, 0u);
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,34 @@
+// End-to-end smoke: a full distributed TC job on a small random graph must
+// match the serial count. Exercises the whole core stack (cluster, workers,
+// compers, cache, comm, termination).
+
+#include <gtest/gtest.h>
+
+#include "apps/kernels.h"
+#include "apps/triangle_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+
+namespace gthinker {
+namespace {
+
+TEST(Smoke, TriangleCountMatchesSerial) {
+  Graph g = Generator::ErdosRenyi(200, 1500, /*seed=*/42);
+  const uint64_t truth = CountTrianglesSerial(g);
+  ASSERT_GT(truth, 0u);
+
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+
+  RunResult<TriangleComper> result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+  EXPECT_FALSE(result.stats.timed_out);
+  EXPECT_GT(result.stats.tasks_finished, 0);
+}
+
+}  // namespace
+}  // namespace gthinker

@@ -1,0 +1,63 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace gthinker {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryOk) { EXPECT_TRUE(Status::Ok().ok()); }
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(Status, AllCodesDistinct) {
+  EXPECT_NE(Status::InvalidArgument("x").code(), Status::NotFound("x").code());
+  EXPECT_NE(Status::IoError("x").code(), Status::Corruption("x").code());
+  EXPECT_NE(Status::OutOfRange("x").code(), Status::Aborted("x").code());
+  EXPECT_NE(Status::Internal("x").code(), Status::Ok().code());
+}
+
+TEST(Status, PredicateHelpers) {
+  EXPECT_TRUE(Status::IoError("e").IsIoError());
+  EXPECT_TRUE(Status::InvalidArgument("e").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("e").IsCorruption());
+  EXPECT_FALSE(Status::IoError("e").IsNotFound());
+}
+
+TEST(Status, EqualityComparesCodesOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+Status FailsThrough() {
+  GT_RETURN_IF_ERROR(Status::Corruption("inner"));
+  return Status::Ok();
+}
+Status PassesThrough() {
+  GT_RETURN_IF_ERROR(Status::Ok());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsThrough().IsCorruption());
+  EXPECT_TRUE(PassesThrough().IsInvalidArgument());
+}
+
+TEST(Status, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+}  // namespace
+}  // namespace gthinker

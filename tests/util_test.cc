@@ -1,0 +1,175 @@
+// Tests for MemTracker, Random, Timer, SpinLock, and hashing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/mem_tracker.h"
+#include "util/random.h"
+#include "util/spinlock.h"
+#include "util/timer.h"
+
+namespace gthinker {
+namespace {
+
+TEST(MemTracker, ConsumeReleaseTracksCurrent) {
+  MemTracker mem;
+  mem.Consume(100);
+  EXPECT_EQ(mem.current(), 100);
+  mem.Consume(50);
+  EXPECT_EQ(mem.current(), 150);
+  mem.Release(120);
+  EXPECT_EQ(mem.current(), 30);
+}
+
+TEST(MemTracker, PeakIsHighWaterMark) {
+  MemTracker mem;
+  mem.Consume(100);
+  mem.Release(100);
+  mem.Consume(40);
+  EXPECT_EQ(mem.peak(), 100);
+  mem.Consume(200);
+  EXPECT_EQ(mem.peak(), 240);
+}
+
+TEST(MemTracker, ResetClearsBoth) {
+  MemTracker mem;
+  mem.Consume(10);
+  mem.Reset();
+  EXPECT_EQ(mem.current(), 0);
+  EXPECT_EQ(mem.peak(), 0);
+}
+
+TEST(MemTracker, ScopedMemReleasesOnDestruction) {
+  MemTracker mem;
+  {
+    ScopedMem scope(&mem, 64);
+    EXPECT_EQ(mem.current(), 64);
+  }
+  EXPECT_EQ(mem.current(), 0);
+  EXPECT_EQ(mem.peak(), 64);
+}
+
+TEST(MemTracker, ConcurrentConsumersBalance) {
+  MemTracker mem;
+  constexpr int kThreads = 4, kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mem] {
+      for (int i = 0; i < kOps; ++i) {
+        mem.Consume(8);
+        mem.Release(8);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mem.current(), 0);
+  EXPECT_GE(mem.peak(), 8);
+}
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const uint64_t x = rng.UniformRange(5, 15);
+    EXPECT_GE(x, 5u);
+    EXPECT_LT(x, 15u);
+  }
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, BernoulliRoughlyCalibrated) {
+  Random rng(7);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, ReseedRestartsSequence) {
+  Random rng(9);
+  const uint64_t first = rng.Next64();
+  rng.Next64();
+  rng.Seed(9);
+  EXPECT_EQ(rng.Next64(), first);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedMicros(), 15000);
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  t.Restart();
+  EXPECT_LT(t.ElapsedMicros(), 15000);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 20000);
+}
+
+TEST(SpinLock, TryLockFailsWhenHeld) {
+  SpinLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Flipping one input bit should flip many output bits on average.
+  int total_flips = 0;
+  for (uint64_t x = 1; x < 100; ++x) {
+    const uint64_t base = Mix64(x);
+    const uint64_t flipped = Mix64(x ^ 1);
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  EXPECT_GT(total_flips / 99, 20);  // ~32 expected for a good mixer
+}
+
+TEST(Hash, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace gthinker
