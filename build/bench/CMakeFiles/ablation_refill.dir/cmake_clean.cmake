@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refill.dir/ablation_refill.cc.o"
+  "CMakeFiles/ablation_refill.dir/ablation_refill.cc.o.d"
+  "ablation_refill"
+  "ablation_refill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

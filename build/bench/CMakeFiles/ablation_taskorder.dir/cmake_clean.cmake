@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_taskorder.dir/ablation_taskorder.cc.o"
+  "CMakeFiles/ablation_taskorder.dir/ablation_taskorder.cc.o.d"
+  "ablation_taskorder"
+  "ablation_taskorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_taskorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

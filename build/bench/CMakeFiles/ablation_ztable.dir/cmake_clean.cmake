@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ztable.dir/ablation_ztable.cc.o"
+  "CMakeFiles/ablation_ztable.dir/ablation_ztable.cc.o.d"
+  "ablation_ztable"
+  "ablation_ztable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ztable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_ztable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cost_crossover.dir/fig2_cost_crossover.cc.o"
+  "CMakeFiles/fig2_cost_crossover.dir/fig2_cost_crossover.cc.o.d"
+  "fig2_cost_crossover"
+  "fig2_cost_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cost_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singlemachine_comparison.dir/singlemachine_comparison.cc.o"
+  "CMakeFiles/singlemachine_comparison.dir/singlemachine_comparison.cc.o.d"
+  "singlemachine_comparison"
+  "singlemachine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singlemachine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_systems.dir/table3_systems.cc.o"
+  "CMakeFiles/table3_systems.dir/table3_systems.cc.o.d"
+  "table3_systems"
+  "table3_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4a_horizontal.dir/table4a_horizontal.cc.o"
+  "CMakeFiles/table4a_horizontal.dir/table4a_horizontal.cc.o.d"
+  "table4a_horizontal"
+  "table4a_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4a_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

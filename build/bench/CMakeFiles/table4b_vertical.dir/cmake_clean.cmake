@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4b_vertical.dir/table4b_vertical.cc.o"
+  "CMakeFiles/table4b_vertical.dir/table4b_vertical.cc.o.d"
+  "table4b_vertical"
+  "table4b_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4b_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

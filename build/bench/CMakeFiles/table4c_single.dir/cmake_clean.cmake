@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4c_single.dir/table4c_single.cc.o"
+  "CMakeFiles/table4c_single.dir/table4c_single.cc.o.d"
+  "table4c_single"
+  "table4c_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4c_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

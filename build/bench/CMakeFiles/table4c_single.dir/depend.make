@@ -1,0 +1,2 @@
+# Empty dependencies file for table4c_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5a_cache.dir/table5a_cache.cc.o"
+  "CMakeFiles/table5a_cache.dir/table5a_cache.cc.o.d"
+  "table5a_cache"
+  "table5a_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5a_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5b_alpha.dir/table5b_alpha.cc.o"
+  "CMakeFiles/table5b_alpha.dir/table5b_alpha.cc.o.d"
+  "table5b_alpha"
+  "table5b_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5b_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_cli.dir/gthinker_cli.cpp.o"
+  "CMakeFiles/gthinker_cli.dir/gthinker_cli.cpp.o.d"
+  "gthinker_cli"
+  "gthinker_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maximum_clique.dir/maximum_clique.cpp.o"
+  "CMakeFiles/maximum_clique.dir/maximum_clique.cpp.o.d"
+  "maximum_clique"
+  "maximum_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maximum_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasi_clique.dir/quasi_clique.cpp.o"
+  "CMakeFiles/quasi_clique.dir/quasi_clique.cpp.o.d"
+  "quasi_clique"
+  "quasi_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasi_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

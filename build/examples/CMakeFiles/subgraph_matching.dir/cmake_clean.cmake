@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_matching.dir/subgraph_matching.cpp.o"
+  "CMakeFiles/subgraph_matching.dir/subgraph_matching.cpp.o.d"
+  "subgraph_matching"
+  "subgraph_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

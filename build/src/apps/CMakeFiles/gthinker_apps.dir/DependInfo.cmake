@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bundled_triangle_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/bundled_triangle_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/bundled_triangle_app.cc.o.d"
+  "/root/repo/src/apps/kclique_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/kclique_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/kclique_app.cc.o.d"
+  "/root/repo/src/apps/kernels.cc" "src/apps/CMakeFiles/gthinker_apps.dir/kernels.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/kernels.cc.o.d"
+  "/root/repo/src/apps/match_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/match_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/match_app.cc.o.d"
+  "/root/repo/src/apps/maxclique_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/maxclique_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/maxclique_app.cc.o.d"
+  "/root/repo/src/apps/maximalclique_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/maximalclique_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/maximalclique_app.cc.o.d"
+  "/root/repo/src/apps/quasiclique_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/quasiclique_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/quasiclique_app.cc.o.d"
+  "/root/repo/src/apps/triangle_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/triangle_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/triangle_app.cc.o.d"
+  "/root/repo/src/apps/trianglelist_app.cc" "src/apps/CMakeFiles/gthinker_apps.dir/trianglelist_app.cc.o" "gcc" "src/apps/CMakeFiles/gthinker_apps.dir/trianglelist_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gthinker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gthinker_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gthinker_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gthinker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

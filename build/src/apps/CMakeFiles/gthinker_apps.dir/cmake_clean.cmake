@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_apps.dir/bundled_triangle_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/bundled_triangle_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/kclique_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/kclique_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/kernels.cc.o"
+  "CMakeFiles/gthinker_apps.dir/kernels.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/match_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/match_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/maxclique_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/maxclique_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/maximalclique_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/maximalclique_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/quasiclique_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/quasiclique_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/triangle_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/triangle_app.cc.o.d"
+  "CMakeFiles/gthinker_apps.dir/trianglelist_app.cc.o"
+  "CMakeFiles/gthinker_apps.dir/trianglelist_app.cc.o.d"
+  "libgthinker_apps.a"
+  "libgthinker_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/arabesque_apps.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/arabesque_apps.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/arabesque_apps.cc.o.d"
+  "/root/repo/src/baselines/arabesque_engine.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/arabesque_engine.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/arabesque_engine.cc.o.d"
+  "/root/repo/src/baselines/gminer_apps.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/gminer_apps.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/gminer_apps.cc.o.d"
+  "/root/repo/src/baselines/gminer_engine.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/gminer_engine.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/gminer_engine.cc.o.d"
+  "/root/repo/src/baselines/nscale_apps.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/nscale_apps.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/nscale_apps.cc.o.d"
+  "/root/repo/src/baselines/nscale_engine.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/nscale_engine.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/nscale_engine.cc.o.d"
+  "/root/repo/src/baselines/pregel_apps.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/pregel_apps.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/pregel_apps.cc.o.d"
+  "/root/repo/src/baselines/rstream_tc.cc" "src/baselines/CMakeFiles/gthinker_baselines.dir/rstream_tc.cc.o" "gcc" "src/baselines/CMakeFiles/gthinker_baselines.dir/rstream_tc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gthinker_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gthinker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gthinker_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gthinker_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gthinker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

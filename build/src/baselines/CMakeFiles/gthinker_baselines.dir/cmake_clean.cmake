@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_baselines.dir/arabesque_apps.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/arabesque_apps.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/arabesque_engine.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/arabesque_engine.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/gminer_apps.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/gminer_apps.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/gminer_engine.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/gminer_engine.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/nscale_apps.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/nscale_apps.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/nscale_engine.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/nscale_engine.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/pregel_apps.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/pregel_apps.cc.o.d"
+  "CMakeFiles/gthinker_baselines.dir/rstream_tc.cc.o"
+  "CMakeFiles/gthinker_baselines.dir/rstream_tc.cc.o.d"
+  "libgthinker_baselines.a"
+  "libgthinker_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_graph.dir/generator.cc.o"
+  "CMakeFiles/gthinker_graph.dir/generator.cc.o.d"
+  "CMakeFiles/gthinker_graph.dir/graph.cc.o"
+  "CMakeFiles/gthinker_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gthinker_graph.dir/loader.cc.o"
+  "CMakeFiles/gthinker_graph.dir/loader.cc.o.d"
+  "libgthinker_graph.a"
+  "libgthinker_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

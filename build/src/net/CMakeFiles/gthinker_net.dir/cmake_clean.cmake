@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_net.dir/comm_hub.cc.o"
+  "CMakeFiles/gthinker_net.dir/comm_hub.cc.o.d"
+  "libgthinker_net.a"
+  "libgthinker_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

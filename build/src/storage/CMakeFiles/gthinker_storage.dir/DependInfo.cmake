@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/mini_dfs.cc" "src/storage/CMakeFiles/gthinker_storage.dir/mini_dfs.cc.o" "gcc" "src/storage/CMakeFiles/gthinker_storage.dir/mini_dfs.cc.o.d"
+  "/root/repo/src/storage/partitioned_graph.cc" "src/storage/CMakeFiles/gthinker_storage.dir/partitioned_graph.cc.o" "gcc" "src/storage/CMakeFiles/gthinker_storage.dir/partitioned_graph.cc.o.d"
+  "/root/repo/src/storage/spill_file.cc" "src/storage/CMakeFiles/gthinker_storage.dir/spill_file.cc.o" "gcc" "src/storage/CMakeFiles/gthinker_storage.dir/spill_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gthinker_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gthinker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_storage.dir/mini_dfs.cc.o"
+  "CMakeFiles/gthinker_storage.dir/mini_dfs.cc.o.d"
+  "CMakeFiles/gthinker_storage.dir/partitioned_graph.cc.o"
+  "CMakeFiles/gthinker_storage.dir/partitioned_graph.cc.o.d"
+  "CMakeFiles/gthinker_storage.dir/spill_file.cc.o"
+  "CMakeFiles/gthinker_storage.dir/spill_file.cc.o.d"
+  "libgthinker_storage.a"
+  "libgthinker_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

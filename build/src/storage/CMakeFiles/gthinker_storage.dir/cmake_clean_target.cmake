@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgthinker_storage.a"
+)

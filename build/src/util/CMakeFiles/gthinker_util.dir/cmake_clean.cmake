@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gthinker_util.dir/logging.cc.o"
+  "CMakeFiles/gthinker_util.dir/logging.cc.o.d"
+  "CMakeFiles/gthinker_util.dir/status.cc.o"
+  "CMakeFiles/gthinker_util.dir/status.cc.o.d"
+  "libgthinker_util.a"
+  "libgthinker_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gthinker_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

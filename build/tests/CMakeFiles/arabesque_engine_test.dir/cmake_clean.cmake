@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arabesque_engine_test.dir/arabesque_engine_test.cc.o"
+  "CMakeFiles/arabesque_engine_test.dir/arabesque_engine_test.cc.o.d"
+  "arabesque_engine_test"
+  "arabesque_engine_test.pdb"
+  "arabesque_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arabesque_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

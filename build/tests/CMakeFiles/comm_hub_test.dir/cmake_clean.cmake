@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_hub_test.dir/comm_hub_test.cc.o"
+  "CMakeFiles/comm_hub_test.dir/comm_hub_test.cc.o.d"
+  "comm_hub_test"
+  "comm_hub_test.pdb"
+  "comm_hub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

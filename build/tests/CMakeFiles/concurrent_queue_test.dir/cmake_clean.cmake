@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_queue_test.dir/concurrent_queue_test.cc.o"
+  "CMakeFiles/concurrent_queue_test.dir/concurrent_queue_test.cc.o.d"
+  "concurrent_queue_test"
+  "concurrent_queue_test.pdb"
+  "concurrent_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

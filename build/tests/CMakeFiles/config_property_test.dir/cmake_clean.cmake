@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_property_test.dir/config_property_test.cc.o"
+  "CMakeFiles/config_property_test.dir/config_property_test.cc.o.d"
+  "config_property_test"
+  "config_property_test.pdb"
+  "config_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_validate_test.dir/config_validate_test.cc.o"
+  "CMakeFiles/config_validate_test.dir/config_validate_test.cc.o.d"
+  "config_validate_test"
+  "config_validate_test.pdb"
+  "config_validate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gminer_engine_test.dir/gminer_engine_test.cc.o"
+  "CMakeFiles/gminer_engine_test.dir/gminer_engine_test.cc.o.d"
+  "gminer_engine_test"
+  "gminer_engine_test.pdb"
+  "gminer_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gminer_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kclique_test.dir/kclique_test.cc.o"
+  "CMakeFiles/kclique_test.dir/kclique_test.cc.o.d"
+  "kclique_test"
+  "kclique_test.pdb"
+  "kclique_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kclique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

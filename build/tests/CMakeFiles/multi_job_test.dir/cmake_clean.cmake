@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_job_test.dir/multi_job_test.cc.o"
+  "CMakeFiles/multi_job_test.dir/multi_job_test.cc.o.d"
+  "multi_job_test"
+  "multi_job_test.pdb"
+  "multi_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

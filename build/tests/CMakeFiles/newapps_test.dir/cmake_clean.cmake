@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newapps_test.dir/newapps_test.cc.o"
+  "CMakeFiles/newapps_test.dir/newapps_test.cc.o.d"
+  "newapps_test"
+  "newapps_test.pdb"
+  "newapps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newapps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nscale_test.dir/nscale_test.cc.o"
+  "CMakeFiles/nscale_test.dir/nscale_test.cc.o.d"
+  "nscale_test"
+  "nscale_test.pdb"
+  "nscale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_task_test.dir/subgraph_task_test.cc.o"
+  "CMakeFiles/subgraph_task_test.dir/subgraph_task_test.cc.o.d"
+  "subgraph_task_test"
+  "subgraph_task_test.pdb"
+  "subgraph_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_hub_test[1]_include.cmake")
+include("/root/repo/build/tests/vertex_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/subgraph_task_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/core_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/newapps_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregator_test[1]_include.cmake")
+include("/root/repo/build/tests/pregel_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/config_property_test[1]_include.cmake")
+include("/root/repo/build/tests/arabesque_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/gminer_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/output_test[1]_include.cmake")
+include("/root/repo/build/tests/nscale_test[1]_include.cmake")
+include("/root/repo/build/tests/kclique_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_job_test[1]_include.cmake")
+include("/root/repo/build/tests/config_validate_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")

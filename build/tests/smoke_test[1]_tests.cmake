@@ -1,0 +1,3 @@
+add_test([=[Smoke.TriangleCountMatchesSerial]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.TriangleCountMatchesSerial]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.TriangleCountMatchesSerial]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  smoke_test_TESTS Smoke.TriangleCountMatchesSerial)
