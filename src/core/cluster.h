@@ -168,12 +168,19 @@ class Cluster {
       bool valid = false;
       bool all_idle = false;
       bool balanced = false;
+      bool conserved = false;  // global task ledger balances
       std::vector<int64_t> sent, processed;
     };
     Snapshot prev;
 
     int pending_ckpt_acks = 0;
     uint64_t active_ckpt_epoch = 0;
+    // Checkpoint quiesce (paper §V-B fault tolerance, hardened): while true,
+    // the master stops issuing steal orders and holds the kCheckpointRequest
+    // broadcast until the wire carries no kStealOrder / kTaskBatch traffic,
+    // so no donated batch can fall between the donor's and the recipient's
+    // snapshots (outside both).
+    bool ckpt_quiescing = false;
     // Checkpoint-consistent aggregate: per-link FIFO ordering guarantees that
     // everything a worker committed *before* its snapshot arrives before its
     // ack. Deltas from not-yet-acked workers merge here too; deltas arriving
@@ -239,6 +246,7 @@ class Cluster {
             LOG_FATAL << "master: unexpected message type "
                       << static_cast<int>(mb.type);
         }
+        hub.MarkProcessed(mb.type);
       }
 
       // A global snapshot forms once every worker reported since the last.
@@ -247,22 +255,35 @@ class Cluster {
         snap.valid = true;
         snap.all_idle = true;
         int64_t sent = 0, processed = 0;
+        TaskLedger sum;
+        int64_t live = 0;
         for (int w = 0; w < num_workers; ++w) {
           snap.all_idle = snap.all_idle && latest[w].idle != 0;
           sent += latest[w].data_sent;
           processed += latest[w].data_processed;
           snap.sent.push_back(latest[w].data_sent);
           snap.processed.push_back(latest[w].data_processed);
+          sum.Accumulate(latest[w].ledger);
+          live += latest[w].tasks_live;
         }
         snap.balanced = (sent == processed);
+        // Task conservation: the summed ledger must account for exactly the
+        // tasks the workers report alive. In-flight kTaskBatch records are
+        // neutral (donor already counted `donated`, recipient not yet
+        // `received`), so a correct system balances at every snapshot; the
+        // counters are read without a global freeze, though, so a transient
+        // skew only delays termination by one snapshot rather than failing.
+        snap.conserved = (sum.ExpectedLive() == live);
 
         broadcast(MsgType::kAggregatorSync, encode_global());
 
-        if (snap.all_idle && snap.balanced && prev.valid && prev.all_idle &&
-            prev.balanced && prev.sent == snap.sent &&
-            prev.processed == snap.processed && pending_ckpt_acks == 0) {
+        if (snap.all_idle && snap.balanced && snap.conserved && prev.valid &&
+            prev.all_idle && prev.balanced && prev.conserved &&
+            prev.sent == snap.sent && prev.processed == snap.processed &&
+            pending_ckpt_acks == 0 && !ckpt_quiescing) {
           terminate = true;
-        } else if (config.enable_stealing && !snap.all_idle) {
+        } else if (config.enable_stealing && !snap.all_idle &&
+                   !ckpt_quiescing && pending_ckpt_acks == 0) {
           PlanSteals(latest, config, master_id, &hub);
         }
         prev = std::move(snap);
@@ -276,8 +297,22 @@ class Cluster {
       }
 
       if (!terminate && config.checkpoint_interval_us > 0 &&
-          pending_ckpt_acks == 0 &&
+          pending_ckpt_acks == 0 && !ckpt_quiescing &&
           ckpt_timer.ElapsedMicros() >= config.checkpoint_interval_us) {
+        // Phase 1: stop feeding the wire with steal orders (PlanSteals is
+        // gated on !ckpt_quiescing) and wait for in-flight stealing traffic
+        // to settle before asking anyone to snapshot.
+        ckpt_quiescing = true;
+      }
+
+      if (!terminate && ckpt_quiescing &&
+          // Order matters: a donor sends its kTaskBatch *before* marking the
+          // kStealOrder processed, so once no steal order is unprocessed,
+          // every batch it will ever produce is already visible to the
+          // kTaskBatch count checked second.
+          hub.InFlightCount(MsgType::kStealOrder) == 0 &&
+          hub.InFlightCount(MsgType::kTaskBatch) == 0) {
+        ckpt_quiescing = false;
         active_ckpt_epoch = next_ckpt_epoch++;
         pending_ckpt_acks = num_workers;
         ckpt_global = global;  // everything committed so far is pre-snapshot
@@ -291,9 +326,16 @@ class Cluster {
 
     broadcast(MsgType::kTerminate, "");
 
-    // Collect every worker's final report (carries its last agg delta and
-    // the definitive counters).
+    // Two-phase drain (lossless shutdown). Each worker, on kTerminate,
+    // stops its compers, flushes its request buffers, and sends a
+    // kDrainBarrier; once all N arrive nobody can originate new traffic, so
+    // the master echoes an (empty) kDrainBarrier releasing the workers to
+    // pump the wire dry — they send their final report only after
+    // CommHub::InFlightCount() proves nothing is queued, in transit, or in a
+    // handler that could still send.
+    int barriers = 0;
     int finals = 0;
+    std::vector<bool> barrier_seen(num_workers, false);
     while (finals < num_workers) {
       MessageBatch mb;
       if (!hub.Receive(master_id, /*timeout_us=*/10'000, &mb)) continue;
@@ -310,7 +352,17 @@ class Cluster {
         CheckpointAck ack;
         GT_CHECK_OK(ack.Decode(mb.payload));
         merge_delta(ack.agg_delta);
+      } else if (mb.type == MsgType::kDrainBarrier) {
+        int32_t worker_id = -1;
+        GT_CHECK_OK(DecodeDrainBarrier(mb.payload, &worker_id));
+        if (!barrier_seen[worker_id]) {
+          barrier_seen[worker_id] = true;
+          if (++barriers == num_workers) {
+            broadcast(MsgType::kDrainBarrier, "");
+          }
+        }
       }
+      hub.MarkProcessed(mb.type);
     }
     for (auto& worker : workers) worker->Join();
 
@@ -326,6 +378,9 @@ class Cluster {
       stats.cache_hits += r.cache_hits;
       stats.cache_evictions += r.cache_evictions;
       stats.comper_idle_rounds += r.comper_idle_rounds;
+      stats.ledger.Accumulate(r.ledger);
+      stats.tasks_live_at_exit += r.tasks_live;
+      stats.drained_messages += r.drained_messages;
       stats.peak_mem_bytes.push_back(workers[w]->PeakMemBytes());
       stats.max_peak_mem_bytes =
           std::max(stats.max_peak_mem_bytes, workers[w]->PeakMemBytes());
@@ -333,6 +388,29 @@ class Cluster {
     }
     stats.batches_sent = hub.TotalBatchesSent();
     stats.bytes_sent = hub.TotalBytesSent();
+
+    // Task-conservation verdict. The final reports are taken after every
+    // worker has quiesced and drained, so the summed ledger must account for
+    // every task ever created; any residue is a silently lost (or
+    // double-counted) task and aborts the job rather than returning a
+    // plausible-looking partial answer.
+    stats.tasks_lost = stats.ledger.ExpectedLive() - stats.tasks_live_at_exit;
+    GT_CHECK_EQ(stats.tasks_lost, 0)
+        << "task-conservation violation: spawned=" << stats.ledger.spawned
+        << " restored=" << stats.ledger.restored
+        << " received=" << stats.ledger.received
+        << " finished=" << stats.ledger.finished
+        << " donated=" << stats.ledger.donated
+        << " dropped=" << stats.ledger.dropped
+        << " live_at_exit=" << stats.tasks_live_at_exit;
+    if (!stats.timed_out && stats.ledger.dropped == 0) {
+      // Clean completion additionally means nothing was left behind: no live
+      // task anywhere and a provably empty wire.
+      GT_CHECK_EQ(stats.tasks_live_at_exit, 0)
+          << "clean termination left live tasks behind";
+      GT_CHECK_EQ(hub.InFlightCount(), 0)
+          << "clean termination left undrained messages on the wire";
+    }
 
     if (config.enable_tracing) {
       for (auto& worker : workers) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol.h"
 #include "core/trace.h"
 #include "net/message.h"
 #include "util/status.h"
@@ -56,6 +57,12 @@ struct JobConfig {
   /// GC wake-up period.
   int64_t gc_interval_us = 1'000;
   bool enable_stealing = true;
+  /// Shutdown-drain safety deadline: after observing kTerminate and
+  /// quiescing its compers, a worker keeps servicing the wire until it is
+  /// provably empty (CommHub::InFlightCount()==0). This bounds that wait
+  /// against a pathologically wedged peer; anything still undelivered at the
+  /// deadline is counted in TaskLedger::dropped rather than silently lost.
+  int64_t drain_timeout_us = 10'000'000;
   /// ABLATION ONLY (bench/ablation_refill): invert the refill priority to
   /// spawn-new-tasks-first instead of the paper's spilled-files-first rule,
   /// to measure how the rule bounds disk-resident tasks.
@@ -121,6 +128,9 @@ struct JobConfig {
     if (time_budget_s < 0.0 || checkpoint_interval_us < 0) {
       return Status::InvalidArgument("budgets must be non-negative");
     }
+    if (drain_timeout_us <= 0) {
+      return Status::InvalidArgument("drain_timeout_us must be positive");
+    }
     return Status::Ok();
   }
 };
@@ -154,6 +164,18 @@ struct JobStats {
 
   // Number of checkpoints committed.
   int64_t checkpoints = 0;
+
+  // Task-conservation accounting, summed over workers (see TaskLedger).
+  // The master verifies at termination that the ledger balances — i.e.
+  //   ledger.ExpectedLive() == tasks_live_at_exit
+  // and on a clean (non-timeout) run that tasks_live_at_exit == 0, so
+  // spawned + restored == finished. tasks_lost records the discrepancy and
+  // is always 0 when Cluster::Run returns (a leak aborts the job).
+  TaskLedger ledger;
+  int64_t tasks_live_at_exit = 0;
+  int64_t tasks_lost = 0;
+  // Messages workers serviced after kTerminate (previously dropped).
+  int64_t drained_messages = 0;
 
   // Records emitted through Comper::Output.
   int64_t records_output = 0;

@@ -15,10 +15,76 @@ namespace gthinker {
 /// explicit: every field that crosses workers is spelled out here, so the
 /// simulated wire carries exactly what a socket deployment would.
 
+/// Task-conservation ledger (one per worker, summed by the master). Every
+/// counter is cumulative and monotonic; each task-lifecycle transition
+/// increments exactly one of them, so at any quiescent point the invariant
+///
+///   spawned + restored + received ==
+///       finished + donated + dropped + live
+///
+/// must hold, where `live` is the worker's current task population (in
+/// queues, pending tables, in a comper's hands, or in spill files). The
+/// master verifies the global sum at termination and aborts on any leak —
+/// a violated ledger means a task was silently lost or double-counted.
+struct TaskLedger {
+  int64_t spawned = 0;       // created by TaskSpawn/Compute/SpawnFlush
+  int64_t restored = 0;      // re-queued from a checkpoint blob
+  int64_t finished = 0;      // Compute returned false
+  int64_t spilled = 0;       // serialized to a local spill file
+  int64_t loaded = 0;        // deserialized back from a local spill file
+  int64_t donated = 0;       // serialized into an outgoing kTaskBatch
+  int64_t received = 0;      // decoded from an incoming kTaskBatch
+  int64_t checkpointed = 0;  // serialized into a checkpoint snapshot
+  int64_t dropped = 0;       // lost at shutdown (non-zero only on the
+                             // drain-deadline path; always accounted)
+
+  void Accumulate(const TaskLedger& other) {
+    spawned += other.spawned;
+    restored += other.restored;
+    finished += other.finished;
+    spilled += other.spilled;
+    loaded += other.loaded;
+    donated += other.donated;
+    received += other.received;
+    checkpointed += other.checkpointed;
+    dropped += other.dropped;
+  }
+
+  /// Tasks this ledger says must still be alive somewhere.
+  int64_t ExpectedLive() const {
+    return spawned + restored + received - finished - donated - dropped;
+  }
+
+  void EncodeTo(Serializer* ser) const {
+    ser->Write(spawned);
+    ser->Write(restored);
+    ser->Write(finished);
+    ser->Write(spilled);
+    ser->Write(loaded);
+    ser->Write(donated);
+    ser->Write(received);
+    ser->Write(checkpointed);
+    ser->Write(dropped);
+  }
+
+  Status DecodeFrom(Deserializer* des) {
+    GT_RETURN_IF_ERROR(des->Read(&spawned));
+    GT_RETURN_IF_ERROR(des->Read(&restored));
+    GT_RETURN_IF_ERROR(des->Read(&finished));
+    GT_RETURN_IF_ERROR(des->Read(&spilled));
+    GT_RETURN_IF_ERROR(des->Read(&loaded));
+    GT_RETURN_IF_ERROR(des->Read(&donated));
+    GT_RETURN_IF_ERROR(des->Read(&received));
+    GT_RETURN_IF_ERROR(des->Read(&checkpointed));
+    return des->Read(&dropped);
+  }
+};
+
 /// kProgressReport: worker -> master, every progress interval. Carries the
 /// idle/remaining state driving stealing + termination, monotonic data-batch
-/// counters for the message-balance check, a stats snapshot, and the
-/// committed aggregator delta (opaque bytes; master deserializes by AggT).
+/// counters for the message-balance check, the task-conservation ledger, a
+/// stats snapshot, and the committed aggregator delta (opaque bytes; master
+/// deserializes by AggT).
 struct ProgressReport {
   int32_t worker_id = 0;
   uint8_t final_report = 0;
@@ -37,6 +103,16 @@ struct ProgressReport {
   int64_t cache_evictions = 0;
   int64_t peak_mem_bytes = 0;
   int64_t comper_idle_rounds = 0;
+
+  /// Task-conservation accounting (see TaskLedger).
+  TaskLedger ledger;
+  /// Point-in-time task population: live in memory or in spill files.
+  int64_t tasks_live = 0;
+  /// Point-in-time exact record count across the worker's spill files.
+  int64_t tasks_on_disk = 0;
+  /// Messages handled after kTerminate was observed (the drain phase);
+  /// these used to be silently dropped when the comm loop exited.
+  int64_t drained_messages = 0;
 
   std::string agg_delta;
 
@@ -58,6 +134,10 @@ struct ProgressReport {
     ser.Write(cache_evictions);
     ser.Write(peak_mem_bytes);
     ser.Write(comper_idle_rounds);
+    ledger.EncodeTo(&ser);
+    ser.Write(tasks_live);
+    ser.Write(tasks_on_disk);
+    ser.Write(drained_messages);
     ser.WriteString(agg_delta);
     return ser.Release();
   }
@@ -80,6 +160,10 @@ struct ProgressReport {
     GT_RETURN_IF_ERROR(des.Read(&cache_evictions));
     GT_RETURN_IF_ERROR(des.Read(&peak_mem_bytes));
     GT_RETURN_IF_ERROR(des.Read(&comper_idle_rounds));
+    GT_RETURN_IF_ERROR(ledger.DecodeFrom(&des));
+    GT_RETURN_IF_ERROR(des.Read(&tasks_live));
+    GT_RETURN_IF_ERROR(des.Read(&tasks_on_disk));
+    GT_RETURN_IF_ERROR(des.Read(&drained_messages));
     return des.ReadString(&agg_delta);
   }
 };
@@ -135,6 +219,21 @@ inline Status DecodeStealOrder(const std::string& payload,
                                int32_t* dst_worker) {
   Deserializer des(payload);
   return des.Read(dst_worker);
+}
+
+/// kDrainBarrier payload (worker -> master direction): the quiesced worker.
+/// The master -> worker direction carries an empty payload (the global
+/// "everyone quiesced, drain the wire" release).
+inline std::string EncodeDrainBarrier(int32_t worker_id) {
+  Serializer ser;
+  ser.Write(worker_id);
+  return ser.Release();
+}
+
+inline Status DecodeDrainBarrier(const std::string& payload,
+                                 int32_t* worker_id) {
+  Deserializer des(payload);
+  return des.Read(worker_id);
 }
 
 /// kCheckpointRequest payload: the checkpoint epoch.

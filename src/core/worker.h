@@ -101,7 +101,9 @@ class Worker {
 
   /// Pre-seeds state from a checkpoint blob (see EncodeCheckpoint). Restored
   /// tasks enter L_file as spill batches and re-pull into the cold cache,
-  /// exactly as §V-B "Fault Tolerance" prescribes.
+  /// exactly as §V-B "Fault Tolerance" prescribes. Restored tasks enter the
+  /// ledger as `restored` (and the live count), so the conservation
+  /// invariant holds across a resume.
   Status RestoreFromCheckpoint(const std::string& blob) {
     Deserializer des(blob);
     uint64_t spawn_next = 0;
@@ -109,21 +111,26 @@ class Worker {
     uint64_t n = 0;
     GT_RETURN_IF_ERROR(des.Read(&n));
     std::vector<std::string> batch;
+    auto flush_batch = [this, &batch]() -> Status {
+      std::string path;
+      GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
+      live_tasks_.fetch_add(static_cast<int64_t>(batch.size()));
+      tasks_restored_.fetch_add(static_cast<int64_t>(batch.size()),
+                                std::memory_order_relaxed);
+      l_file_.PushBack(path, static_cast<int64_t>(batch.size()));
+      batch.clear();
+      return Status::Ok();
+    };
     for (uint64_t i = 0; i < n; ++i) {
       std::string rec;
       GT_RETURN_IF_ERROR(des.ReadString(&rec));
       batch.push_back(std::move(rec));
       if (batch.size() == static_cast<size_t>(config_.task_batch_size)) {
-        std::string path;
-        GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
-        l_file_.PushBack(path);
-        batch.clear();
+        GT_RETURN_IF_ERROR(flush_batch());
       }
     }
     if (!batch.empty()) {
-      std::string path;
-      GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
-      l_file_.PushBack(path);
+      GT_RETURN_IF_ERROR(flush_batch());
     }
     next_spawn_.store(spawn_next, std::memory_order_relaxed);
     return Status::Ok();
@@ -136,6 +143,8 @@ class Worker {
   void Start() {
     GT_CHECK(!started_);
     started_ = true;
+    compers_running_.store(static_cast<int>(engines_.size()),
+                           std::memory_order_release);
     for (auto& engine : engines_) {
       threads_.emplace_back([e = engine.get()] { e->Loop(); });
     }
@@ -173,7 +182,7 @@ class Worker {
 
     // ---- Comper<>::Runtime ----
     void AddTask(std::unique_ptr<TaskT> task) override {
-      worker_->tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+      worker_->OnTaskSpawned();
       worker_->Trace(index_, TaskEvent::kSpawned);
       AddToQueue(std::move(task));
     }
@@ -198,6 +207,9 @@ class Worker {
         }
       }
       worker_->cache_.FlushCounter(&counter_);
+      // Tells the comm thread's shutdown drain that this mining thread can
+      // no longer originate vertex requests or donations.
+      worker_->compers_running_.fetch_sub(1, std::memory_order_acq_rel);
     }
 
     /// Called by the comm thread when Γ(v) lands for a task of this comper.
@@ -213,20 +225,16 @@ class Worker {
         if (pending.req >= 0 && pending.met == pending.req) {
           ready = std::move(pending.task);
           t_task_.erase(it);
-          t_size_.fetch_sub(1, std::memory_order_relaxed);
         }
       }
       if (ready != nullptr) {
         worker_->Trace(index_, TaskEvent::kReady);
+        // Push to B_task *before* shrinking the T_task mirror: a reader that
+        // sees the smaller t_size_ then also sees the task in B_task, so the
+        // task is never invisible to both.
         b_task_.Push(std::move(ready));
+        t_size_.fetch_sub(1, std::memory_order_release);
       }
-    }
-
-    bool IsIdle() const {
-      return q_size_.load(std::memory_order_acquire) == 0 &&
-             b_task_.Empty() &&
-             t_size_.load(std::memory_order_acquire) == 0 &&
-             !executing_.load(std::memory_order_acquire);
     }
 
     size_t QueueSize() const {
@@ -311,7 +319,9 @@ class Worker {
         if (worker_->config_.refill_spawn_first && SpawnBatch()) continue;
         if (auto file = worker_->l_file_.TryPopFront()) {
           std::vector<std::string> records;
-          GT_CHECK_OK(SpillFile::ReadBatchAndDelete(*file, &records));
+          GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records));
+          GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
+              << "spill file " << file->path << " record count drifted";
           for (const std::string& rec : records) {
             auto task = std::make_unique<TaskT>();
             Deserializer des(rec);
@@ -320,6 +330,8 @@ class Worker {
             q_.push_back(std::move(task));
           }
           q_size_.store(q_.size(), std::memory_order_release);
+          worker_->tasks_loaded_.fetch_add(
+              static_cast<int64_t>(records.size()), std::memory_order_relaxed);
           worker_->Trace(index_, TaskEvent::kLoadedBatch);
           continue;
         }
@@ -365,8 +377,10 @@ class Worker {
         }
         std::string path;
         GT_CHECK_OK(SpillFile::WriteBatch(worker_->spill_dir_, records, &path));
-        worker_->l_file_.PushBack(path);
+        worker_->l_file_.PushBack(path, static_cast<int64_t>(batch));
         worker_->spilled_batches_.fetch_add(1, std::memory_order_relaxed);
+        worker_->tasks_spilled_.fetch_add(static_cast<int64_t>(batch),
+                                          std::memory_order_relaxed);
         worker_->Trace(index_, TaskEvent::kSpilledBatch);
       }
       q_.push_back(std::move(task));
@@ -447,7 +461,6 @@ class Worker {
     /// UDF, then release every remote pull back to the cache (OP3) so GC can
     /// evict in time.
     void ExecuteIteration(std::unique_ptr<TaskT> task) {
-      executing_.store(true, std::memory_order_release);
       worker_->mem_.Consume(task->MemoryBytes());
       const std::vector<VertexId> pulls = task->TakePulls();
       typename ComperT::Frontier frontier;
@@ -470,10 +483,9 @@ class Worker {
       if (more) {
         AddToQueue(std::move(task));
       } else {
-        worker_->tasks_finished_.fetch_add(1, std::memory_order_relaxed);
+        worker_->OnTaskFinished();
         worker_->Trace(index_, TaskEvent::kFinished);
       }
-      executing_.store(false, std::memory_order_release);
     }
 
     Worker* worker_;
@@ -489,7 +501,6 @@ class Worker {
     std::atomic<size_t> t_size_{0};
     uint64_t seq_ = 0;
     bool spawn_flushed_ = false;
-    std::atomic<bool> executing_{false};
     std::atomic<int64_t> idle_rounds_{0};
   };
 
@@ -502,7 +513,9 @@ class Worker {
    public:
     explicit StealRuntime(Worker* worker) : worker_(worker) {}
     void AddTask(std::unique_ptr<TaskT> task) override {
-      worker_->tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+      // Spawned straight into the donation batch: counts as spawned (and
+      // momentarily live) here, then as donated once the batch ships.
+      worker_->OnTaskSpawned();
       Serializer ser;
       task->Serialize(ser);
       sink_->push_back(ser.Release());
@@ -530,6 +543,23 @@ class Worker {
 
   bool IsLocal(VertexId v) const {
     return OwnerOf(v, config_.num_workers) == id_;
+  }
+
+  /// Task-lifecycle ledger entry points. live_tasks_ is the single source of
+  /// truth for "does this worker hold any task": it is incremented *before* a
+  /// task becomes reachable (spawn/restore/receive) and decremented only
+  /// after the task is dead (finished) or has left the worker (donated), so
+  /// live_tasks_==0 can never be observed while a task is in a comper's
+  /// hands between queue and pending-table — the idle-detection race that a
+  /// multi-container emptiness check (Q/B/T + executing flag) suffered from.
+  void OnTaskSpawned() {
+    live_tasks_.fetch_add(1);
+    tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void OnTaskFinished() {
+    tasks_finished_.fetch_add(1, std::memory_order_relaxed);
+    live_tasks_.fetch_sub(1);
   }
 
   void Trace(int comper, TaskEvent kind) {
@@ -642,6 +672,7 @@ class Worker {
       MessageBatch mb;
       if (hub_->Receive(id_, config_.comm_poll_us, &mb)) {
         HandleMessage(mb);
+        hub_->MarkProcessed(mb.type);
       }
       FlushAllRequests();
       if (progress_timer.ElapsedMicros() >= config_.progress_interval_us) {
@@ -652,8 +683,83 @@ class Worker {
         break;
       }
     }
-    // Drain any last control traffic, then report final state (the final
-    // report carries the last committed aggregator delta).
+    DrainAndReport();
+  }
+
+  /// Receives and fully handles one message if available; counts it toward
+  /// the drain tally. Used only after kTerminate was observed.
+  bool PumpOneDrainMessage() {
+    MessageBatch mb;
+    if (!hub_->Receive(id_, config_.comm_poll_us, &mb)) return false;
+    drained_messages_.fetch_add(1, std::memory_order_relaxed);
+    HandleMessage(mb);
+    hub_->MarkProcessed(mb.type);
+    return true;
+  }
+
+  /// Two-phase lossless shutdown (paper §V-B termination, hardened).
+  ///
+  /// Phase 1 (local quiesce): the compers were told to stop popping; wait
+  /// until their threads actually exit — a comper mid-iteration may still
+  /// issue vertex pulls — then flush the per-destination request buffers so
+  /// nothing is stranded in them, and report the quiesce to the master with
+  /// a kDrainBarrier.
+  ///
+  /// Phase 2 (wire drain): once the master echoes the barrier (= every
+  /// worker is quiesced, so no *new* traffic can originate anywhere), keep
+  /// servicing the wire — answering pull requests, accepting responses and
+  /// late donated batches — until CommHub::InFlightCount()==0 proves the
+  /// wire empty. Only then is the final report sent, so every in-flight
+  /// task batch has been banked in L_file and counted by the ledger instead
+  /// of evaporating in a dropped inbox (the old behavior on the
+  /// time_budget_s timeout path).
+  void DrainAndReport() {
+    while (compers_running_.load(std::memory_order_acquire) > 0) {
+      PumpOneDrainMessage();  // keep the wire moving while compers wind down
+    }
+    FlushAllRequests();
+    MessageBatch barrier;
+    barrier.src_worker = id_;
+    barrier.dst_worker = master_id_;
+    barrier.type = MsgType::kDrainBarrier;
+    barrier.payload = EncodeDrainBarrier(static_cast<int32_t>(id_));
+    hub_->Send(std::move(barrier));
+
+    Timer drain_timer;
+    bool deadline_hit = false;
+    while (!drain_release_.load(std::memory_order_acquire)) {
+      PumpOneDrainMessage();
+      if (drain_timer.ElapsedMicros() > config_.drain_timeout_us) {
+        deadline_hit = true;
+        break;
+      }
+    }
+    while (!deadline_hit) {
+      if (PumpOneDrainMessage()) continue;
+      if (hub_->InFlightCount() == 0) break;
+      if (drain_timer.ElapsedMicros() > config_.drain_timeout_us) {
+        deadline_hit = true;
+        break;
+      }
+    }
+    if (deadline_hit) {
+      // Pathological peer (should not happen): empty what we can reach so
+      // the loss is *accounted* — tasks in abandoned batches move to the
+      // dropped column instead of silently unbalancing the ledger.
+      MessageBatch mb;
+      while (hub_->Receive(id_, /*timeout_us=*/0, &mb)) {
+        if (mb.type == MsgType::kTaskBatch) {
+          std::vector<std::string> records;
+          GT_CHECK_OK(DecodeRecordBatch(mb.payload, &records));
+          tasks_received_.fetch_add(static_cast<int64_t>(records.size()),
+                                    std::memory_order_relaxed);
+          tasks_dropped_.fetch_add(static_cast<int64_t>(records.size()),
+                                   std::memory_order_relaxed);
+        }
+        drained_messages_.fetch_add(1, std::memory_order_relaxed);
+        hub_->MarkProcessed(mb.type);
+      }
+    }
     if (!output_dir_.empty()) FinalFlushOutput();
     SendProgress(/*final_report=*/true);
     final_sent_.store(true, std::memory_order_release);
@@ -704,9 +810,14 @@ class Worker {
         std::vector<std::string> records;
         GT_CHECK_OK(DecodeRecordBatch(mb.payload, &records));
         if (!records.empty()) {
+          // Count the tasks as live *before* banking the batch so there is
+          // no instant at which they are invisible to the idle check.
+          live_tasks_.fetch_add(static_cast<int64_t>(records.size()));
+          tasks_received_.fetch_add(static_cast<int64_t>(records.size()),
+                                    std::memory_order_relaxed);
           std::string path;
           GT_CHECK_OK(SpillFile::WriteBatch(spill_dir_, records, &path));
-          l_file_.PushBack(path);
+          l_file_.PushBack(path, static_cast<int64_t>(records.size()));
           stolen_batches_.fetch_add(1, std::memory_order_relaxed);
           Trace(-1, TaskEvent::kStolenBatch);
         }
@@ -728,11 +839,22 @@ class Worker {
       case MsgType::kCheckpointRequest: {
         CheckpointRequest req;
         GT_CHECK_OK(req.Decode(mb.payload));
-        DoCheckpoint(req.epoch);
+        // Per-link FIFO delivers any checkpoint request before kTerminate,
+        // but guard anyway: with the compers exited, the park rendezvous
+        // below would deadlock, and a shutdown-time snapshot is useless.
+        if (!stop_compers_.load(std::memory_order_acquire)) {
+          DoCheckpoint(req.epoch);
+        }
         break;
       }
       case MsgType::kTerminate: {
         stop_compers_.store(true, std::memory_order_release);
+        break;
+      }
+      case MsgType::kDrainBarrier: {
+        // Master's echo: every worker has quiesced its compers and flushed
+        // its request buffers; the wire can now only shrink.
+        drain_release_.store(true, std::memory_order_release);
         break;
       }
       default:
@@ -747,7 +869,9 @@ class Worker {
   void DonateTasks(int dst) {
     std::vector<std::string> records;
     if (auto file = l_file_.TryPopBack()) {
-      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(*file, &records));
+      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records));
+      GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
+          << "spill file " << file->path << " record count drifted";
     } else {
       std::vector<VertexId> to_spawn;
       ClaimSpawnBatch(config_.task_batch_size, &to_spawn);
@@ -769,13 +893,12 @@ class Worker {
     mb.payload = EncodeRecordBatch(records);
     data_sent_.fetch_add(1, std::memory_order_relaxed);
     hub_->Send(std::move(mb));
-  }
-
-  bool AllCompersIdle() const {
-    for (const auto& engine : engines_) {
-      if (!engine->IsIdle()) return false;
-    }
-    return true;
+    // The donated tasks have left this worker; the recipient counts them
+    // back in (received) when the batch lands, and the wire interval is
+    // visible to the master as donated - received.
+    tasks_donated_.fetch_add(static_cast<int64_t>(records.size()),
+                             std::memory_order_relaxed);
+    live_tasks_.fetch_sub(static_cast<int64_t>(records.size()));
   }
 
   void SendProgress(bool final_report) {
@@ -788,10 +911,16 @@ class Worker {
         spawn_order_.size() -
         std::min(next_spawn_.load(std::memory_order_relaxed),
                  spawn_order_.size());
-    report.remaining_estimate =
-        static_cast<int64_t>(l_file_.Size()) * config_.task_batch_size +
-        static_cast<int64_t>(unspawned) + static_cast<int64_t>(queued);
-    report.idle = (SpawnDone() && l_file_.Empty() && AllCompersIdle()) ? 1 : 0;
+    // Exact disk-resident task count (restore tails and partial steal-spawn
+    // bundles are smaller than a full batch), so PlanSteals compares donors
+    // by real backlog instead of a files-times-batch-size overestimate.
+    report.remaining_estimate = l_file_.TotalRecords() +
+                                static_cast<int64_t>(unspawned) +
+                                static_cast<int64_t>(queued);
+    // One linearizable read: live_tasks_ covers queued, ready, pending,
+    // disk-resident, and in-a-comper's-hands tasks, so there is no window
+    // in which a popped-but-unregistered task reports the worker idle.
+    report.idle = (SpawnDone() && live_tasks_.load() == 0) ? 1 : 0;
     report.data_sent = data_sent_.load(std::memory_order_acquire);
     report.data_processed = data_processed_.load(std::memory_order_acquire);
     report.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
@@ -808,6 +937,20 @@ class Worker {
     for (const auto& engine : engines_) {
       report.comper_idle_rounds += engine->IdleRounds();
     }
+    report.ledger.spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    report.ledger.restored = tasks_restored_.load(std::memory_order_relaxed);
+    report.ledger.finished = tasks_finished_.load(std::memory_order_relaxed);
+    report.ledger.spilled = tasks_spilled_.load(std::memory_order_relaxed);
+    report.ledger.loaded = tasks_loaded_.load(std::memory_order_relaxed);
+    report.ledger.donated = tasks_donated_.load(std::memory_order_relaxed);
+    report.ledger.received = tasks_received_.load(std::memory_order_relaxed);
+    report.ledger.checkpointed =
+        tasks_checkpointed_.load(std::memory_order_relaxed);
+    report.ledger.dropped = tasks_dropped_.load(std::memory_order_relaxed);
+    report.tasks_live = live_tasks_.load();
+    report.tasks_on_disk = l_file_.TotalRecords();
+    report.drained_messages =
+        drained_messages_.load(std::memory_order_relaxed);
     {
       Serializer ser;
       SerializeValue(ser, agg_.TakeLocal());
@@ -851,11 +994,17 @@ class Worker {
     for (auto& engine : engines_) engine->CollectCheckpointRecords(&records);
     // Spilled files are checkpointed by content (they stay on local disk for
     // the continuing run, which a failure would wipe).
-    for (const std::string& path : l_file_.Snapshot()) {
+    for (const FileList::Entry& entry : l_file_.Snapshot()) {
       std::vector<std::string> batch;
-      GT_CHECK_OK(SpillFile::ReadBatch(path, &batch));
+      GT_CHECK_OK(SpillFile::ReadBatch(entry.path, &batch));
       for (std::string& r : batch) records.push_back(std::move(r));
     }
+    // Self-check: with the compers parked and (master-enforced) no donated
+    // batch on the wire, the snapshot must cover exactly the live tasks.
+    GT_CHECK_EQ(static_cast<int64_t>(records.size()), live_tasks_.load())
+        << "worker " << id_ << " checkpoint missed live tasks";
+    tasks_checkpointed_.fetch_add(static_cast<int64_t>(records.size()),
+                                  std::memory_order_relaxed);
     Serializer ser;
     ser.Write<uint64_t>(next_spawn_.load(std::memory_order_relaxed));
     ser.Write<uint64_t>(records.size());
@@ -863,9 +1012,12 @@ class Worker {
     const std::string key = "ckpt/" + std::to_string(epoch) + "/worker_" +
                             std::to_string(id_);
     GT_CHECK_OK(checkpoint_dfs_->Put(key, ser.data()));
-    // Resume mining before acking; the ack commits our aggregator delta.
-    pause_.store(false, std::memory_order_release);
-    pause_cv_.notify_all();
+    // Cut the aggregator delta for the ack while the compers are still
+    // parked: everything committed so far is pre-snapshot by quiescence.
+    // Releasing first opened a race where a resumed comper finished a task
+    // that was just serialized into the snapshot and committed its
+    // contribution into this delta — the checkpoint meta then counted work
+    // the restored task would redo (double count on resume).
     CheckpointAck ack;
     ack.worker_id = id_;
     ack.epoch = epoch;
@@ -874,6 +1026,8 @@ class Worker {
       SerializeValue(agg_ser, agg_.TakeLocal());
       ack.agg_delta = agg_ser.Release();
     }
+    pause_.store(false, std::memory_order_release);
+    pause_cv_.notify_all();
     MessageBatch mb;
     mb.src_worker = id_;
     mb.dst_worker = master_id_;
@@ -954,6 +1108,8 @@ class Worker {
   // control
   std::atomic<bool> stop_compers_{false};
   std::atomic<bool> final_sent_{false};
+  std::atomic<bool> drain_release_{false};
+  std::atomic<int> compers_running_{0};
   std::atomic<bool> pause_{false};
   std::mutex pause_mutex_;
   std::condition_variable pause_cv_;
@@ -969,6 +1125,19 @@ class Worker {
   std::atomic<int64_t> tasks_finished_{0};
   std::atomic<int64_t> spilled_batches_{0};
   std::atomic<int64_t> stolen_batches_{0};
+
+  // task-conservation ledger (see TaskLedger in core/protocol.h).
+  // live_tasks_ uses seq_cst: it is the one value whose ==0 reading decides
+  // worker idleness, and single-variable linearizability is the whole point.
+  std::atomic<int64_t> live_tasks_{0};
+  std::atomic<int64_t> tasks_restored_{0};
+  std::atomic<int64_t> tasks_spilled_{0};
+  std::atomic<int64_t> tasks_loaded_{0};
+  std::atomic<int64_t> tasks_donated_{0};
+  std::atomic<int64_t> tasks_received_{0};
+  std::atomic<int64_t> tasks_checkpointed_{0};
+  std::atomic<int64_t> tasks_dropped_{0};
+  std::atomic<int64_t> drained_messages_{0};
 };
 
 }  // namespace gthinker

@@ -60,7 +60,33 @@ void CommHub::Send(MessageBatch batch) {
   bytes_sent_.fetch_add(static_cast<int64_t>(batch.payload.size()),
                         std::memory_order_acq_rel);
   batches_sent_.fetch_add(1, std::memory_order_acq_rel);
+  sent_by_type_[static_cast<int>(batch.type)].fetch_add(
+      1, std::memory_order_acq_rel);
   mailboxes_[batch.dst_worker]->Push(std::move(batch));
+}
+
+void CommHub::MarkProcessed(MsgType type) {
+  processed_by_type_[static_cast<int>(type)].fetch_add(
+      1, std::memory_order_acq_rel);
+}
+
+int64_t CommHub::InFlightCount() const {
+  int64_t in_flight = 0;
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    // Read processed before sent: a concurrent handler then reads as still
+    // in flight (conservative), never as already done.
+    const int64_t processed =
+        processed_by_type_[t].load(std::memory_order_acquire);
+    in_flight += sent_by_type_[t].load(std::memory_order_acquire) - processed;
+  }
+  return in_flight;
+}
+
+int64_t CommHub::InFlightCount(MsgType type) const {
+  const int t = static_cast<int>(type);
+  const int64_t processed =
+      processed_by_type_[t].load(std::memory_order_acquire);
+  return sent_by_type_[t].load(std::memory_order_acquire) - processed;
 }
 
 bool CommHub::Receive(int worker, int64_t timeout_us, MessageBatch* out) {

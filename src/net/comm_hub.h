@@ -1,6 +1,7 @@
 #ifndef GTHINKER_NET_COMM_HUB_H_
 #define GTHINKER_NET_COMM_HUB_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,20 @@ class CommHub {
   /// timeout.
   bool Receive(int worker, int64_t timeout_us, MessageBatch* out);
 
+  /// Acknowledges that a received batch has been *fully handled*, including
+  /// any messages the handler sent in response. A batch counts toward
+  /// InFlightCount() from Send until MarkProcessed, so InFlightCount()==0
+  /// means no message is queued, in simulated transit, or being handled —
+  /// the wire is provably quiet and no handler is about to send.
+  void MarkProcessed(MsgType type);
+
+  /// Batches sent but not yet MarkProcessed'd, over all message types.
+  int64_t InFlightCount() const;
+
+  /// Same, restricted to one message type (e.g. kTaskBatch for the
+  /// checkpoint quiesce and kStealOrder for steal-plan quiescing).
+  int64_t InFlightCount(MsgType type) const;
+
   /// Monotonic hub clock, microseconds.
   int64_t NowUs() const;
 
@@ -67,6 +82,8 @@ class CommHub {
   std::atomic<int64_t> batches_sent_{0};
   std::atomic<int64_t> batches_delivered_{0};
   std::atomic<int64_t> bytes_sent_{0};
+  std::array<std::atomic<int64_t>, kNumMsgTypes> sent_by_type_{};
+  std::array<std::atomic<int64_t>, kNumMsgTypes> processed_by_type_{};
   const int64_t epoch_us_;
 };
 

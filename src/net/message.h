@@ -29,7 +29,12 @@ enum class MsgType : uint8_t {
   kTerminate = 6,       // master -> all: job done
   kCheckpointRequest = 7,  // master -> all: snapshot state at this epoch
   kCheckpointAck = 8,      // worker -> master: snapshot committed
+  kDrainBarrier = 9,       // worker -> master: locally quiesced;
+                           // master -> all: every worker quiesced, drain wire
 };
+
+/// Number of distinct MsgType values (for per-type wire accounting).
+inline constexpr int kNumMsgTypes = 10;
 
 /// One batch on the wire.
 struct MessageBatch {

@@ -113,25 +113,41 @@ TEST(SpillFileTest, MissingFileIsNotFound) {
 
 TEST(FileListTest, FifoFrontLifoBack) {
   FileList list;
-  list.PushBack("a");
-  list.PushBack("b");
-  list.PushBack("c");
+  list.PushBack("a", 10);
+  list.PushBack("b", 20);
+  list.PushBack("c", 30);
   EXPECT_EQ(list.Size(), 3u);
-  EXPECT_EQ(*list.TryPopFront(), "a");   // refill takes oldest
-  EXPECT_EQ(*list.TryPopBack(), "c");    // donation takes newest
-  EXPECT_EQ(*list.TryPopFront(), "b");
+  EXPECT_EQ(list.TotalRecords(), 60);
+  EXPECT_EQ(list.TryPopFront()->path, "a");  // refill takes oldest
+  EXPECT_EQ(list.TryPopBack()->path, "c");   // donation takes newest
+  EXPECT_EQ(list.TotalRecords(), 20);
+  EXPECT_EQ(list.TryPopFront()->path, "b");
   EXPECT_FALSE(list.TryPopFront().has_value());
   EXPECT_FALSE(list.TryPopBack().has_value());
   EXPECT_TRUE(list.Empty());
+  EXPECT_EQ(list.TotalRecords(), 0);
+}
+
+TEST(FileListTest, EntriesKeepTheirRecordCounts) {
+  FileList list;
+  list.PushBack("full", 150);
+  list.PushBack("tail", 7);
+  auto full = list.TryPopFront();
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->records, 150);
+  auto tail = list.TryPopFront();
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->records, 7);
 }
 
 TEST(FileListTest, SnapshotDoesNotDrain) {
   FileList list;
-  list.PushBack("x");
-  list.PushBack("y");
+  list.PushBack("x", 1);
+  list.PushBack("y", 2);
   auto snap = list.Snapshot();
   EXPECT_EQ(snap.size(), 2u);
   EXPECT_EQ(list.Size(), 2u);
+  EXPECT_EQ(list.TotalRecords(), 3);
 }
 
 TEST(FileListTest, ConcurrentPushPop) {
@@ -140,15 +156,17 @@ TEST(FileListTest, ConcurrentPushPop) {
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&list, t] {
       for (int i = 0; i < 250; ++i) {
-        list.PushBack(std::to_string(t * 1000 + i));
+        list.PushBack(std::to_string(t * 1000 + i), 3);
       }
     });
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(list.Size(), 1000u);
+  EXPECT_EQ(list.TotalRecords(), 3000);
   int popped = 0;
   while (list.TryPopFront().has_value()) ++popped;
   EXPECT_EQ(popped, 1000);
+  EXPECT_EQ(list.TotalRecords(), 0);
 }
 
 TEST(MakeTempDirTest, UniqueAndWritable) {

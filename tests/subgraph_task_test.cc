@@ -154,6 +154,18 @@ TEST(Protocol, ProgressReportRoundtrip) {
   r.data_processed = 99;
   r.tasks_spawned = 7;
   r.peak_mem_bytes = 1 << 20;
+  r.ledger.spawned = 7;
+  r.ledger.restored = 2;
+  r.ledger.finished = 5;
+  r.ledger.spilled = 3;
+  r.ledger.loaded = 3;
+  r.ledger.donated = 1;
+  r.ledger.received = 4;
+  r.ledger.checkpointed = 6;
+  r.ledger.dropped = 1;
+  r.tasks_live = 6;
+  r.tasks_on_disk = 2;
+  r.drained_messages = 9;
   r.agg_delta = "blobby";
   ProgressReport back;
   ASSERT_TRUE(back.Decode(r.Encode()).ok());
@@ -165,7 +177,26 @@ TEST(Protocol, ProgressReportRoundtrip) {
   EXPECT_EQ(back.data_processed, 99);
   EXPECT_EQ(back.tasks_spawned, 7);
   EXPECT_EQ(back.peak_mem_bytes, 1 << 20);
+  EXPECT_EQ(back.ledger.spawned, 7);
+  EXPECT_EQ(back.ledger.restored, 2);
+  EXPECT_EQ(back.ledger.finished, 5);
+  EXPECT_EQ(back.ledger.spilled, 3);
+  EXPECT_EQ(back.ledger.loaded, 3);
+  EXPECT_EQ(back.ledger.donated, 1);
+  EXPECT_EQ(back.ledger.received, 4);
+  EXPECT_EQ(back.ledger.checkpointed, 6);
+  EXPECT_EQ(back.ledger.dropped, 1);
+  EXPECT_EQ(back.ledger.ExpectedLive(), 6);
+  EXPECT_EQ(back.tasks_live, 6);
+  EXPECT_EQ(back.tasks_on_disk, 2);
+  EXPECT_EQ(back.drained_messages, 9);
   EXPECT_EQ(back.agg_delta, "blobby");
+}
+
+TEST(Protocol, DrainBarrierRoundtrip) {
+  int32_t worker = -1;
+  ASSERT_TRUE(DecodeDrainBarrier(EncodeDrainBarrier(11), &worker).ok());
+  EXPECT_EQ(worker, 11);
 }
 
 TEST(Protocol, VertexRequestRoundtrip) {

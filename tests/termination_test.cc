@@ -1,0 +1,119 @@
+// Lossless-termination tests: the task-conservation ledger must balance at
+// exit, clean runs must finish every spawned task, and shutdown must drain
+// the wire rather than dropping whatever is still in flight.
+//
+// Cluster::Run itself fatally checks the conservation invariant, so every
+// test here doubles as a crash test: a silently lost task aborts the run
+// instead of letting an EXPECT see a plausible-looking partial answer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/kernels.h"
+#include "apps/triangle_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+
+namespace gthinker {
+namespace {
+
+// Many workers racing over few vertices: workers go idle almost immediately,
+// steal orders fly while spawn queues are nearly empty, and the master sees
+// lots of idle->busy->idle flapping. This is the regime where the old
+// multi-counter IsIdle() check could observe a task "nowhere" (popped but
+// not yet registered) and let the master terminate early, losing the task.
+TEST(Termination, IdleRaceStressManyWorkersFewVertices) {
+  Graph g = Generator::PowerLaw(60, 6.0, 2.4, 17);
+  const uint64_t truth = CountTrianglesSerial(g);
+  for (int round = 0; round < 8; ++round) {
+    Job<TriangleComper> job;
+    job.config.num_workers = 8;
+    job.config.compers_per_worker = 2;
+    job.config.enable_stealing = true;
+    job.config.task_batch_size = 4;  // force refill/spill churn
+    job.config.inflight_task_cap = 32;
+    job.config.progress_interval_us = 500;  // frequent snapshots
+    job.graph = &g;
+    job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+    job.trimmer = TrimToGreater;
+    auto result = Cluster<TriangleComper>::Run(job);
+    ASSERT_EQ(result.result, truth) << "round " << round;
+    const JobStats& stats = result.stats;
+    EXPECT_FALSE(stats.timed_out);
+    EXPECT_EQ(stats.tasks_spawned, stats.tasks_finished) << "round " << round;
+    EXPECT_EQ(stats.tasks_lost, 0);
+    EXPECT_EQ(stats.tasks_live_at_exit, 0);
+  }
+}
+
+TEST(Termination, CleanRunLedgerBalances) {
+  Graph g = Generator::PowerLaw(800, 12.0, 2.4, 23);
+  const uint64_t truth = CountTrianglesSerial(g);
+  Job<TriangleComper> job;
+  job.config.num_workers = 3;
+  job.config.compers_per_worker = 2;
+  job.config.enable_stealing = true;
+  job.config.task_batch_size = 16;
+  job.config.inflight_task_cap = 64;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.result, truth);
+
+  const JobStats& stats = result.stats;
+  ASSERT_FALSE(stats.timed_out);
+  // Every task ever created was finished somewhere.
+  EXPECT_EQ(stats.ledger.spawned + stats.ledger.restored,
+            stats.ledger.finished);
+  EXPECT_EQ(stats.tasks_spawned, stats.tasks_finished);
+  // The drain protocol delivered every donated batch before shutdown.
+  EXPECT_EQ(stats.ledger.donated, stats.ledger.received);
+  // Whatever went to disk came back.
+  EXPECT_EQ(stats.ledger.spilled, stats.ledger.loaded);
+  EXPECT_EQ(stats.ledger.dropped, 0);
+  EXPECT_EQ(stats.tasks_lost, 0);
+  EXPECT_EQ(stats.tasks_live_at_exit, 0);
+}
+
+// Abort mid-flight via the time budget with a throttled wire and stealing
+// on: kTaskBatch donations are in the air when kTerminate lands. The drain
+// phase must account for every one of them — received and banked, or
+// explicitly counted as dropped — never silently discarded.
+TEST(Termination, TimeoutShutdownDrainsInFlightWork) {
+  Graph g = Generator::PowerLaw(2000, 16.0, 2.4, 29);
+  Job<TriangleComper> job;
+  job.config.num_workers = 4;
+  job.config.compers_per_worker = 1;
+  job.config.enable_stealing = true;
+  job.config.time_budget_s = 0.06;
+  job.config.net.latency_us = 300;
+  job.config.net.bandwidth_mbps = 2.0;
+  job.config.cache_capacity = 128;
+  job.config.cache_num_buckets = 32;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+
+  const JobStats& stats = result.stats;
+  // Whether or not the budget struck first, the ledger must balance: the
+  // in-cluster GT_CHECK already aborted if not, and tasks_lost is its
+  // residue.
+  EXPECT_EQ(stats.tasks_lost, 0);
+  // A donation can be cut off by the drain deadline (counted as dropped)
+  // but can never exceed what donors sent.
+  EXPECT_LE(stats.ledger.received, stats.ledger.donated);
+  if (stats.timed_out) {
+    // Aborted runs leave live tasks behind by design — but they are *known*
+    // live, not leaked.
+    EXPECT_EQ(stats.ledger.ExpectedLive(), stats.tasks_live_at_exit);
+  } else {
+    EXPECT_EQ(stats.tasks_live_at_exit, 0);
+    EXPECT_EQ(stats.tasks_spawned, stats.tasks_finished);
+  }
+}
+
+}  // namespace
+}  // namespace gthinker
