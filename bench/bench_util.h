@@ -7,8 +7,11 @@
 // memory-cap aborts (the stand-ins for the paper's >24 hr and OOM entries).
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/kernels.h"
@@ -21,6 +24,7 @@
 #include "baselines/rstream_tc.h"
 #include "core/cluster.h"
 #include "graph/generator.h"
+#include "obs/json.h"
 
 namespace gthinker::bench {
 
@@ -63,6 +67,93 @@ inline JobConfig DefaultConfig() {
   config.num_workers = 4;
   config.compers_per_worker = 2;
   return config;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (`<binary> --json <path>`).
+// ---------------------------------------------------------------------------
+
+/// Returns the path following a `--json` flag, or nullptr when absent.
+inline const char* JsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Row-structured bench result, mirroring the printed table: one row per
+/// (dataset, config) cell, numeric fields kept as numbers so downstream
+/// tooling never re-parses "1.23 s / 4.5 MB" strings.
+struct BenchJson {
+  struct Row {
+    std::string label;
+    std::map<std::string, double> numbers;
+    std::map<std::string, std::string> cells;
+  };
+
+  std::string bench;
+  std::vector<Row> rows;
+
+  Row* AddRow(std::string label) {
+    rows.push_back(Row{std::move(label), {}, {}});
+    return &rows.back();
+  }
+
+  std::string ToJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(bench);
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(row.label);
+      for (const auto& [k, v] : row.numbers) {
+        w.Key(k);
+        w.Double(v);
+      }
+      for (const auto& [k, v] : row.cells) {
+        w.Key(k);
+        w.String(v);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.Take();
+  }
+
+  /// Writes the JSON document; `path` may be null/empty (no-op), so callers
+  /// can pass JsonPathArg() straight through.
+  Status WriteTo(const char* path) const {
+    if (path == nullptr || path[0] == '\0') return Status::Ok();
+    std::FILE* f = std::fopen(path, "wb");
+    if (f == nullptr) {
+      return Status::IoError(std::string("cannot open ") + path);
+    }
+    const std::string text = ToJson();
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (written != text.size()) {
+      return Status::IoError(std::string("short write to ") + path);
+    }
+    return Status::Ok();
+  }
+};
+
+/// Folds one G-thinker run into a bench row: the printed cell plus the raw
+/// numbers and derived health ratios.
+inline void FillRow(BenchJson::Row* row, const RunOutcome& o) {
+  row->numbers["elapsed_s"] = o.elapsed_s;
+  row->numbers["peak_mem_bytes"] = static_cast<double>(o.peak_mem_bytes);
+  row->numbers["timed_out"] = o.timed_out ? 1.0 : 0.0;
+  row->numbers["value"] = static_cast<double>(o.value);
+  row->numbers["cache_hit_rate"] = o.stats.CacheHitRate();
+  row->numbers["comper_utilization"] = o.stats.ComperUtilization();
+  row->numbers["steal_efficiency"] = o.stats.StealEfficiency();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,14 +1,24 @@
 // Table II: dataset statistics. Prints |V|, |E|, max degree and average
 // degree of the five synthetic stand-ins (DESIGN.md maps each to the paper's
 // real dataset; the relative density/skew ordering mirrors the originals).
+// Also emits the same rows as JSON (default table2_datasets.json, override
+// with --json <path>) so tooling never scrapes the printed table.
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "graph/generator.h"
 
 using namespace gthinker;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* arg_path = bench::JsonPathArg(argc, argv);
+  const char* json_path = arg_path != nullptr ? arg_path
+                                              : "table2_datasets.json";
+
+  bench::BenchJson out;
+  out.bench = "table2_datasets";
+
   std::printf("=== Table II: datasets (synthetic stand-ins) ===\n");
   std::printf("%-12s %12s %14s %10s %10s\n", "dataset", "|V|", "|E|",
               "max deg", "avg deg");
@@ -18,9 +28,22 @@ int main() {
                 d.graph.NumVertices(),
                 static_cast<unsigned long long>(d.graph.NumEdges()),
                 d.graph.MaxDegree(), d.graph.AvgDegree());
+    bench::BenchJson::Row* row = out.AddRow(d.name);
+    row->numbers["num_vertices"] = static_cast<double>(d.graph.NumVertices());
+    row->numbers["num_edges"] = static_cast<double>(d.graph.NumEdges());
+    row->numbers["max_degree"] = static_cast<double>(d.graph.MaxDegree());
+    row->numbers["avg_degree"] = d.graph.AvgDegree();
   }
   std::printf("\npaper originals for reference: Youtube 1.1M/3.0M, "
               "Skitter 1.7M/11.1M, Orkut 3.1M/117M, BTC 164.7M/772M, "
               "Friendster 65.6M/1806M\n");
+
+  Status write = out.WriteTo(json_path);
+  if (!write.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", json_path,
+                 write.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
   return 0;
 }

@@ -6,7 +6,8 @@
 // As in the paper, Giraph and Arabesque rows exist only for MCF and TC
 // (those are the algorithms the originals shipped). Budget/cap markers:
 // ">B s" = exceeded the time budget (paper: >24 hr), "M/O" = exceeded the
-// tracked-memory cap (paper: OOM).
+// tracked-memory cap (paper: OOM). Pass --json <path> to also write every
+// row as structured JSON.
 
 #include <cstdio>
 
@@ -21,15 +22,25 @@ constexpr double kBudgetS = 10.0;
 constexpr int64_t kMemCap = 256LL << 20;
 constexpr double kScale = 0.35;
 
-void PrintRow(const char* engine, const RunOutcome& o) {
+BenchJson g_json;
+
+void PrintRow(const std::string& dataset, const char* app, const char* engine,
+              const RunOutcome& o) {
   std::printf("  %-12s %-22s (result=%llu)\n", engine,
               FormatCell(o, kBudgetS).c_str(),
               static_cast<unsigned long long>(o.value));
+  BenchJson::Row* row = g_json.AddRow(dataset + "/" + app + "/" + engine);
+  row->cells["dataset"] = dataset;
+  row->cells["app"] = app;
+  row->cells["engine"] = engine;
+  row->cells["cell"] = FormatCell(o, kBudgetS);
+  FillRow(row, o);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_json.bench = "table3_systems";
   std::printf("=== Table III: systems comparison (time / peak tracked mem) "
               "===\n");
   std::printf("budget %.0f s, mem cap %lld MB, dataset scale %.2f, "
@@ -47,26 +58,36 @@ int main() {
                 static_cast<unsigned long long>(g.NumEdges()));
 
     std::printf(" [TC]\n");
-    PrintRow("Giraph", RunPregelTc(g, kBudgetS, kMemCap));
-    PrintRow("Arabesque", RunArabesqueTc(g, kBudgetS, kMemCap));
-    PrintRow("G-Miner", RunGMinerTc(g, kBudgetS));
-    PrintRow("G-thinker", RunGthinkerTc(g, gt_config));
+    PrintRow(name, "tc", "Giraph", RunPregelTc(g, kBudgetS, kMemCap));
+    PrintRow(name, "tc", "Arabesque", RunArabesqueTc(g, kBudgetS, kMemCap));
+    PrintRow(name, "tc", "G-Miner", RunGMinerTc(g, kBudgetS));
+    PrintRow(name, "tc", "G-thinker", RunGthinkerTc(g, gt_config));
 
     std::printf(" [MCF]\n");
-    PrintRow("Giraph", RunPregelMcf(g, kBudgetS, kMemCap));
-    PrintRow("Arabesque", RunArabesqueMcf(g, kBudgetS, kMemCap));
-    PrintRow("G-Miner", RunGMinerMcf(g, kBudgetS));
-    PrintRow("G-thinker", RunGthinkerMcf(g, gt_config));
+    PrintRow(name, "mcf", "Giraph", RunPregelMcf(g, kBudgetS, kMemCap));
+    PrintRow(name, "mcf", "Arabesque", RunArabesqueMcf(g, kBudgetS, kMemCap));
+    PrintRow(name, "mcf", "G-Miner", RunGMinerMcf(g, kBudgetS));
+    PrintRow(name, "mcf", "G-thinker", RunGthinkerMcf(g, gt_config));
 
     std::printf(" [GM: labeled triangle query]\n");
     auto labels = Generator::RandomLabels(g.NumVertices(), 4,
                                           /*seed=*/g.NumVertices());
     const QueryGraph query = QueryGraph::Triangle(0, 1, 2);
-    PrintRow("G-Miner", RunGMinerGm(g, labels, query, kBudgetS));
-    PrintRow("G-thinker", RunGthinkerGm(g, labels, query, gt_config));
+    PrintRow(name, "gm", "G-Miner", RunGMinerGm(g, labels, query, kBudgetS));
+    PrintRow(name, "gm", "G-thinker", RunGthinkerGm(g, labels, query,
+                                                    gt_config));
   }
   std::printf("\nexpected shape (paper Table III): G-thinker fastest with "
               "the smallest memory; Giraph/Arabesque blow up on dense/large "
               "inputs; G-Miner in between, dragged by its disk queue.\n");
+
+  const char* json_path = JsonPathArg(argc, argv);
+  Status write = g_json.WriteTo(json_path);
+  if (!write.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", json_path,
+                 write.ToString().c_str());
+    return 1;
+  }
+  if (json_path != nullptr) std::printf("wrote %s\n", json_path);
   return 0;
 }

@@ -2,13 +2,22 @@
 // stand-ins, with tunable cluster shape:
 //
 //   ./maximum_clique [dataset] [workers] [compers] [tau]
+//                    [--report <json>] [--trace <json>] [--sample-ms <n>]
 //
-// e.g.  ./maximum_clique orkut 4 2 400
+// e.g.  ./maximum_clique orkut 4 2 400 --report run.json --trace trace.json
+//
+// --report writes the obs::JobReport JSON (metrics, histograms, derived
+// ratios, sampled time-series); --trace enables span tracing and writes a
+// Chrome trace-event file loadable in Perfetto / chrome://tracing;
+// --sample-ms sets the gauge sampling period (defaults to 50 when a report
+// is requested, otherwise off).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/maxclique_app.h"
 #include "apps/triangle_app.h"  // TrimToGreater
@@ -18,10 +27,28 @@
 using namespace gthinker;
 
 int main(int argc, char** argv) {
-  const std::string dataset = argc > 1 ? argv[1] : "youtube";
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
-  const int compers = argc > 3 ? std::atoi(argv[3]) : 2;
-  const size_t tau = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 400;
+  // Split flag arguments ("--name value") from positional ones so the
+  // original positional interface keeps working unchanged.
+  std::string report_path;
+  std::string trace_path;
+  int64_t sample_ms = -1;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
+      sample_ms = std::atoll(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::string dataset = positional.size() > 0 ? positional[0] : "youtube";
+  const int workers = positional.size() > 1 ? std::atoi(positional[1]) : 4;
+  const int compers = positional.size() > 2 ? std::atoi(positional[2]) : 2;
+  const size_t tau =
+      positional.size() > 3 ? std::strtoul(positional[3], nullptr, 10) : 400;
 
   Dataset data = MakeDataset(dataset, /*scale=*/0.5);
   const Graph& graph = data.graph;
@@ -33,6 +60,14 @@ int main(int argc, char** argv) {
   Job<MaxCliqueComper> job;
   job.config.num_workers = workers;
   job.config.compers_per_worker = compers;
+  job.config.report_path = report_path;
+  job.config.trace_path = trace_path;
+  job.config.enable_span_tracing = !trace_path.empty();
+  if (sample_ms >= 0) {
+    job.config.metrics_sample_ms = sample_ms;
+  } else if (!report_path.empty()) {
+    job.config.metrics_sample_ms = 50;  // sampling on by default with a report
+  }
   job.graph = &graph;
   job.comper_factory = [tau] {
     return std::make_unique<MaxCliqueComper>(tau);
@@ -43,13 +78,13 @@ int main(int argc, char** argv) {
 
   std::printf("maximum clique size: %zu\nvertices:", result.result.size());
   for (VertexId v : result.result) std::printf(" %u", v);
-  std::printf("\n");
-  std::printf("elapsed %.3f s | %lld tasks | %lld stolen batches | "
-              "peak mem %.1f MB\n",
-              result.stats.elapsed_s,
-              static_cast<long long>(result.stats.tasks_finished),
-              static_cast<long long>(result.stats.stolen_batches),
-              result.stats.max_peak_mem_bytes / 1048576.0);
+  std::printf("\n%s", result.stats.Summary().c_str());
+  if (!report_path.empty()) {
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
 
   // Validate the answer really is a clique.
   for (size_t i = 0; i < result.result.size(); ++i) {

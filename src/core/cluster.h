@@ -2,19 +2,24 @@
 #define GTHINKER_CORE_CLUSTER_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/config.h"
+#include "core/job_report.h"
 #include "core/protocol.h"
 #include "core/worker.h"
 #include "graph/graph.h"
 #include "graph/loader.h"
 #include "net/comm_hub.h"
+#include "obs/sampler.h"
 #include "storage/mini_dfs.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -152,6 +157,41 @@ class Cluster {
     }
 
     for (auto& worker : workers) worker->Start();
+
+    // Gauge sampler (JobConfig::metrics_sample_ms): a master-side thread
+    // polling each worker's cheap probes plus the hub inbox backlog into
+    // bounded time-series. Reads are single relaxed atomics, so the sampler
+    // perturbs nothing; it is joined before the workers are torn down.
+    enum SeriesKind { kCacheSize, kLiveTasks, kQueueDepth, kDiskTasks,
+                      kInboxDepth, kNumSeries };
+    static constexpr const char* kSeriesNames[kNumSeries] = {
+        "cache_size", "live_tasks", "queue_depth", "disk_tasks",
+        "inbox_depth"};
+    std::vector<std::vector<obs::BoundedSeries>> sampled(num_workers);
+    std::atomic<bool> sampler_stop{false};
+    std::thread sampler;
+    if (config.metrics_sample_ms > 0) {
+      for (int w = 0; w < num_workers; ++w) {
+        sampled[w].reserve(kNumSeries);
+        for (int s = 0; s < kNumSeries; ++s) {
+          sampled[w].emplace_back(kSeriesNames[s], w);
+        }
+      }
+      sampler = std::thread([&] {
+        while (!sampler_stop.load(std::memory_order_acquire)) {
+          const int64_t t = hub.NowUs();
+          for (int w = 0; w < num_workers; ++w) {
+            sampled[w][kCacheSize].Append(t, workers[w]->SampleCacheSize());
+            sampled[w][kLiveTasks].Append(t, workers[w]->SampleLiveTasks());
+            sampled[w][kQueueDepth].Append(t, workers[w]->SampleQueueDepth());
+            sampled[w][kDiskTasks].Append(t, workers[w]->SampleDiskTasks());
+            sampled[w][kInboxDepth].Append(t, hub.InboxDepth(w));
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(config.metrics_sample_ms));
+        }
+      });
+    }
 
     // ------------------------- master loop -------------------------
     RunResult<ComperT> out;
@@ -366,6 +406,16 @@ class Cluster {
     }
     for (auto& worker : workers) worker->Join();
 
+    if (sampler.joinable()) {
+      sampler_stop.store(true, std::memory_order_release);
+      sampler.join();
+      for (int w = 0; w < num_workers; ++w) {
+        for (obs::BoundedSeries& series : sampled[w]) {
+          stats.timeseries.push_back(series.Take());
+        }
+      }
+    }
+
     stats.elapsed_s = wall.ElapsedSeconds();
     for (int w = 0; w < num_workers; ++w) {
       const ProgressReport& r = final_reports[w];
@@ -376,8 +426,10 @@ class Cluster {
       stats.stolen_batches += r.stolen_batches;
       stats.vertex_requests += r.vertex_requests;
       stats.cache_hits += r.cache_hits;
+      stats.cache_requests += r.cache_requests;
       stats.cache_evictions += r.cache_evictions;
       stats.comper_idle_rounds += r.comper_idle_rounds;
+      stats.comper_rounds += r.comper_rounds;
       stats.ledger.Accumulate(r.ledger);
       stats.tasks_live_at_exit += r.tasks_live;
       stats.drained_messages += r.drained_messages;
@@ -388,6 +440,16 @@ class Cluster {
     }
     stats.batches_sent = hub.TotalBatchesSent();
     stats.bytes_sent = hub.TotalBytesSent();
+    stats.steal_orders = hub.SentCount(MsgType::kStealOrder);
+
+    // Per-scope metric snapshots: every worker's registry (with the cache /
+    // task roll-ups folded in) plus the hub's wire view. Safe here: workers
+    // are joined, the hub is quiet.
+    for (auto& worker : workers) {
+      worker->FinalizeObs();
+      stats.metrics.push_back(worker->MetricsSnapshot());
+    }
+    stats.metrics.push_back(hub.MetricsSnapshot());
 
     // Task-conservation verdict. The final reports are taken after every
     // worker has quiesced and drained, so the summed ledger must account for
@@ -427,8 +489,33 @@ class Cluster {
                 });
     }
 
+    if (config.enable_span_tracing) {
+      for (auto& worker : workers) {
+        const obs::SpanRing* ring = worker->spans();
+        if (ring == nullptr) continue;
+        stats.span_events_total += ring->total();
+        for (const obs::SpanEvent& e : ring->Snapshot()) {
+          stats.spans.push_back(e);
+        }
+      }
+      // Hub-clock timestamps share one epoch across workers, so a global
+      // sort gives true cluster-wide ordering.
+      std::sort(stats.spans.begin(), stats.spans.end(),
+                [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+                  return a.t_us < b.t_us;
+                });
+    }
+
     workers.clear();
     if (own_spill_root) RemoveTree(spill_root);
+
+    {
+      const Status artifacts =
+          WriteObservabilityArtifacts("gthinker", config, stats);
+      if (!artifacts.ok()) {
+        LOG_ERROR << "observability artifacts: " << artifacts.ToString();
+      }
+    }
 
     out.result = std::move(global);
     return out;
@@ -549,7 +636,9 @@ class Cluster {
       mb.src_worker = master_id;
       mb.dst_worker = donor;
       mb.type = MsgType::kStealOrder;
-      mb.payload = EncodeStealOrder(static_cast<int32_t>(i));
+      // Stamp the order with the hub clock; the recipient of the resulting
+      // kTaskBatch closes the round-trip measurement (steal.rtt_us).
+      mb.payload = EncodeStealOrder(static_cast<int32_t>(i), hub->NowUs());
       hub->Send(std::move(mb));
     }
   }

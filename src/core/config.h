@@ -2,12 +2,16 @@
 #define GTHINKER_CORE_CONFIG_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/protocol.h"
 #include "core/trace.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/span_trace.h"
 #include "util/status.h"
 
 namespace gthinker {
@@ -71,6 +75,20 @@ struct JobConfig {
   /// JobStats::trace (debugging facility; leave off for benchmarks).
   bool enable_tracing = false;
 
+  // ---- observability (docs/OBSERVABILITY.md) ----
+  /// Period of the master's gauge sampler (0 = off): every metrics_sample_ms
+  /// it snapshots per-worker cache occupancy, live tasks, queue depth, inbox
+  /// backlog and disk-resident tasks into JobStats::timeseries.
+  int64_t metrics_sample_ms = 0;
+  /// Record per-task lifecycle spans (spawn/pending/ready/execute/finish
+  /// with task IDs) into per-worker rings, merged into JobStats::spans and
+  /// exportable as a Chrome trace (obs::WriteChromeTrace / trace_path).
+  bool enable_span_tracing = false;
+  /// When non-empty, Cluster::Run writes the JSON run report here.
+  std::string report_path;
+  /// When non-empty (and enable_span_tracing), writes the Chrome trace here.
+  std::string trace_path;
+
   // ---- durability ----
   /// Directory for task spill files; empty = fresh temp dir per job.
   std::string spill_root;
@@ -131,6 +149,9 @@ struct JobConfig {
     if (drain_timeout_us <= 0) {
       return Status::InvalidArgument("drain_timeout_us must be positive");
     }
+    if (metrics_sample_ms < 0) {
+      return Status::InvalidArgument("metrics_sample_ms must be >= 0");
+    }
     return Status::Ok();
   }
 };
@@ -157,6 +178,12 @@ struct JobStats {
   /// Comper rounds that processed no task (push and pop both empty/blocked):
   /// the direct measure of the CPU idle time the design minimizes.
   int64_t comper_idle_rounds = 0;
+  /// Total comper scheduling rounds (idle + busy), for ComperUtilization().
+  int64_t comper_rounds = 0;
+  /// Total VertexCache lookups (hits + misses), for CacheHitRate().
+  int64_t cache_requests = 0;
+  /// kStealOrder batches the master issued, for StealEfficiency().
+  int64_t steal_orders = 0;
 
   // Wire totals from the hub.
   int64_t batches_sent = 0;
@@ -184,7 +211,106 @@ struct JobStats {
   // events per worker, merged; trace_events_total counts all recorded.
   std::vector<TraceEvent> trace;
   int64_t trace_events_total = 0;
+
+  // ---- observability payloads ----
+  /// Per-scope metric snapshots: one per worker ("worker<i>") plus the hub
+  /// ("hub"). Always populated (recording is lock-free counters).
+  std::vector<obs::MetricsSnapshot> metrics;
+  /// Sampled gauge time-series (only when metrics_sample_ms > 0).
+  std::vector<obs::TimeSeries> timeseries;
+  /// Per-task lifecycle spans merged over workers, hub-clock-ordered (only
+  /// when enable_span_tracing); span_events_total counts all recorded.
+  std::vector<obs::SpanEvent> spans;
+  int64_t span_events_total = 0;
+
+  // ---- derived health indicators ----
+  /// Fraction of VertexCache lookups served from Γ-table, [0,1]; -1 when no
+  /// lookups happened.
+  double CacheHitRate() const {
+    return cache_requests > 0
+               ? static_cast<double>(cache_hits) / cache_requests
+               : -1.0;
+  }
+
+  /// Donated task batches actually received per steal order the master
+  /// issued; -1 when stealing never triggered. Below 1.0 means orders went
+  /// out to workers that had nothing left to give.
+  double StealEfficiency() const {
+    return steal_orders > 0
+               ? static_cast<double>(stolen_batches) / steal_orders
+               : -1.0;
+  }
+
+  /// 1 − idle_rounds / rounds over all compers, [0,1]; -1 when no rounds
+  /// were counted.
+  double ComperUtilization() const {
+    return comper_rounds > 0
+               ? 1.0 - static_cast<double>(comper_idle_rounds) / comper_rounds
+               : -1.0;
+  }
+
+  /// Human-readable one-screen digest (examples print this after a run).
+  std::string Summary() const;
 };
+
+inline std::string JobStats::Summary() const {
+  auto pct = [](double v) {
+    if (v < 0.0) return std::string("n/a");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+    return std::string(buf);
+  };
+  auto ratio = [](double v) {
+    if (v < 0.0) return std::string("n/a");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return std::string(buf);
+  };
+  std::string s;
+  char line[160];
+  std::snprintf(line, sizeof(line), "elapsed: %.3f s%s\n", elapsed_s,
+                timed_out ? " (TIMED OUT)" : "");
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "tasks: %lld spawned, %lld finished, %lld iterations\n",
+                static_cast<long long>(tasks_spawned),
+                static_cast<long long>(tasks_finished),
+                static_cast<long long>(task_iterations));
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "cache: hit rate %s (%lld hits / %lld requests), "
+                "%lld evictions\n",
+                pct(CacheHitRate()).c_str(),
+                static_cast<long long>(cache_hits),
+                static_cast<long long>(cache_requests),
+                static_cast<long long>(cache_evictions));
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "compers: utilization %s (%lld idle / %lld rounds)\n",
+                pct(ComperUtilization()).c_str(),
+                static_cast<long long>(comper_idle_rounds),
+                static_cast<long long>(comper_rounds));
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "stealing: efficiency %s (%lld batches / %lld orders)\n",
+                ratio(StealEfficiency()).c_str(),
+                static_cast<long long>(stolen_batches),
+                static_cast<long long>(steal_orders));
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "wire: %lld batches, %lld bytes; spills: %lld batches\n",
+                static_cast<long long>(batches_sent),
+                static_cast<long long>(bytes_sent),
+                static_cast<long long>(spilled_batches));
+  s += line;
+  std::snprintf(line, sizeof(line),
+                "memory: peak %lld bytes (max over workers); output: %lld "
+                "records\n",
+                static_cast<long long>(max_peak_mem_bytes),
+                static_cast<long long>(records_output));
+  s += line;
+  return s;
+}
 
 }  // namespace gthinker
 

@@ -103,6 +103,11 @@ struct ProgressReport {
   int64_t cache_evictions = 0;
   int64_t peak_mem_bytes = 0;
   int64_t comper_idle_rounds = 0;
+  /// Total VertexCache lookups (hits + misses); hit rate = cache_hits / this.
+  int64_t cache_requests = 0;
+  /// Scheduling rounds across the worker's compers (idle + busy); comper
+  /// utilization = 1 - comper_idle_rounds / this.
+  int64_t comper_rounds = 0;
 
   /// Task-conservation accounting (see TaskLedger).
   TaskLedger ledger;
@@ -134,6 +139,8 @@ struct ProgressReport {
     ser.Write(cache_evictions);
     ser.Write(peak_mem_bytes);
     ser.Write(comper_idle_rounds);
+    ser.Write(cache_requests);
+    ser.Write(comper_rounds);
     ledger.EncodeTo(&ser);
     ser.Write(tasks_live);
     ser.Write(tasks_on_disk);
@@ -160,6 +167,8 @@ struct ProgressReport {
     GT_RETURN_IF_ERROR(des.Read(&cache_evictions));
     GT_RETURN_IF_ERROR(des.Read(&peak_mem_bytes));
     GT_RETURN_IF_ERROR(des.Read(&comper_idle_rounds));
+    GT_RETURN_IF_ERROR(des.Read(&cache_requests));
+    GT_RETURN_IF_ERROR(des.Read(&comper_rounds));
     GT_RETURN_IF_ERROR(ledger.DecodeFrom(&des));
     GT_RETURN_IF_ERROR(des.Read(&tasks_live));
     GT_RETURN_IF_ERROR(des.Read(&tasks_on_disk));
@@ -208,17 +217,62 @@ inline Status DecodeRecordBatch(const std::string& payload,
   return Status::Ok();
 }
 
-/// kStealOrder payload: the worker that should receive the donated batch.
-inline std::string EncodeStealOrder(int32_t dst_worker) {
+/// kTaskBatch payload: the record batch plus the hub-clock instant of the
+/// kStealOrder that caused it (0 for drain-deadline flushes), so the
+/// recipient can measure the full steal round-trip order->batch-arrival.
+inline std::string EncodeTaskBatch(const std::vector<std::string>& records,
+                                   int64_t steal_order_t_us = 0) {
   Serializer ser;
-  ser.Write(dst_worker);
+  ser.Write(steal_order_t_us);
+  ser.Write<uint64_t>(records.size());
+  for (const std::string& r : records) ser.WriteString(r);
   return ser.Release();
 }
 
-inline Status DecodeStealOrder(const std::string& payload,
-                               int32_t* dst_worker) {
+inline Status DecodeTaskBatch(const std::string& payload,
+                              std::vector<std::string>* records,
+                              int64_t* steal_order_t_us = nullptr) {
   Deserializer des(payload);
-  return des.Read(dst_worker);
+  int64_t t_us = 0;
+  GT_RETURN_IF_ERROR(des.Read(&t_us));
+  if (steal_order_t_us != nullptr) *steal_order_t_us = t_us;
+  uint64_t n = 0;
+  GT_RETURN_IF_ERROR(des.Read(&n));
+  if (n > des.remaining()) {
+    return Status::Corruption("task batch count implausible");
+  }
+  records->clear();
+  records->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string r;
+    GT_RETURN_IF_ERROR(des.ReadString(&r));
+    records->push_back(std::move(r));
+  }
+  return Status::Ok();
+}
+
+/// kStealOrder payload: the worker that should receive the donated batch,
+/// plus the hub-clock instant the master issued the order (steal round-trip
+/// measurement). The timestamp defaults keep old call sites byte-compatible
+/// readers: Decode tolerates the short legacy encoding.
+inline std::string EncodeStealOrder(int32_t dst_worker,
+                                    int64_t order_t_us = 0) {
+  Serializer ser;
+  ser.Write(dst_worker);
+  ser.Write(order_t_us);
+  return ser.Release();
+}
+
+inline Status DecodeStealOrder(const std::string& payload, int32_t* dst_worker,
+                               int64_t* order_t_us = nullptr) {
+  Deserializer des(payload);
+  GT_RETURN_IF_ERROR(des.Read(dst_worker));
+  int64_t t_us = 0;
+  if (des.remaining() >= sizeof(int64_t)) {
+    GT_RETURN_IF_ERROR(des.Read(&t_us));
+  }
+  if (order_t_us != nullptr) *order_t_us = t_us;
+  return Status::Ok();
 }
 
 /// kDrainBarrier payload (worker -> master direction): the quiesced worker.

@@ -47,6 +47,12 @@ class Task {
   uint32_t iteration() const { return iteration_; }
   void BumpIteration() { ++iteration_; }
 
+  /// Span-trace identity (core/protocol.h MakeTaskId). Transient: NOT
+  /// serialized — a task reloaded from spill or received from a steal gets a
+  /// fresh id at its new home, starting a new span there.
+  uint64_t span_id() const { return span_id_; }
+  void set_span_id(uint64_t id) { span_id_ = id; }
+
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(sizeof(*this)) + subgraph_.MemoryBytes() +
            ValueBytes(context_) +
@@ -72,6 +78,7 @@ class Task {
   ContextT context_{};
   std::vector<VertexId> pulls_;
   uint32_t iteration_ = 0;
+  uint64_t span_id_ = 0;
 };
 
 }  // namespace gthinker

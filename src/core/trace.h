@@ -3,8 +3,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "obs/sharded_ring.h"
 
 namespace gthinker {
 
@@ -32,53 +33,33 @@ struct TraceEvent {
   TaskEvent kind = TaskEvent::kSpawned;
 };
 
-/// Bounded event ring: the newest `capacity` events win. Thread-safe;
-/// recording is a short critical section (tracing is a debug facility, not
-/// a hot-path feature — leave it off for benchmarks).
+/// Bounded event ring: the newest `capacity` events win. Recording threads
+/// are sharded (obs::ShardedRing) so compers never contend on one lock —
+/// the old single-mutex ring serialized every comper of a worker through
+/// one critical section whenever enable_tracing was set. Snapshot() merges
+/// the shards back into global arrival order.
 class TraceRing {
  public:
   explicit TraceRing(size_t capacity = 8192)
-      : capacity_(capacity), epoch_(Clock::now()) {}
+      : ring_(capacity), epoch_(Clock::now()) {}
 
   void Record(int16_t worker, int16_t comper, TaskEvent kind) {
     const int64_t t_us =
         std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               epoch_)
             .count();
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++total_;
-    if (events_.size() < capacity_) {
-      events_.push_back({t_us, worker, comper, kind});
-    } else {
-      events_[next_overwrite_] = {t_us, worker, comper, kind};
-      next_overwrite_ = (next_overwrite_ + 1) % capacity_;
-    }
+    ring_.Record(TraceEvent{t_us, worker, comper, kind});
   }
 
-  /// Events in arrival order (oldest retained first).
-  std::vector<TraceEvent> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<TraceEvent> out;
-    out.reserve(events_.size());
-    for (size_t i = 0; i < events_.size(); ++i) {
-      out.push_back(events_[(next_overwrite_ + i) % events_.size()]);
-    }
-    return out;
-  }
+  /// Events in arrival order (oldest retained first), merged over shards.
+  std::vector<TraceEvent> Snapshot() const { return ring_.Snapshot(); }
 
-  int64_t total() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return total_;
-  }
+  int64_t total() const { return ring_.total(); }
 
  private:
   using Clock = std::chrono::steady_clock;
-  const size_t capacity_;
+  obs::ShardedRing<TraceEvent> ring_;
   const Clock::time_point epoch_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-  size_t next_overwrite_ = 0;
-  int64_t total_ = 0;
 };
 
 inline const char* TaskEventName(TaskEvent event) {

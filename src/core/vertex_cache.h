@@ -50,6 +50,17 @@ class VertexCache {
                        // (OP1 case 2.1)
   };
 
+  /// Bucket-group granularity for hotspot stats: buckets are folded into
+  /// kNumBucketGroups contiguous groups so a skewed hash (one hot bucket
+  /// range) shows up without a counter per bucket.
+  static constexpr int kNumBucketGroups = 8;
+
+  struct GroupStats {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};  // wait-joins + new requests
+    std::atomic<int64_t> evictions{0};
+  };
+
   struct Stats {
     std::atomic<int64_t> requests{0};
     std::atomic<int64_t> hits{0};
@@ -59,6 +70,9 @@ class VertexCache {
     /// Time GC spent scanning buckets with their mutex held (µs): the cost
     /// the Z-table exists to minimize (paper §V-A).
     std::atomic<int64_t> evict_scan_us{0};
+    /// Completed EvictUpTo passes (each scans up to every bucket once).
+    std::atomic<int64_t> gc_passes{0};
+    GroupStats groups[kNumBucketGroups];
   };
 
   /// `capacity` = c_cache (entries), `alpha` = overflow tolerance α,
@@ -87,7 +101,9 @@ class VertexCache {
   RequestResult Request(VertexId v, uint64_t task_id, SCacheCounter* counter,
                         const VertexT** out) {
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    Bucket& bucket = BucketFor(v);
+    const size_t bucket_index = BucketIndexFor(v);
+    GroupStats& group = stats_.groups[GroupOf(bucket_index)];
+    Bucket& bucket = buckets_[bucket_index];
     std::lock_guard<std::mutex> lock(bucket.mutex);
     auto git = bucket.gamma.find(v);
     if (git != bucket.gamma.end()) {
@@ -95,8 +111,10 @@ class VertexCache {
       ++git->second.lock_count;
       *out = &git->second.vertex;
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      group.hits.fetch_add(1, std::memory_order_relaxed);
       return RequestResult::kHit;
     }
+    group.misses.fetch_add(1, std::memory_order_relaxed);
     auto rit = bucket.rtable.find(v);
     if (rit != bucket.rtable.end()) {
       ++rit->second.lock_count;
@@ -168,8 +186,10 @@ class VertexCache {
     const size_t n = buckets_.size();
     Timer scan_timer;
     for (size_t scanned = 0; scanned < n && evicted < target; ++scanned) {
-      Bucket& bucket = buckets_[next_evict_bucket_];
+      const size_t bucket_index = next_evict_bucket_;
+      Bucket& bucket = buckets_[bucket_index];
       next_evict_bucket_ = (next_evict_bucket_ + 1) % n;
+      const int64_t evicted_before = evicted;
       std::lock_guard<std::mutex> lock(bucket.mutex);
       if (use_z_table_) {
         auto zit = bucket.zero.begin();
@@ -195,9 +215,14 @@ class VertexCache {
           ++evicted;
         }
       }
+      if (evicted > evicted_before) {
+        stats_.groups[GroupOf(bucket_index)].evictions.fetch_add(
+            evicted - evicted_before, std::memory_order_relaxed);
+      }
     }
     stats_.evict_scan_us.fetch_add(scan_timer.ElapsedMicros(),
                                    std::memory_order_relaxed);
+    stats_.gc_passes.fetch_add(1, std::memory_order_relaxed);
     // Bulk commit: batch eviction amortizes the shared-counter update just
     // like it amortizes bucket locking.
     s_cache_.fetch_sub(evicted, std::memory_order_relaxed);
@@ -259,8 +284,16 @@ class VertexCache {
     std::unordered_map<VertexId, RequestEntry> rtable;
   };
 
-  Bucket& BucketFor(VertexId v) {
-    return buckets_[Mix64(v) % buckets_.size()];
+  Bucket& BucketFor(VertexId v) { return buckets_[BucketIndexFor(v)]; }
+
+  size_t BucketIndexFor(VertexId v) const {
+    return Mix64(v) % buckets_.size();
+  }
+
+  /// Folds bucket index into one of kNumBucketGroups contiguous ranges.
+  int GroupOf(size_t bucket_index) const {
+    return static_cast<int>(bucket_index * kNumBucketGroups /
+                            buckets_.size());
   }
 
   void Bump(SCacheCounter* counter, int64_t d) {

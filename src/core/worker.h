@@ -21,6 +21,8 @@
 #include "core/protocol.h"
 #include "core/vertex_cache.h"
 #include "net/comm_hub.h"
+#include "obs/metrics.h"
+#include "obs/span_trace.h"
 #include "storage/file_list.h"
 #include "storage/mini_dfs.h"
 #include "storage/spill_file.h"
@@ -56,9 +58,21 @@ class Worker {
         spill_dir_(std::move(spill_dir)),
         cache_(config.cache_num_buckets, config.cache_capacity,
                config.cache_overflow_alpha, config.cache_counter_delta,
-               &mem_, config.cache_use_z_table) {
+               &mem_, config.cache_use_z_table),
+        metrics_("worker" + std::to_string(worker_id)) {
     master_id_ = config_.num_workers;  // master mailbox index
     if (config_.enable_tracing) trace_ = std::make_unique<TraceRing>();
+    if (config_.enable_span_tracing) {
+      spans_ = std::make_unique<obs::SpanRing>(1 << 16);
+    }
+    task_wait_us_ = metrics_.GetHistogram("task.wait_us");
+    steal_rtt_us_ = metrics_.GetHistogram("steal.rtt_us");
+    spill_write_us_ = metrics_.GetHistogram("spill.write_us");
+    spill_read_us_ = metrics_.GetHistogram("spill.read_us");
+    spill_write_bytes_ = metrics_.GetCounter("spill.write_bytes");
+    spill_read_bytes_ = metrics_.GetCounter("spill.read_bytes");
+    refill_spill_tasks_ = metrics_.GetCounter("refill.from_spill_tasks");
+    refill_spawn_tasks_ = metrics_.GetCounter("refill.from_spawn_tasks");
     request_buffers_ =
         std::vector<RequestBuffer>(static_cast<size_t>(config_.num_workers));
     for (int i = 0; i < config_.compers_per_worker; ++i) {
@@ -113,7 +127,12 @@ class Worker {
     std::vector<std::string> batch;
     auto flush_batch = [this, &batch]() -> Status {
       std::string path;
-      GT_RETURN_IF_ERROR(SpillFile::WriteBatch(spill_dir_, batch, &path));
+      int64_t bytes = 0;
+      Timer write_timer;
+      GT_RETURN_IF_ERROR(
+          SpillFile::WriteBatch(spill_dir_, batch, &path, &bytes));
+      spill_write_us_->Record(write_timer.ElapsedMicros());
+      spill_write_bytes_->Add(bytes);
       live_tasks_.fetch_add(static_cast<int64_t>(batch.size()));
       tasks_restored_.fetch_add(static_cast<int64_t>(batch.size()),
                                 std::memory_order_relaxed);
@@ -178,12 +197,18 @@ class Worker {
     ComperEngine(Worker* worker, int index, std::unique_ptr<ComperT> user)
         : worker_(worker), index_(index), user_(std::move(user)) {
       user_->BindRuntime(this);
+      compute_us_ = worker_->metrics_.GetHistogram(
+          "comper.compute_iter_us", "comper=" + std::to_string(index));
     }
 
     // ---- Comper<>::Runtime ----
     void AddTask(std::unique_ptr<TaskT> task) override {
       worker_->OnTaskSpawned();
       worker_->Trace(index_, TaskEvent::kSpawned);
+      if (worker_->spans_ != nullptr) {
+        task->set_span_id(worker_->NextSpanId());
+        worker_->Span(task->span_id(), index_, obs::SpanPhase::kSpawn);
+      }
       AddToQueue(std::move(task));
     }
     void Aggregate(const AggT& delta) override { worker_->agg_.Aggregate(delta); }
@@ -197,6 +222,7 @@ class Worker {
     void Loop() {
       while (!worker_->stop_compers_.load(std::memory_order_acquire)) {
         worker_->MaybePark();
+        rounds_.fetch_add(1, std::memory_order_relaxed);
         bool did = Push();
         if (CanPop()) did = Pop() || did;
         if (!did) {
@@ -215,6 +241,7 @@ class Worker {
     /// Called by the comm thread when Γ(v) lands for a task of this comper.
     void OnVertexReady(uint64_t task_id) {
       std::unique_ptr<TaskT> ready;
+      int64_t pending_at_us = 0;
       {
         std::lock_guard<std::mutex> lock(t_mutex_);
         auto it = t_task_.find(task_id);
@@ -224,11 +251,14 @@ class Worker {
         ++pending.met;
         if (pending.req >= 0 && pending.met == pending.req) {
           ready = std::move(pending.task);
+          pending_at_us = pending.pending_at_us;
           t_task_.erase(it);
         }
       }
       if (ready != nullptr) {
         worker_->Trace(index_, TaskEvent::kReady);
+        worker_->task_wait_us_->Record(worker_->hub_->NowUs() - pending_at_us);
+        worker_->Span(ready->span_id(), index_, obs::SpanPhase::kReady);
         // Push to B_task *before* shrinking the T_task mirror: a reader that
         // sees the smaller t_size_ then also sees the task in B_task, so the
         // task is never invisible to both.
@@ -248,6 +278,8 @@ class Worker {
     int64_t IdleRounds() const {
       return idle_rounds_.load(std::memory_order_relaxed);
     }
+
+    int64_t Rounds() const { return rounds_.load(std::memory_order_relaxed); }
 
     /// Checkpoint support: serializes every in-memory task of this engine.
     /// Only safe while the comper thread is parked.
@@ -275,6 +307,9 @@ class Worker {
       std::unique_ptr<TaskT> task;
       int met = 0;
       int req = -1;  // -1 = not yet committed by the popping comper
+      /// Hub-clock instant the task parked in T_task; pending->ready wait
+      /// time is measured against it (task.wait_us histogram).
+      int64_t pending_at_us = 0;
     };
 
     /// push(): run one ready task from B_task (its pulls are all cached and
@@ -319,19 +354,32 @@ class Worker {
         if (worker_->config_.refill_spawn_first && SpawnBatch()) continue;
         if (auto file = worker_->l_file_.TryPopFront()) {
           std::vector<std::string> records;
-          GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records));
+          int64_t bytes = 0;
+          Timer read_timer;
+          GT_CHECK_OK(
+              SpillFile::ReadBatchAndDelete(file->path, &records, &bytes));
+          worker_->spill_read_us_->Record(read_timer.ElapsedMicros());
+          worker_->spill_read_bytes_->Add(bytes);
           GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
               << "spill file " << file->path << " record count drifted";
           for (const std::string& rec : records) {
             auto task = std::make_unique<TaskT>();
             Deserializer des(rec);
             GT_CHECK_OK(task->Deserialize(des));
+            if (worker_->spans_ != nullptr) {
+              // Fresh span: the disk round-trip (or a steal) broke the old
+              // lifecycle, so the reloaded task starts a new one here.
+              task->set_span_id(worker_->NextSpanId());
+              worker_->Span(task->span_id(), index_, obs::SpanPhase::kLoaded);
+            }
             worker_->mem_.Consume(task->MemoryBytes());
             q_.push_back(std::move(task));
           }
           q_size_.store(q_.size(), std::memory_order_release);
           worker_->tasks_loaded_.fetch_add(
               static_cast<int64_t>(records.size()), std::memory_order_relaxed);
+          worker_->refill_spill_tasks_->Add(
+              static_cast<int64_t>(records.size()));
           worker_->Trace(index_, TaskEvent::kLoadedBatch);
           continue;
         }
@@ -354,6 +402,7 @@ class Worker {
       for (VertexId v : to_spawn) {
         user_->TaskSpawn(worker_->local_.at(v));  // UDF; calls AddTask
       }
+      worker_->refill_spawn_tasks_->Add(static_cast<int64_t>(to_spawn.size()));
       return true;
     }
 
@@ -376,7 +425,12 @@ class Worker {
           records[batch - 1 - i] = ser.Release();
         }
         std::string path;
-        GT_CHECK_OK(SpillFile::WriteBatch(worker_->spill_dir_, records, &path));
+        int64_t bytes = 0;
+        Timer write_timer;
+        GT_CHECK_OK(SpillFile::WriteBatch(worker_->spill_dir_, records, &path,
+                                          &bytes));
+        worker_->spill_write_us_->Record(write_timer.ElapsedMicros());
+        worker_->spill_write_bytes_->Add(bytes);
         worker_->l_file_.PushBack(path, static_cast<int64_t>(batch));
         worker_->spilled_batches_.fetch_add(1, std::memory_order_relaxed);
         worker_->tasks_spilled_.fetch_add(static_cast<int64_t>(batch),
@@ -406,10 +460,12 @@ class Worker {
       }
       const uint64_t tid = MakeTaskId(index_, seq_++);
       worker_->Trace(index_, TaskEvent::kPending);
+      worker_->Span(task->span_id(), index_, obs::SpanPhase::kPending);
+      const int64_t pending_at_us = worker_->hub_->NowUs();
       TaskT* raw = task.get();
       {
         std::lock_guard<std::mutex> lock(t_mutex_);
-        t_task_.emplace(tid, Pending{std::move(task), 0, -1});
+        t_task_.emplace(tid, Pending{std::move(task), 0, -1, pending_at_us});
         t_size_.fetch_add(1, std::memory_order_relaxed);
       }
       worker_->mem_.Consume(raw->MemoryBytes());
@@ -452,6 +508,8 @@ class Worker {
       if (ready != nullptr) {
         // The responses raced in while we were still registering pulls.
         worker_->Trace(index_, TaskEvent::kReady);
+        worker_->task_wait_us_->Record(worker_->hub_->NowUs() - pending_at_us);
+        worker_->Span(ready->span_id(), index_, obs::SpanPhase::kReady);
         worker_->mem_.Release(ready->MemoryBytes());
         ExecuteIteration(std::move(ready));
       }
@@ -472,8 +530,16 @@ class Worker {
           frontier.push_back(worker_->cache_.GetLocked(v));
         }
       }
+      Timer compute_timer;
       const bool more = user_->Compute(task.get(), frontier);
+      const int64_t compute_us = compute_timer.ElapsedMicros();
+      compute_us_->Record(compute_us);
       worker_->Trace(index_, TaskEvent::kExecuted);
+      if (worker_->spans_ != nullptr) {
+        // Stamp the slice at its start so the viewer draws [start, start+dur].
+        worker_->Span(task->span_id(), index_, obs::SpanPhase::kExecute,
+                      compute_us, worker_->hub_->NowUs() - compute_us);
+      }
       task->BumpIteration();
       worker_->mem_.Release(task->MemoryBytes());
       for (VertexId v : pulls) {
@@ -485,6 +551,7 @@ class Worker {
       } else {
         worker_->OnTaskFinished();
         worker_->Trace(index_, TaskEvent::kFinished);
+        worker_->Span(task->span_id(), index_, obs::SpanPhase::kFinish);
       }
     }
 
@@ -502,6 +569,8 @@ class Worker {
     uint64_t seq_ = 0;
     bool spawn_flushed_ = false;
     std::atomic<int64_t> idle_rounds_{0};
+    std::atomic<int64_t> rounds_{0};
+    obs::Histogram* compute_us_ = nullptr;  // owned by worker_->metrics_
   };
 
   // =======================================================================
@@ -567,6 +636,28 @@ class Worker {
       trace_->Record(static_cast<int16_t>(id_), static_cast<int16_t>(comper),
                      kind);
     }
+  }
+
+  /// Span-trace event (no-op unless enable_span_tracing). `t_us` < 0 means
+  /// "now"; kExecute passes the slice start instead.
+  void Span(uint64_t task_id, int comper, obs::SpanPhase phase,
+            int64_t dur_us = 0, int64_t t_us = -1) {
+    if (spans_ == nullptr) return;
+    obs::SpanEvent e;
+    e.t_us = t_us >= 0 ? t_us : hub_->NowUs();
+    e.dur_us = dur_us;
+    e.task_id = task_id;
+    e.worker = static_cast<int16_t>(id_);
+    e.comper = static_cast<int16_t>(comper);
+    e.phase = phase;
+    spans_->Record(e);
+  }
+
+  /// Globally-unique span identity: worker in the high 16 bits, a local
+  /// sequence below (mirrors MakeTaskId's packing).
+  uint64_t NextSpanId() {
+    return (static_cast<uint64_t>(id_) << 48) |
+           span_seq_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Thread-safe output collection (paper §IV (5), data export): records
@@ -750,7 +841,7 @@ class Worker {
       while (hub_->Receive(id_, /*timeout_us=*/0, &mb)) {
         if (mb.type == MsgType::kTaskBatch) {
           std::vector<std::string> records;
-          GT_CHECK_OK(DecodeRecordBatch(mb.payload, &records));
+          GT_CHECK_OK(DecodeTaskBatch(mb.payload, &records));
           tasks_received_.fetch_add(static_cast<int64_t>(records.size()),
                                     std::memory_order_relaxed);
           tasks_dropped_.fetch_add(static_cast<int64_t>(records.size()),
@@ -808,8 +899,14 @@ class Worker {
       case MsgType::kTaskBatch: {
         data_processed_.fetch_add(1, std::memory_order_relaxed);
         std::vector<std::string> records;
-        GT_CHECK_OK(DecodeRecordBatch(mb.payload, &records));
+        int64_t order_t_us = 0;
+        GT_CHECK_OK(DecodeTaskBatch(mb.payload, &records, &order_t_us));
         if (!records.empty()) {
+          // Full steal round-trip: master's order -> donor -> this arrival.
+          // Valid across workers because all timestamps are hub-clock.
+          if (order_t_us > 0) {
+            steal_rtt_us_->Record(hub_->NowUs() - order_t_us);
+          }
           // Count the tasks as live *before* banking the batch so there is
           // no instant at which they are invisible to the idle check.
           live_tasks_.fetch_add(static_cast<int64_t>(records.size()));
@@ -825,8 +922,9 @@ class Worker {
       }
       case MsgType::kStealOrder: {
         int32_t dst = -1;
-        GT_CHECK_OK(DecodeStealOrder(mb.payload, &dst));
-        DonateTasks(dst);
+        int64_t order_t_us = 0;
+        GT_CHECK_OK(DecodeStealOrder(mb.payload, &dst, &order_t_us));
+        DonateTasks(dst, order_t_us);
         break;
       }
       case MsgType::kAggregatorSync: {
@@ -866,10 +964,17 @@ class Worker {
   /// Sends a batch of tasks to `dst` (executing a steal order): first from a
   /// spilled file (newest batch, so the donor keeps its oldest work), else by
   /// spawning fresh tasks from not-yet-spawned local vertices.
-  void DonateTasks(int dst) {
+  /// `order_t_us` is the hub-clock instant the master issued the steal order;
+  /// it rides along in the kTaskBatch so the recipient can close the
+  /// round-trip measurement.
+  void DonateTasks(int dst, int64_t order_t_us = 0) {
     std::vector<std::string> records;
     if (auto file = l_file_.TryPopBack()) {
-      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records));
+      int64_t bytes = 0;
+      Timer read_timer;
+      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records, &bytes));
+      spill_read_us_->Record(read_timer.ElapsedMicros());
+      spill_read_bytes_->Add(bytes);
       GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
           << "spill file " << file->path << " record count drifted";
     } else {
@@ -890,7 +995,7 @@ class Worker {
     mb.src_worker = id_;
     mb.dst_worker = dst;
     mb.type = MsgType::kTaskBatch;
-    mb.payload = EncodeRecordBatch(records);
+    mb.payload = EncodeTaskBatch(records, order_t_us);
     data_sent_.fetch_add(1, std::memory_order_relaxed);
     hub_->Send(std::move(mb));
     // The donated tasks have left this worker; the recipient counts them
@@ -934,8 +1039,11 @@ class Worker {
     report.cache_evictions =
         cache_.stats().evictions.load(std::memory_order_relaxed);
     report.peak_mem_bytes = mem_.peak();
+    report.cache_requests =
+        cache_.stats().requests.load(std::memory_order_relaxed);
     for (const auto& engine : engines_) {
       report.comper_idle_rounds += engine->IdleRounds();
+      report.comper_rounds += engine->Rounds();
     }
     report.ledger.spawned = tasks_spawned_.load(std::memory_order_relaxed);
     report.ledger.restored = tasks_restored_.load(std::memory_order_relaxed);
@@ -1065,6 +1173,65 @@ class Worker {
   /// Trace ring (null when tracing is disabled).
   const TraceRing* trace() const { return trace_.get(); }
 
+  /// Span ring (null when span tracing is disabled).
+  const obs::SpanRing* spans() const { return spans_.get(); }
+
+  // ---- sampler probes (master thread; each is one relaxed read) ----
+  int64_t SampleCacheSize() const { return cache_.ApproxSize(); }
+  int64_t SampleLiveTasks() const { return live_tasks_.load(); }
+  int64_t SampleDiskTasks() const { return l_file_.TotalRecords(); }
+  int64_t SampleQueueDepth() const {
+    int64_t depth = 0;
+    for (const auto& engine : engines_) {
+      depth += static_cast<int64_t>(engine->QueueSize());
+    }
+    return depth;
+  }
+
+  /// Folds the cache's internal counters (kept as plain atomics on the hot
+  /// path, not registry metrics) into the registry so one snapshot carries
+  /// everything. Call after Join(), before MetricsSnapshot().
+  void FinalizeObs() {
+    const auto& cs = cache_.stats();
+    auto set = [this](const char* name, int64_t v,
+                      const std::string& labels = "") {
+      metrics_.GetCounter(name, labels)->Add(v);
+    };
+    set("cache.requests", cs.requests.load(std::memory_order_relaxed));
+    set("cache.hits", cs.hits.load(std::memory_order_relaxed));
+    set("cache.wait_joins", cs.wait_joins.load(std::memory_order_relaxed));
+    set("cache.new_requests",
+        cs.new_requests.load(std::memory_order_relaxed));
+    set("cache.evictions", cs.evictions.load(std::memory_order_relaxed));
+    set("cache.evict_scan_us",
+        cs.evict_scan_us.load(std::memory_order_relaxed));
+    set("cache.gc_passes", cs.gc_passes.load(std::memory_order_relaxed));
+    for (int g = 0; g < VertexCache<VertexT>::kNumBucketGroups; ++g) {
+      const auto& group = cs.groups[g];
+      const std::string label = "group=" + std::to_string(g);
+      set("cache.group.hits", group.hits.load(std::memory_order_relaxed),
+          label);
+      set("cache.group.misses", group.misses.load(std::memory_order_relaxed),
+          label);
+      set("cache.group.evictions",
+          group.evictions.load(std::memory_order_relaxed), label);
+    }
+    set("tasks.spawned", tasks_spawned_.load(std::memory_order_relaxed));
+    set("tasks.finished", tasks_finished_.load(std::memory_order_relaxed));
+    set("tasks.iterations", task_iterations_.load(std::memory_order_relaxed));
+    set("spill.batches", spilled_batches_.load(std::memory_order_relaxed));
+    set("steal.batches_received",
+        stolen_batches_.load(std::memory_order_relaxed));
+    for (const auto& engine : engines_) {
+      metrics_.GetGauge("comper.idle_rounds")->Add(engine->IdleRounds());
+      metrics_.GetGauge("comper.rounds")->Add(engine->Rounds());
+    }
+  }
+
+  /// Snapshot of this worker's registry (call FinalizeObs first for the
+  /// cache/task roll-ups to be present).
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
  private:
   const int id_;
   const JobConfig config_;
@@ -1097,6 +1264,21 @@ class Worker {
 
   // task lifecycle tracing (JobConfig::enable_tracing)
   std::unique_ptr<TraceRing> trace_;
+
+  // observability (docs/OBSERVABILITY.md). The histogram/counter pointers
+  // are registered once in the constructor; recording through them is
+  // lock-free.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::SpanRing> spans_;  // JobConfig::enable_span_tracing
+  std::atomic<uint64_t> span_seq_{0};
+  obs::Histogram* task_wait_us_ = nullptr;
+  obs::Histogram* steal_rtt_us_ = nullptr;
+  obs::Histogram* spill_write_us_ = nullptr;
+  obs::Histogram* spill_read_us_ = nullptr;
+  obs::Counter* spill_write_bytes_ = nullptr;
+  obs::Counter* spill_read_bytes_ = nullptr;
+  obs::Counter* refill_spill_tasks_ = nullptr;
+  obs::Counter* refill_spawn_tasks_ = nullptr;
 
   // output collection
   static constexpr size_t kOutputFlushRecords = 4096;

@@ -57,11 +57,14 @@ void CommHub::Send(MessageBatch batch) {
     deliver_at = done + config_.latency_us;
   }
   batch.deliver_at_us = deliver_at;
+  batch.sent_at_us = now;
   bytes_sent_.fetch_add(static_cast<int64_t>(batch.payload.size()),
                         std::memory_order_acq_rel);
   batches_sent_.fetch_add(1, std::memory_order_acq_rel);
-  sent_by_type_[static_cast<int>(batch.type)].fetch_add(
-      1, std::memory_order_acq_rel);
+  const int t = static_cast<int>(batch.type);
+  sent_by_type_[t].fetch_add(1, std::memory_order_acq_rel);
+  bytes_by_type_[t].fetch_add(static_cast<int64_t>(batch.payload.size()),
+                              std::memory_order_relaxed);
   mailboxes_[batch.dst_worker]->Push(std::move(batch));
 }
 
@@ -103,7 +106,39 @@ bool CommHub::Receive(int worker, int64_t timeout_us, MessageBatch* out) {
   }
   *out = std::move(*popped);
   batches_delivered_.fetch_add(1, std::memory_order_acq_rel);
+  const int t = static_cast<int>(out->type);
+  delivered_by_type_[t].fetch_add(1, std::memory_order_relaxed);
+  if (out->sent_at_us > 0) {
+    delivery_us_[t].Record(NowUs() - out->sent_at_us);
+  }
   return true;
+}
+
+obs::MetricsSnapshot CommHub::MetricsSnapshot() const {
+  obs::MetricsSnapshot snap;
+  snap.scope = "hub";
+  snap.counters.emplace_back("hub.batches_sent", TotalBatchesSent());
+  snap.counters.emplace_back("hub.batches_delivered", TotalBatchesDelivered());
+  snap.counters.emplace_back("hub.bytes_sent", TotalBytesSent());
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    const char* kind = MsgTypeName(static_cast<MsgType>(t));
+    const int64_t sent = sent_by_type_[t].load(std::memory_order_acquire);
+    if (sent == 0) continue;  // keep the report free of silent message kinds
+    const std::string prefix = std::string("hub.") + kind;
+    snap.counters.emplace_back(prefix + ".sent", sent);
+    snap.counters.emplace_back(
+        prefix + ".delivered",
+        delivered_by_type_[t].load(std::memory_order_acquire));
+    snap.counters.emplace_back(
+        prefix + ".bytes", bytes_by_type_[t].load(std::memory_order_acquire));
+    obs::HistogramSnapshot h = delivery_us_[t].Snapshot();
+    if (h.count > 0) {
+      h.name = "hub.delivery_us";
+      h.labels = std::string("kind=") + kind;
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  return snap;
 }
 
 }  // namespace gthinker

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "util/concurrent_queue.h"
 
 namespace gthinker {
@@ -53,6 +54,24 @@ class CommHub {
   /// checkpoint quiesce and kStealOrder for steal-plan quiescing).
   int64_t InFlightCount(MsgType type) const;
 
+  /// Batches of one type ever sent (steal-efficiency accounting: tasks
+  /// received per kStealOrder issued).
+  int64_t SentCount(MsgType type) const {
+    return sent_by_type_[static_cast<int>(type)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Current backlog of worker `w`'s mailbox (sampled gauge).
+  int64_t InboxDepth(int worker) const {
+    return static_cast<int64_t>(mailboxes_[worker]->Size());
+  }
+
+  /// Wire observability: per-kind send/delivery counts, payload bytes, and
+  /// a delivery-latency histogram (Send() to the receiver popping it, so it
+  /// covers simulated wire time plus real queueing delay) per message kind.
+  /// Snapshot is safe while traffic flows.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
   /// Monotonic hub clock, microseconds.
   int64_t NowUs() const;
 
@@ -84,6 +103,9 @@ class CommHub {
   std::atomic<int64_t> bytes_sent_{0};
   std::array<std::atomic<int64_t>, kNumMsgTypes> sent_by_type_{};
   std::array<std::atomic<int64_t>, kNumMsgTypes> processed_by_type_{};
+  std::array<std::atomic<int64_t>, kNumMsgTypes> bytes_by_type_{};
+  std::array<std::atomic<int64_t>, kNumMsgTypes> delivered_by_type_{};
+  std::array<obs::Histogram, kNumMsgTypes> delivery_us_{};
   const int64_t epoch_us_;
 };
 

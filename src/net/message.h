@@ -36,6 +36,33 @@ enum class MsgType : uint8_t {
 /// Number of distinct MsgType values (for per-type wire accounting).
 inline constexpr int kNumMsgTypes = 10;
 
+/// Human-readable message-kind name (metrics labels, trace output).
+inline const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kVertexRequest:
+      return "vertex_request";
+    case MsgType::kVertexResponse:
+      return "vertex_response";
+    case MsgType::kProgressReport:
+      return "progress_report";
+    case MsgType::kStealOrder:
+      return "steal_order";
+    case MsgType::kTaskBatch:
+      return "task_batch";
+    case MsgType::kAggregatorSync:
+      return "aggregator_sync";
+    case MsgType::kTerminate:
+      return "terminate";
+    case MsgType::kCheckpointRequest:
+      return "checkpoint_request";
+    case MsgType::kCheckpointAck:
+      return "checkpoint_ack";
+    case MsgType::kDrainBarrier:
+      return "drain_barrier";
+  }
+  return "unknown";
+}
+
 /// One batch on the wire.
 struct MessageBatch {
   int src_worker = -1;
@@ -45,6 +72,9 @@ struct MessageBatch {
   /// Simulated delivery timestamp (microseconds on the hub clock); the
   /// receiver must not process the batch before this instant.
   int64_t deliver_at_us = 0;
+  /// Hub-clock instant the batch entered Send(); receive-side delivery
+  /// latency (queueing + simulated wire time) is measured against it.
+  int64_t sent_at_us = 0;
 };
 
 }  // namespace gthinker

@@ -1,0 +1,432 @@
+#ifndef GTHINKER_OBS_JSON_H_
+#define GTHINKER_OBS_JSON_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gthinker::obs {
+
+/// Minimal streaming JSON writer for run reports and Chrome trace files.
+/// No external dependency: the container bakes in nothing JSON-shaped, and
+/// the subset we emit (objects, arrays, strings, numbers, bools) is small.
+/// Comma placement is tracked per nesting level, so callers just alternate
+/// Key()/value calls inside objects and value calls inside arrays.
+class JsonWriter {
+ public:
+  JsonWriter() { first_.push_back(true); }
+
+  void BeginObject() { OpenContainer('{'); }
+  void EndObject() { CloseContainer('}'); }
+  void BeginArray() { OpenContainer('['); }
+  void EndArray() { CloseContainer(']'); }
+
+  void Key(const std::string& key) {
+    Separate();
+    AppendQuoted(key);
+    out_.push_back(':');
+    key_pending_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separate();
+    AppendQuoted(value);
+  }
+
+  void Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+
+  void UInt(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+  }
+
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+
+  void Null() {
+    Separate();
+    out_ += "null";
+  }
+
+  /// Doubles print with enough digits to round-trip; non-finite values have
+  /// no JSON spelling and degrade to null.
+  void Double(double value) {
+    Separate();
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+    // "%.17g" may print an integral double without '.' or exponent; that is
+    // still valid JSON, so leave it.
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void OpenContainer(char open) {
+    Separate();
+    out_.push_back(open);
+    first_.push_back(true);
+  }
+
+  void CloseContainer(char close) {
+    first_.pop_back();
+    out_.push_back(close);
+  }
+
+  /// Emits the comma before any element that is not the first of its
+  /// container. A value directly after Key() is the key's payload, never
+  /// comma-separated from it.
+  void Separate() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (!first_.back()) {
+      out_.push_back(',');
+    }
+    first_.back() = false;
+  }
+
+  void AppendQuoted(const std::string& s) {
+    out_.push_back('"');
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_.push_back(static_cast<char>(c));
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> first_;  // per nesting level: no element emitted yet
+  bool key_pending_ = false;
+};
+
+/// Parsed JSON value (tree form). Objects keep insertion order, which the
+/// report round-trip test relies on for deterministic comparison.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+};
+
+/// Recursive-descent parser for the full JSON grammar (RFC 8259 minus the
+/// finer points of \u surrogate pairs, which our writer never emits).
+/// Exists so tests can verify emitted artifacts are well-formed without a
+/// third-party dependency, and so reports can be read back in-process.
+class JsonParser {
+ public:
+  static Status Parse(const std::string& text, JsonValue* out) {
+    JsonParser parser(text);
+    GT_RETURN_IF_ERROR(parser.ParseValue(out, 0));
+    parser.SkipWhitespace();
+    if (parser.pos_ != text.size()) {
+      return Status::Corruption("trailing characters after JSON value");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  static constexpr int kMaxDepth = 64;
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Status::Corruption("JSON nested too deeply");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Status::Corruption("unexpected end");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Expect("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Expect("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Expect("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      GT_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Status::Corruption("expected ':' in object");
+      }
+      ++pos_;
+      JsonValue value;
+      GT_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Status::Corruption("unclosed object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::Corruption("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      GT_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Status::Corruption("unclosed array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Status::Corruption("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Status::Corruption("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::Corruption("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Status::Corruption("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::Corruption("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::Corruption("bad hex digit in \\u escape");
+            }
+          }
+          // Our writer only escapes ASCII control characters; decode the
+          // BMP code point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::Corruption("unknown escape sequence");
+      }
+    }
+    return Status::Corruption("unclosed string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t int_begin = pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == int_begin) return Status::Corruption("expected a number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const size_t frac_begin = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac_begin) return Status::Corruption("bare decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp_begin = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp_begin) return Status::Corruption("empty exponent");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(text_.substr(begin, pos_ - begin).c_str(),
+                              nullptr);
+    return Status::Ok();
+  }
+
+  Status Expect(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Status::Corruption(std::string("expected literal ") + literal);
+      }
+      ++pos_;
+    }
+    return Status::Ok();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+inline Status JsonParse(const std::string& text, JsonValue* out) {
+  return JsonParser::Parse(text, out);
+}
+
+/// True iff `text` is one complete well-formed JSON value.
+inline bool JsonValid(const std::string& text) {
+  JsonValue value;
+  return JsonParse(text, &value).ok();
+}
+
+}  // namespace gthinker::obs
+
+#endif  // GTHINKER_OBS_JSON_H_

@@ -1,0 +1,209 @@
+#ifndef GTHINKER_OBS_REPORT_H_
+#define GTHINKER_OBS_REPORT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/span_trace.h"
+#include "util/status.h"
+
+namespace gthinker::obs {
+
+/// Structured run report: everything a run produced, exportable as one JSON
+/// document (`BENCH_*.json`-compatible at the top level: job/elapsed/memory
+/// scalars first, then per-scope metrics, then sampled time-series).
+///
+/// The report layer is deliberately framework-agnostic — scalars are named
+/// numbers, metrics are registry snapshots — so the core fills it without
+/// obs depending back on core types. Maps keep keys sorted, making the JSON
+/// byte-stable for a given run (modulo the measured values themselves).
+struct JobReport {
+  std::string job;                         // app/job name
+  std::map<std::string, int64_t> ints;     // counters, bytes, config knobs
+  std::map<std::string, double> doubles;   // elapsed seconds, derived rates
+  std::map<std::string, std::string> strings;
+  std::vector<MetricsSnapshot> metrics;    // one per scope (worker/hub)
+  /// Per-scope derived ratios (hit rates, utilization), keyed by scope then
+  /// metric name.
+  std::vector<std::pair<std::string, std::map<std::string, double>>> derived;
+  std::vector<TimeSeries> series;
+
+  std::string ToJson() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("job");
+    w.String(job);
+    for (const auto& [k, v] : strings) {
+      w.Key(k);
+      w.String(v);
+    }
+    for (const auto& [k, v] : ints) {
+      w.Key(k);
+      w.Int(v);
+    }
+    for (const auto& [k, v] : doubles) {
+      w.Key(k);
+      w.Double(v);
+    }
+
+    w.Key("derived");
+    w.BeginObject();
+    for (const auto& [scope, values] : derived) {
+      w.Key(scope);
+      w.BeginObject();
+      for (const auto& [k, v] : values) {
+        w.Key(k);
+        w.Double(v);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+
+    w.Key("metrics");
+    w.BeginArray();
+    for (const MetricsSnapshot& snap : metrics) {
+      WriteSnapshot(&w, snap);
+    }
+    w.EndArray();
+
+    w.Key("timeseries");
+    w.BeginArray();
+    for (const TimeSeries& ts : series) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(ts.name);
+      w.Key("worker");
+      w.Int(ts.worker);
+      w.Key("stride");
+      w.Int(ts.stride);
+      w.Key("points");
+      w.BeginArray();
+      for (const auto& [t, v] : ts.points) {
+        w.BeginArray();
+        w.Int(t);
+        w.Int(v);
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+
+    w.EndObject();
+    return w.Take();
+  }
+
+  Status WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open report file " + path);
+    }
+    out << ToJson() << "\n";
+    out.close();
+    if (!out.good()) return Status::IoError("short write to " + path);
+    return Status::Ok();
+  }
+
+  /// Rebuilds the scalar portions (job, ints, doubles, strings) from a JSON
+  /// document produced by ToJson(). Metrics/series round-trip structurally
+  /// (validated by tests) but are not re-ingested — reports are read back
+  /// for comparison and tooling, not to resume runs.
+  static Status FromJson(const std::string& text, JobReport* out) {
+    JsonValue root;
+    GT_RETURN_IF_ERROR(JsonParse(text, &root));
+    if (!root.IsObject()) return Status::Corruption("report is not an object");
+    out->ints.clear();
+    out->doubles.clear();
+    out->strings.clear();
+    for (const auto& [key, value] : root.object) {
+      if (key == "derived" || key == "metrics" || key == "timeseries") {
+        continue;
+      }
+      if (key == "job") {
+        if (!value.IsString()) return Status::Corruption("job not a string");
+        out->job = value.string;
+      } else if (value.IsString()) {
+        out->strings[key] = value.string;
+      } else if (value.IsNumber()) {
+        // Integral numbers round-trip into ints; the writer emits int64
+        // scalars without a fraction or exponent.
+        const double d = value.number;
+        const int64_t i = static_cast<int64_t>(d);
+        if (static_cast<double>(i) == d) {
+          out->ints[key] = i;
+        } else {
+          out->doubles[key] = d;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static void WriteSnapshot(JsonWriter* w, const MetricsSnapshot& snap) {
+    w->BeginObject();
+    w->Key("scope");
+    w->String(snap.scope);
+    w->Key("counters");
+    w->BeginObject();
+    for (const auto& [name, value] : snap.counters) {
+      w->Key(name);
+      w->Int(value);
+    }
+    w->EndObject();
+    w->Key("gauges");
+    w->BeginObject();
+    for (const auto& [name, value] : snap.gauges) {
+      w->Key(name);
+      w->Int(value);
+    }
+    w->EndObject();
+    w->Key("histograms");
+    w->BeginArray();
+    for (const HistogramSnapshot& h : snap.histograms) {
+      w->BeginObject();
+      w->Key("name");
+      w->String(h.labels.empty() ? h.name : h.name + "{" + h.labels + "}");
+      w->Key("count");
+      w->Int(h.count);
+      w->Key("sum");
+      w->Int(h.sum);
+      w->Key("max");
+      w->Int(h.max);
+      w->Key("mean");
+      w->Double(h.Mean());
+      w->Key("p50");
+      w->Double(h.Percentile(0.50));
+      w->Key("p95");
+      w->Double(h.Percentile(0.95));
+      w->Key("p99");
+      w->Double(h.Percentile(0.99));
+      // Sparse bucket encoding: [index, count] pairs for non-empty buckets;
+      // bucket i >= 1 covers [2^(i-1), 2^i - 1], bucket 0 covers <= 0.
+      w->Key("buckets");
+      w->BeginArray();
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        if (h.buckets[i] == 0) continue;
+        w->BeginArray();
+        w->Int(static_cast<int64_t>(i));
+        w->Int(h.buckets[i]);
+        w->EndArray();
+      }
+      w->EndArray();
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+};
+
+}  // namespace gthinker::obs
+
+#endif  // GTHINKER_OBS_REPORT_H_

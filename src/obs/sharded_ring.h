@@ -1,0 +1,106 @@
+#ifndef GTHINKER_OBS_SHARDED_RING_H_
+#define GTHINKER_OBS_SHARDED_RING_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace gthinker::obs {
+
+/// Bounded multi-producer event ring, sharded by recording thread so hot
+/// paths never contend on one lock: each recorder hashes to a shard and
+/// takes only that shard's spinlock for a few stores. A single shared
+/// atomic sequence stamp gives merged snapshots a global arrival order
+/// (one relaxed fetch_add per record — cheaper than any lock, and the
+/// price of making Snapshot() deterministic).
+///
+/// Retention is per shard: every shard keeps its newest `capacity` events,
+/// and Snapshot() returns the globally-newest `capacity` of the merged set.
+/// For single-threaded recording this is exactly the classic "newest
+/// capacity events win" ring; under concurrency the merged view can differ
+/// from a true global ring only in which *old* events were overwritten.
+template <typename T>
+class ShardedRing {
+ public:
+  explicit ShardedRing(size_t capacity, int num_shards = 16)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        shards_(static_cast<size_t>(num_shards < 1 ? 1 : num_shards)) {}
+
+  ShardedRing(const ShardedRing&) = delete;
+  ShardedRing& operator=(const ShardedRing&) = delete;
+
+  void Record(T item) {
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = shards_[ShardIndex()];
+    std::lock_guard<SpinLock> lock(shard.lock);
+    ++shard.total;
+    if (shard.slots.size() < capacity_) {
+      shard.slots.push_back(Slot{seq, std::move(item)});
+    } else {
+      shard.slots[shard.next_overwrite] = Slot{seq, std::move(item)};
+      shard.next_overwrite = (shard.next_overwrite + 1) % capacity_;
+    }
+  }
+
+  /// Merged view in arrival order (oldest retained first), capped at the
+  /// newest `capacity` events overall.
+  std::vector<T> Snapshot() const {
+    std::vector<Slot> merged;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<SpinLock> lock(shard.lock);
+      merged.insert(merged.end(), shard.slots.begin(), shard.slots.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Slot& a, const Slot& b) { return a.seq < b.seq; });
+    if (merged.size() > capacity_) {
+      merged.erase(merged.begin(),
+                   merged.end() - static_cast<ptrdiff_t>(capacity_));
+    }
+    std::vector<T> out;
+    out.reserve(merged.size());
+    for (Slot& slot : merged) out.push_back(std::move(slot.item));
+    return out;
+  }
+
+  /// Total events ever recorded (including overwritten ones).
+  int64_t total() const {
+    int64_t sum = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<SpinLock> lock(shard.lock);
+      sum += shard.total;
+    }
+    return sum;
+  }
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;
+    T item;
+  };
+
+  struct Shard {
+    mutable SpinLock lock;
+    std::vector<Slot> slots;
+    size_t next_overwrite = 0;
+    int64_t total = 0;
+  };
+
+  size_t ShardIndex() const {
+    return std::hash<std::thread::id>()(std::this_thread::get_id()) %
+           shards_.size();
+  }
+
+  const size_t capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> seq_{0};
+};
+
+}  // namespace gthinker::obs
+
+#endif  // GTHINKER_OBS_SHARDED_RING_H_

@@ -1,0 +1,142 @@
+#ifndef GTHINKER_OBS_SPAN_TRACE_H_
+#define GTHINKER_OBS_SPAN_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/sharded_ring.h"
+#include "util/status.h"
+
+namespace gthinker::obs {
+
+/// Per-task lifecycle phases (paper Fig. 7 state machine): a healthy task
+/// reads spawn -> (pending -> ready)* -> execute* -> finish; loaded marks a
+/// task re-entering memory from a spill file (it gets a fresh span id — the
+/// disk round-trip intentionally breaks the span, mirroring how the task
+/// left the worker's live state).
+enum class SpanPhase : uint8_t {
+  kSpawn = 0,
+  kPending = 1,
+  kReady = 2,
+  kExecute = 3,  // carries dur_us: one compute() iteration
+  kFinish = 4,
+  kLoaded = 5,
+};
+
+inline const char* SpanPhaseName(SpanPhase phase) {
+  switch (phase) {
+    case SpanPhase::kSpawn:
+      return "spawn";
+    case SpanPhase::kPending:
+      return "pending";
+    case SpanPhase::kReady:
+      return "ready";
+    case SpanPhase::kExecute:
+      return "execute";
+    case SpanPhase::kFinish:
+      return "finish";
+    case SpanPhase::kLoaded:
+      return "loaded";
+  }
+  return "unknown";
+}
+
+/// One span-trace event. Timestamps come from the hub clock, so events from
+/// different workers share an epoch and interleave correctly in a viewer.
+struct SpanEvent {
+  int64_t t_us = 0;
+  int64_t dur_us = 0;  // only kExecute carries a duration
+  uint64_t task_id = 0;
+  int16_t worker = 0;
+  int16_t comper = 0;  // -1 for worker-level events
+  SpanPhase phase = SpanPhase::kSpawn;
+};
+
+/// Per-worker bounded span store; recording contends only within the
+/// recording thread's shard.
+using SpanRing = ShardedRing<SpanEvent>;
+
+/// Serializes span events as Chrome trace-event JSON ("JSON object format"),
+/// loadable in Perfetto / chrome://tracing: workers map to processes,
+/// compers to threads; execute phases are complete ("X") slices with real
+/// durations, the other phases instant ("i") marks. Timestamps are already
+/// microseconds, the unit the format expects.
+inline std::string ChromeTraceJson(const std::vector<SpanEvent>& events,
+                                   int num_workers = 0) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (int worker = 0; worker < num_workers; ++worker) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("process_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Int(worker);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String("worker" + std::to_string(worker));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const SpanEvent& e : events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(SpanPhaseName(e.phase));
+    w.Key("cat");
+    w.String("task");
+    w.Key("ph");
+    w.String(e.phase == SpanPhase::kExecute ? "X" : "i");
+    if (e.phase != SpanPhase::kExecute) {
+      w.Key("s");  // instant-event scope: thread
+      w.String("t");
+    }
+    w.Key("ts");
+    w.Int(e.t_us);
+    if (e.phase == SpanPhase::kExecute) {
+      w.Key("dur");
+      w.Int(e.dur_us);
+    }
+    w.Key("pid");
+    w.Int(e.worker);
+    w.Key("tid");
+    // Comper -1 (worker-level events) displays as its own lane.
+    w.Int(e.comper >= 0 ? e.comper : 999);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("task");
+    w.UInt(e.task_id);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+inline Status WriteChromeTrace(const std::string& path,
+                               const std::vector<SpanEvent>& events,
+                               int num_workers = 0) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  out << ChromeTraceJson(events, num_workers);
+  out.close();
+  if (!out.good()) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace gthinker::obs
+
+#endif  // GTHINKER_OBS_SPAN_TRACE_H_

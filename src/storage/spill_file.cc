@@ -18,7 +18,7 @@ std::atomic<uint64_t> g_spill_counter{0};
 
 Status SpillFile::WriteBatch(const std::string& dir,
                              const std::vector<std::string>& records,
-                             std::string* path) {
+                             std::string* path, int64_t* bytes) {
   const uint64_t id = g_spill_counter.fetch_add(1);
   *path = dir + "/spill_" + std::to_string(id) + ".bin";
   Serializer ser;
@@ -35,11 +35,13 @@ Status SpillFile::WriteBatch(const std::string& dir,
   out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   out.flush();
   if (!out) return Status::IoError("write spill " + *path);
+  if (bytes != nullptr) *bytes = static_cast<int64_t>(buf.size());
   return Status::Ok();
 }
 
 Status SpillFile::ReadBatch(const std::string& path,
-                            std::vector<std::string>* records) {
+                            std::vector<std::string>* records,
+                            int64_t* bytes) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return Status::NotFound("no spill file " + path);
   const std::streamsize size = in.tellg();
@@ -47,6 +49,7 @@ Status SpillFile::ReadBatch(const std::string& path,
   std::string buf(static_cast<size_t>(size), '\0');
   in.read(buf.data(), size);
   if (!in) return Status::IoError("read spill " + path);
+  if (bytes != nullptr) *bytes = static_cast<int64_t>(size);
 
   Deserializer des(buf);
   uint64_t count = 0;
@@ -67,8 +70,9 @@ Status SpillFile::ReadBatch(const std::string& path,
 }
 
 Status SpillFile::ReadBatchAndDelete(const std::string& path,
-                                     std::vector<std::string>* records) {
-  GT_RETURN_IF_ERROR(ReadBatch(path, records));
+                                     std::vector<std::string>* records,
+                                     int64_t* bytes) {
+  GT_RETURN_IF_ERROR(ReadBatch(path, records, bytes));
   std::error_code ec;
   std::filesystem::remove(path, ec);
   if (ec) return Status::IoError("delete spill " + path + ": " + ec.message());

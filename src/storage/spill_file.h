@@ -1,6 +1,7 @@
 #ifndef GTHINKER_STORAGE_SPILL_FILE_H_
 #define GTHINKER_STORAGE_SPILL_FILE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,18 +18,21 @@ namespace gthinker {
 class SpillFile {
  public:
   /// Writes one batch of serialized records to a fresh uniquely-named file in
-  /// `dir`; returns the file path in `*path`.
+  /// `dir`; returns the file path in `*path`. `bytes`, when non-null,
+  /// receives the on-disk file size (spill-throughput metrics).
   static Status WriteBatch(const std::string& dir,
                            const std::vector<std::string>& records,
-                           std::string* path);
+                           std::string* path, int64_t* bytes = nullptr);
 
   /// Reads a whole batch back and deletes the file.
   static Status ReadBatchAndDelete(const std::string& path,
-                                   std::vector<std::string>* records);
+                                   std::vector<std::string>* records,
+                                   int64_t* bytes = nullptr);
 
   /// Reads without deleting (checkpoint restore).
   static Status ReadBatch(const std::string& path,
-                          std::vector<std::string>* records);
+                          std::vector<std::string>* records,
+                          int64_t* bytes = nullptr);
 };
 
 }  // namespace gthinker
