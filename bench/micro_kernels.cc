@@ -97,7 +97,7 @@ void BM_TaskSerialization(benchmark::State& state) {
     Serializer ser;
     task.Serialize(ser);
     Task<AdjList, CliqueContext> back;
-    Deserializer des(ser.data());
+    Deserializer des(ser);
     benchmark::DoNotOptimize(back.Deserialize(des).ok());
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -17,16 +17,19 @@ struct BundleContext {
   std::vector<VertexId> roots;
 };
 
-inline void SerializeValue(Serializer& ser, const BundleContext& c) {
-  ser.WriteVector(c.roots);
-}
-inline Status DeserializeValue(Deserializer& des, BundleContext* c) {
-  return des.ReadVector(&c->roots);
-}
-inline int64_t ValueBytes(const BundleContext& c) {
-  return static_cast<int64_t>(sizeof(BundleContext) +
-                              c.roots.capacity() * sizeof(VertexId));
-}
+template <>
+struct Codec<BundleContext> {
+  static void Encode(Serializer& ser, const BundleContext& c) {
+    ser.WriteVector(c.roots);
+  }
+  static Status Decode(Deserializer& des, BundleContext* c) {
+    return des.ReadVector(&c->roots);
+  }
+  static int64_t Bytes(const BundleContext& c) {
+    return static_cast<int64_t>(sizeof(BundleContext) +
+                                c.roots.capacity() * sizeof(VertexId));
+  }
+};
 
 using BundledTriangleTask = Task<AdjList, BundleContext>;
 

@@ -16,16 +16,19 @@ struct CliqueContext {
   std::vector<VertexId> s;
 };
 
-inline void SerializeValue(Serializer& ser, const CliqueContext& c) {
-  ser.WriteVector(c.s);
-}
-inline Status DeserializeValue(Deserializer& des, CliqueContext* c) {
-  return des.ReadVector(&c->s);
-}
-inline int64_t ValueBytes(const CliqueContext& c) {
-  return static_cast<int64_t>(sizeof(CliqueContext) +
-                              c.s.capacity() * sizeof(VertexId));
-}
+template <>
+struct Codec<CliqueContext> {
+  static void Encode(Serializer& ser, const CliqueContext& c) {
+    ser.WriteVector(c.s);
+  }
+  static Status Decode(Deserializer& des, CliqueContext* c) {
+    return des.ReadVector(&c->s);
+  }
+  static int64_t Bytes(const CliqueContext& c) {
+    return static_cast<int64_t>(sizeof(CliqueContext) +
+                                c.s.capacity() * sizeof(VertexId));
+  }
+};
 
 using CliqueTask = Task<AdjList, CliqueContext>;
 

@@ -47,7 +47,7 @@ class RoundFile {
     for (const RootState& s : states) EncodeState(s, &ser);
     const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     GT_CHECK_GE(fd, 0) << "nscale round file " << path;
-    GT_CHECK_EQ(::write(fd, ser.data().data(), ser.size()),
+    GT_CHECK_EQ(::write(fd, ser.data(), ser.size()),
                 static_cast<ssize_t>(ser.size()));
     ::close(fd);
     *bytes += static_cast<int64_t>(ser.size());

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/codec.h"
 #include "core/vertex.h"
 #include "graph/graph.h"
 #include "util/logging.h"
@@ -26,7 +27,8 @@ namespace gthinker::baselines {
 /// IO/memory-bound — is measured in real bytes and counted against the
 /// memory cap (the stand-in for Giraph's OOM failures in Table III).
 ///
-/// MsgT needs SerializeValue/DeserializeValue overloads (core/vertex.h).
+/// MsgT serializes through Codec<MsgT> (core/codec.h; arithmetic types work
+/// out of the box, other types specialize Codec or keep legacy overloads).
 template <typename ValueT, typename MsgT>
 class PregelEngine {
  public:
@@ -57,7 +59,7 @@ class PregelEngine {
       Serializer& out = (*outbox_)[part];
       const size_t before = out.size();
       out.Write(dst);
-      SerializeValue(out, msg);
+      Codec<MsgT>::Encode(out, msg);
       outbox_bytes_->fetch_add(static_cast<int64_t>(out.size() - before),
                                std::memory_order_relaxed);
       ++*messages_;
@@ -165,7 +167,7 @@ class PregelEngine {
       // ---- barrier: release inboxes, deliver outboxes ----
       auto inbox_cost = [](const std::vector<MsgT>& msgs) {
         int64_t bytes = static_cast<int64_t>(msgs.capacity() * sizeof(MsgT));
-        for (const MsgT& m : msgs) bytes += ValueBytes(m);
+        for (const MsgT& m : msgs) bytes += Codec<MsgT>::Bytes(m);
         return bytes;
       };
       int64_t inbox_bytes = 0;
@@ -182,12 +184,12 @@ class PregelEngine {
           Serializer& buf = outbox[src][dst];
           if (buf.size() == 0) continue;
           delivered_bytes += static_cast<int64_t>(buf.size());
-          Deserializer des(buf.data());
+          Deserializer des(buf);
           while (!des.AtEnd()) {
             VertexId v = 0;
             GT_CHECK_OK(des.Read(&v));
             MsgT msg;
-            GT_CHECK_OK(DeserializeValue(des, &msg));
+            GT_CHECK_OK(Codec<MsgT>::Decode(des, &msg));
             inbox[dst][v].push_back(std::move(msg));
           }
           buf.Clear();

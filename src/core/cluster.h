@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/codec.h"
 #include "core/config.h"
 #include "core/job_report.h"
 #include "core/protocol.h"
@@ -229,7 +230,9 @@ class Cluster {
     std::vector<bool> ckpt_acked(num_workers, false);
     bool terminate = false;
 
-    auto broadcast = [&](MsgType type, const std::string& payload) {
+    // Broadcasting a Payload is cheap by design: each copy bumps fragment
+    // refcounts, so all N workers share the sender's one encoded buffer.
+    auto broadcast = [&](MsgType type, const Payload& payload) {
       for (int w = 0; w < num_workers; ++w) {
         MessageBatch mb;
         mb.src_worker = master_id;
@@ -242,13 +245,13 @@ class Cluster {
     auto merge_delta = [&](const std::string& blob) {
       AggT delta{};
       Deserializer des(blob);
-      GT_CHECK_OK(DeserializeValue(des, &delta));
+      GT_CHECK_OK(Codec<AggT>::Decode(des, &delta));
       global = ComperT::AggMerge(global, delta);
     };
     auto encode_global = [&]() {
       Serializer ser;
-      SerializeValue(ser, global);
-      return ser.Release();
+      Codec<AggT>::Encode(ser, global);
+      return TakePayload(ser);
     };
 
     while (!terminate) {
@@ -525,7 +528,7 @@ class Cluster {
   static void MergeInto(AggT* target, const std::string& blob) {
     AggT delta{};
     Deserializer des(blob);
-    GT_CHECK_OK(DeserializeValue(des, &delta));
+    GT_CHECK_OK(Codec<AggT>::Decode(des, &delta));
     *target = ComperT::AggMerge(*target, delta);
   }
 
@@ -583,9 +586,9 @@ class Cluster {
     Serializer ser;
     ser.Write(epoch);
     ser.Write<int32_t>(num_workers);
-    SerializeValue(ser, global);
+    Codec<AggT>::Encode(ser, global);
     GT_CHECK_OK(job.checkpoint_dfs->Put(
-        "ckpt/" + std::to_string(epoch) + "/meta", ser.data()));
+        "ckpt/" + std::to_string(epoch) + "/meta", ser.Release()));
   }
 
   static AggT Restore(const Job<ComperT>& job,
@@ -601,7 +604,7 @@ class Cluster {
     GT_CHECK_EQ(nw, job.config.num_workers)
         << "checkpoint taken with a different worker count";
     AggT global{};
-    GT_CHECK_OK(DeserializeValue(des, &global));
+    GT_CHECK_OK(Codec<AggT>::Decode(des, &global));
     for (int w = 0; w < job.config.num_workers; ++w) {
       std::string blob;
       GT_CHECK_OK(

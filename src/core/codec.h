@@ -1,0 +1,70 @@
+#ifndef GTHINKER_CORE_CODEC_H_
+#define GTHINKER_CORE_CODEC_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// The single serialization customization point for everything that crosses
+/// the wire or the disk by value: vertex values, task contexts, and
+/// aggregator values. Specialize Codec<T> next to your type:
+///
+///   template <>
+///   struct Codec<MyValue> : CodecBase<MyValue> {
+///     static void Encode(Serializer& ser, const MyValue& v);
+///     static Status Decode(Deserializer& des, MyValue* v);
+///     static int64_t Bytes(const MyValue& v);   // optional: CodecBase
+///                                               // defaults to sizeof
+///   };
+///
+/// Framework code calls Codec<T>::Encode/Decode/Bytes uniformly (see
+/// core/worker.h, core/task.h, core/subgraph.h, core/vertex_cache.h).
+///
+/// Migration note (docs/API.md): the pre-Codec customization point was three
+/// ADL free-function overloads — SerializeValue / DeserializeValue /
+/// ValueBytes. The primary template below delegates to those, so a type that
+/// only provides the legacy overloads still works through Codec<T> unchanged;
+/// and the shipped types keep thin legacy shims (core/vertex.h) so old call
+/// sites still compile. New types should specialize Codec<T> directly.
+template <typename T>
+struct Codec {
+  static void Encode(Serializer& ser, const T& v) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      ser.Write(v);
+    } else {
+      SerializeValue(ser, v);  // legacy ADL overload
+    }
+  }
+
+  static Status Decode(Deserializer& des, T* v) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      return des.Read(v);
+    } else {
+      return DeserializeValue(des, v);  // legacy ADL overload
+    }
+  }
+
+  static int64_t Bytes(const T& v) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      return static_cast<int64_t>(sizeof(T));
+    } else {
+      return ValueBytes(v);  // legacy ADL overload (template fallback:
+                             // sizeof — see core/vertex.h)
+    }
+  }
+};
+
+/// Convenience base for Codec specializations: supplies the defaulted
+/// Bytes() (struct shell only). Types owning heap data should override it.
+template <typename T>
+struct CodecBase {
+  static int64_t Bytes(const T&) { return static_cast<int64_t>(sizeof(T)); }
+};
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_CORE_CODEC_H_

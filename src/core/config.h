@@ -49,6 +49,15 @@ struct JobConfig {
   // ---- communication ----
   /// Vertex IDs per request batch appended to the sending module.
   int request_batch_size = 256;
+  /// Byte budget per open request batch: the pull coalescer flushes a
+  /// destination when its encoded kVertexRequest (u64 count + 4 bytes/ID)
+  /// reaches this, even below request_batch_size — keeps request payloads
+  /// inside one pooled slab class and bounds latency under wide fan-out.
+  int64_t request_flush_bytes = 2048;
+  /// Byte cap for the responder-side Γ-sharing cache (memoized serialized
+  /// vertex records; core/response_cache.h). 0 disables memoization; on
+  /// overflow the cache resets wholesale and rebuilds from the hot set.
+  int64_t response_cache_bytes = 4 << 20;
   /// Comm-thread poll / flush period.
   int64_t comm_poll_us = 200;
   /// Simulated interconnect (0/0 = instantaneous in-process delivery).
@@ -140,8 +149,24 @@ struct JobConfig {
     if (request_batch_size <= 0) {
       return Status::InvalidArgument("request_batch_size must be positive");
     }
+    if (request_flush_bytes < 16) {
+      // Must fit at least the u64 count header plus one VertexId.
+      return Status::InvalidArgument("request_flush_bytes must be >= 16");
+    }
+    if (response_cache_bytes < 0) {
+      return Status::InvalidArgument("response_cache_bytes must be >= 0");
+    }
+    if (comm_poll_us <= 0) {
+      return Status::InvalidArgument("comm_poll_us must be positive");
+    }
     if (net.latency_us < 0 || net.bandwidth_mbps < 0.0) {
       return Status::InvalidArgument("net parameters must be non-negative");
+    }
+    if (progress_interval_us <= 0) {
+      return Status::InvalidArgument("progress_interval_us must be positive");
+    }
+    if (gc_interval_us <= 0) {
+      return Status::InvalidArgument("gc_interval_us must be positive");
     }
     if (time_budget_s < 0.0 || checkpoint_interval_us < 0) {
       return Status::InvalidArgument("budgets must be non-negative");
@@ -151,6 +176,10 @@ struct JobConfig {
     }
     if (metrics_sample_ms < 0) {
       return Status::InvalidArgument("metrics_sample_ms must be >= 0");
+    }
+    if (!trace_path.empty() && !enable_span_tracing) {
+      return Status::InvalidArgument(
+          "trace_path needs enable_span_tracing");
     }
     return Status::Ok();
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "net/payload.h"
 #include "util/serializer.h"
 #include "util/status.h"
 
@@ -14,6 +15,12 @@ namespace gthinker {
 /// Payload encodings for the message types in net/message.h. Kept dumb and
 /// explicit: every field that crosses workers is spelled out here, so the
 /// simulated wire carries exactly what a socket deployment would.
+///
+/// Encoders write into a pooled Serializer slab and hand the bytes off
+/// zero-copy as a single-fragment Payload (TakePayload); decoders read the
+/// incoming Payload through a flat view — zero-copy for the flat payloads
+/// every encoder here produces. Every decoder is bounds-checked end to end:
+/// truncated or corrupted payloads yield Status::Corruption, never a crash.
 
 /// Task-conservation ledger (one per worker, summed by the master). Every
 /// counter is cumulative and monotonic; each task-lifecycle transition
@@ -121,7 +128,7 @@ struct ProgressReport {
 
   std::string agg_delta;
 
-  std::string Encode() const {
+  Payload Encode() const {
     Serializer ser;
     ser.Write(worker_id);
     ser.Write(final_report);
@@ -146,11 +153,12 @@ struct ProgressReport {
     ser.Write(tasks_on_disk);
     ser.Write(drained_messages);
     ser.WriteString(agg_delta);
-    return ser.Release();
+    return TakePayload(ser);
   }
 
-  Status Decode(const std::string& payload) {
-    Deserializer des(payload);
+  Status Decode(const Payload& payload) {
+    PayloadView view(payload);
+    Deserializer des(view.data(), view.size());
     GT_RETURN_IF_ERROR(des.Read(&worker_id));
     GT_RETURN_IF_ERROR(des.Read(&final_report));
     GT_RETURN_IF_ERROR(des.Read(&idle));
@@ -179,29 +187,31 @@ struct ProgressReport {
 
 /// kVertexRequest payload: the IDs a worker wants from the destination's
 /// local vertex table.
-inline std::string EncodeVertexRequest(const std::vector<VertexId>& ids) {
+inline Payload EncodeVertexRequest(const std::vector<VertexId>& ids) {
   Serializer ser;
   ser.WriteVector(ids);
-  return ser.Release();
+  return TakePayload(ser);
 }
 
-inline Status DecodeVertexRequest(const std::string& payload,
+inline Status DecodeVertexRequest(const Payload& payload,
                                   std::vector<VertexId>* ids) {
-  Deserializer des(payload);
+  PayloadView view(payload);
+  Deserializer des(view.data(), view.size());
   return des.ReadVector(ids);
 }
 
 /// kTaskBatch / checkpoint task lists: a batch of opaque serialized tasks.
-inline std::string EncodeRecordBatch(const std::vector<std::string>& records) {
+inline Payload EncodeRecordBatch(const std::vector<std::string>& records) {
   Serializer ser;
   ser.Write<uint64_t>(records.size());
   for (const std::string& r : records) ser.WriteString(r);
-  return ser.Release();
+  return TakePayload(ser);
 }
 
-inline Status DecodeRecordBatch(const std::string& payload,
+inline Status DecodeRecordBatch(const Payload& payload,
                                 std::vector<std::string>* records) {
-  Deserializer des(payload);
+  PayloadView view(payload);
+  Deserializer des(view.data(), view.size());
   uint64_t n = 0;
   GT_RETURN_IF_ERROR(des.Read(&n));
   if (n > des.remaining()) {
@@ -220,19 +230,20 @@ inline Status DecodeRecordBatch(const std::string& payload,
 /// kTaskBatch payload: the record batch plus the hub-clock instant of the
 /// kStealOrder that caused it (0 for drain-deadline flushes), so the
 /// recipient can measure the full steal round-trip order->batch-arrival.
-inline std::string EncodeTaskBatch(const std::vector<std::string>& records,
-                                   int64_t steal_order_t_us = 0) {
+inline Payload EncodeTaskBatch(const std::vector<std::string>& records,
+                               int64_t steal_order_t_us = 0) {
   Serializer ser;
   ser.Write(steal_order_t_us);
   ser.Write<uint64_t>(records.size());
   for (const std::string& r : records) ser.WriteString(r);
-  return ser.Release();
+  return TakePayload(ser);
 }
 
-inline Status DecodeTaskBatch(const std::string& payload,
+inline Status DecodeTaskBatch(const Payload& payload,
                               std::vector<std::string>* records,
                               int64_t* steal_order_t_us = nullptr) {
-  Deserializer des(payload);
+  PayloadView view(payload);
+  Deserializer des(view.data(), view.size());
   int64_t t_us = 0;
   GT_RETURN_IF_ERROR(des.Read(&t_us));
   if (steal_order_t_us != nullptr) *steal_order_t_us = t_us;
@@ -255,17 +266,17 @@ inline Status DecodeTaskBatch(const std::string& payload,
 /// plus the hub-clock instant the master issued the order (steal round-trip
 /// measurement). The timestamp defaults keep old call sites byte-compatible
 /// readers: Decode tolerates the short legacy encoding.
-inline std::string EncodeStealOrder(int32_t dst_worker,
-                                    int64_t order_t_us = 0) {
+inline Payload EncodeStealOrder(int32_t dst_worker, int64_t order_t_us = 0) {
   Serializer ser;
   ser.Write(dst_worker);
   ser.Write(order_t_us);
-  return ser.Release();
+  return TakePayload(ser);
 }
 
-inline Status DecodeStealOrder(const std::string& payload, int32_t* dst_worker,
+inline Status DecodeStealOrder(const Payload& payload, int32_t* dst_worker,
                                int64_t* order_t_us = nullptr) {
-  Deserializer des(payload);
+  PayloadView view(payload);
+  Deserializer des(view.data(), view.size());
   GT_RETURN_IF_ERROR(des.Read(dst_worker));
   int64_t t_us = 0;
   if (des.remaining() >= sizeof(int64_t)) {
@@ -278,15 +289,15 @@ inline Status DecodeStealOrder(const std::string& payload, int32_t* dst_worker,
 /// kDrainBarrier payload (worker -> master direction): the quiesced worker.
 /// The master -> worker direction carries an empty payload (the global
 /// "everyone quiesced, drain the wire" release).
-inline std::string EncodeDrainBarrier(int32_t worker_id) {
+inline Payload EncodeDrainBarrier(int32_t worker_id) {
   Serializer ser;
   ser.Write(worker_id);
-  return ser.Release();
+  return TakePayload(ser);
 }
 
-inline Status DecodeDrainBarrier(const std::string& payload,
-                                 int32_t* worker_id) {
-  Deserializer des(payload);
+inline Status DecodeDrainBarrier(const Payload& payload, int32_t* worker_id) {
+  PayloadView view(payload);
+  Deserializer des(view.data(), view.size());
   return des.Read(worker_id);
 }
 
@@ -294,13 +305,14 @@ inline Status DecodeDrainBarrier(const std::string& payload,
 struct CheckpointRequest {
   uint64_t epoch = 0;
 
-  std::string Encode() const {
+  Payload Encode() const {
     Serializer ser;
     ser.Write(epoch);
-    return ser.Release();
+    return TakePayload(ser);
   }
-  Status Decode(const std::string& payload) {
-    Deserializer des(payload);
+  Status Decode(const Payload& payload) {
+    PayloadView view(payload);
+    Deserializer des(view.data(), view.size());
     return des.Read(&epoch);
   }
 };
@@ -311,15 +323,16 @@ struct CheckpointAck {
   uint64_t epoch = 0;
   std::string agg_delta;
 
-  std::string Encode() const {
+  Payload Encode() const {
     Serializer ser;
     ser.Write(worker_id);
     ser.Write(epoch);
     ser.WriteString(agg_delta);
-    return ser.Release();
+    return TakePayload(ser);
   }
-  Status Decode(const std::string& payload) {
-    Deserializer des(payload);
+  Status Decode(const Payload& payload) {
+    PayloadView view(payload);
+    Deserializer des(view.data(), view.size());
     GT_RETURN_IF_ERROR(des.Read(&worker_id));
     GT_RETURN_IF_ERROR(des.Read(&epoch));
     return des.ReadString(&agg_delta);

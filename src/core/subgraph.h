@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/codec.h"
 #include "core/vertex.h"
 #include "graph/types.h"
 #include "util/serializer.h"
@@ -60,13 +61,13 @@ class Subgraph {
   int64_t MemoryBytes() const {
     int64_t bytes = static_cast<int64_t>(sizeof(*this)) +
                     static_cast<int64_t>(index_.size() * 16);
-    for (const VertexT& v : vertices_) bytes += ValueBytes(v);
+    for (const VertexT& v : vertices_) bytes += Codec<VertexT>::Bytes(v);
     return bytes;
   }
 
   void Serialize(Serializer& ser) const {
     ser.Write<uint64_t>(vertices_.size());
-    for (const VertexT& v : vertices_) SerializeValue(ser, v);
+    for (const VertexT& v : vertices_) Codec<VertexT>::Encode(ser, v);
   }
 
   Status Deserialize(Deserializer& des) {
@@ -79,7 +80,7 @@ class Subgraph {
     vertices_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
       VertexT v;
-      GT_RETURN_IF_ERROR(DeserializeValue(des, &v));
+      GT_RETURN_IF_ERROR(Codec<VertexT>::Decode(des, &v));
       index_.emplace(v.id, vertices_.size());
       vertices_.push_back(std::move(v));
     }

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/codec.h"
 #include "core/subgraph.h"
 #include "core/vertex.h"
 #include "graph/types.h"
@@ -17,8 +18,10 @@ namespace gthinker {
 /// requests Γ(v) for the *next* iteration: the framework resolves the pull
 /// set P(t) when the task is popped for its next compute round (§V-B pop()).
 ///
-/// ContextT must have SerializeValue/DeserializeValue overloads (core/vertex.h)
-/// and may provide a ValueBytes overload for memory accounting.
+/// ContextT serializes through Codec<ContextT> (core/codec.h): specialize it
+/// for the context type (Bytes is optional — CodecBase defaults to sizeof).
+/// Types that only provide the legacy SerializeValue/DeserializeValue/
+/// ValueBytes ADL overloads still work via Codec's fallback.
 template <typename VertexValueT, typename ContextT>
 class Task {
  public:
@@ -55,7 +58,7 @@ class Task {
 
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(sizeof(*this)) + subgraph_.MemoryBytes() +
-           ValueBytes(context_) +
+           Codec<ContextT>::Bytes(context_) +
            static_cast<int64_t>(pulls_.capacity() * sizeof(VertexId));
   }
 
@@ -63,14 +66,14 @@ class Task {
     ser.Write(iteration_);
     ser.WriteVector(pulls_);
     subgraph_.Serialize(ser);
-    SerializeValue(ser, context_);
+    Codec<ContextT>::Encode(ser, context_);
   }
 
   Status Deserialize(Deserializer& des) {
     GT_RETURN_IF_ERROR(des.Read(&iteration_));
     GT_RETURN_IF_ERROR(des.ReadVector(&pulls_));
     GT_RETURN_IF_ERROR(subgraph_.Deserialize(des));
-    return DeserializeValue(des, &context_);
+    return Codec<ContextT>::Decode(des, &context_);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/codec.h"
 #include "graph/types.h"
 #include "util/serializer.h"
 #include "util/status.h"
@@ -39,25 +40,76 @@ struct LabeledAdj {
 };
 
 // ---------------------------------------------------------------------------
-// Serialization traits. Vertex values, task contexts and aggregator values
-// are encoded through these overloads; add an overload pair to plug in a new
-// value type. Found by ADL (everything lives in namespace gthinker).
+// Codec specializations for the shipped value types (core/codec.h is the
+// customization point; docs/API.md §1). Vertex values, task contexts and
+// aggregator values are all encoded through Codec<T>.
+// ---------------------------------------------------------------------------
+
+template <>
+struct Codec<AdjList> {
+  static void Encode(Serializer& ser, const AdjList& v) { ser.WriteVector(v); }
+  static Status Decode(Deserializer& des, AdjList* v) {
+    return des.ReadVector(v);
+  }
+  static int64_t Bytes(const AdjList& v) {
+    return static_cast<int64_t>(sizeof(AdjList) +
+                                v.capacity() * sizeof(VertexId));
+  }
+};
+
+template <>
+struct Codec<LabeledAdj> {
+  static void Encode(Serializer& ser, const LabeledAdj& v) {
+    ser.Write(v.label);
+    ser.WriteVector(v.adj);  // LabeledNbr is trivially copyable
+  }
+  static Status Decode(Deserializer& des, LabeledAdj* v) {
+    GT_RETURN_IF_ERROR(des.Read(&v->label));
+    return des.ReadVector(&v->adj);
+  }
+  static int64_t Bytes(const LabeledAdj& v) {
+    return static_cast<int64_t>(sizeof(LabeledAdj) +
+                                v.adj.capacity() * sizeof(LabeledNbr));
+  }
+};
+
+template <typename ValueT>
+struct Codec<Vertex<ValueT>> {
+  static void Encode(Serializer& ser, const Vertex<ValueT>& v) {
+    ser.Write(v.id);
+    Codec<ValueT>::Encode(ser, v.value);
+  }
+  static Status Decode(Deserializer& des, Vertex<ValueT>* v) {
+    GT_RETURN_IF_ERROR(des.Read(&v->id));
+    return Codec<ValueT>::Decode(des, &v->value);
+  }
+  static int64_t Bytes(const Vertex<ValueT>& v) {
+    return static_cast<int64_t>(sizeof(VertexId)) +
+           Codec<ValueT>::Bytes(v.value);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Legacy serialization-trait shims. The three ADL free functions
+// (SerializeValue / DeserializeValue / ValueBytes) were the pre-Codec
+// customization point; these one-liners keep existing call sites and
+// user-defined overload sets compiling. They call the Codec specializations
+// explicitly (never back through the primary template), so there is no
+// mutual-recursion hazard with Codec's legacy-delegation fallback.
 // ---------------------------------------------------------------------------
 
 inline void SerializeValue(Serializer& ser, const AdjList& v) {
-  ser.WriteVector(v);
+  Codec<AdjList>::Encode(ser, v);
 }
 inline Status DeserializeValue(Deserializer& des, AdjList* v) {
-  return des.ReadVector(v);
+  return Codec<AdjList>::Decode(des, v);
 }
 
 inline void SerializeValue(Serializer& ser, const LabeledAdj& v) {
-  ser.Write(v.label);
-  ser.WriteVector(v.adj);  // LabeledNbr is trivially copyable
+  Codec<LabeledAdj>::Encode(ser, v);
 }
 inline Status DeserializeValue(Deserializer& des, LabeledAdj* v) {
-  GT_RETURN_IF_ERROR(des.Read(&v->label));
-  return des.ReadVector(&v->adj);
+  return Codec<LabeledAdj>::Decode(des, v);
 }
 
 inline void SerializeValue(Serializer& ser, uint64_t v) { ser.Write(v); }
@@ -72,40 +124,35 @@ inline Status DeserializeValue(Deserializer& des, uint32_t* v) {
 
 template <typename ValueT>
 void SerializeValue(Serializer& ser, const Vertex<ValueT>& v) {
-  ser.Write(v.id);
-  SerializeValue(ser, v.value);
+  Codec<Vertex<ValueT>>::Encode(ser, v);
 }
 template <typename ValueT>
 Status DeserializeValue(Deserializer& des, Vertex<ValueT>* v) {
-  GT_RETURN_IF_ERROR(des.Read(&v->id));
-  return DeserializeValue(des, &v->value);
+  return Codec<Vertex<ValueT>>::Decode(des, v);
 }
 
 // ---------------------------------------------------------------------------
-// Memory-estimate traits (MemTracker accounting; DESIGN.md §1).
+// Legacy memory-estimate trait (MemTracker accounting; DESIGN.md §1).
 // ---------------------------------------------------------------------------
 
-/// Fallback for value/context types without a dedicated overload: the struct
-/// shell only. Types owning heap data should provide their own overload
-/// (non-template overloads win over this template).
+/// Fallback for value/context types without a dedicated overload or Codec
+/// Bytes: the struct shell only. Types owning heap data should specialize
+/// Codec<T>::Bytes (non-template overloads win over this template).
 template <typename T>
 int64_t ValueBytes(const T&) {
   return static_cast<int64_t>(sizeof(T));
 }
 
-inline int64_t ValueBytes(const AdjList& v) {
-  return static_cast<int64_t>(sizeof(AdjList) + v.capacity() * sizeof(VertexId));
-}
+inline int64_t ValueBytes(const AdjList& v) { return Codec<AdjList>::Bytes(v); }
 inline int64_t ValueBytes(const LabeledAdj& v) {
-  return static_cast<int64_t>(sizeof(LabeledAdj) +
-                              v.adj.capacity() * sizeof(LabeledNbr));
+  return Codec<LabeledAdj>::Bytes(v);
 }
 inline int64_t ValueBytes(uint64_t) { return sizeof(uint64_t); }
 inline int64_t ValueBytes(uint32_t) { return sizeof(uint32_t); }
 
 template <typename ValueT>
 int64_t ValueBytes(const Vertex<ValueT>& v) {
-  return static_cast<int64_t>(sizeof(VertexId)) + ValueBytes(v.value);
+  return Codec<Vertex<ValueT>>::Bytes(v);
 }
 
 }  // namespace gthinker

@@ -8,11 +8,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/codec.h"
 #include "core/vertex.h"
 #include "graph/types.h"
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/mem_tracker.h"
+#include "util/serializer.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace gthinker {
@@ -143,7 +146,7 @@ class VertexCache {
         << "response for never-requested vertex " << v;
     GammaEntry entry;
     entry.lock_count = rit->second.lock_count;
-    if (mem_ != nullptr) mem_->Consume(ValueBytes(vertex));
+    if (mem_ != nullptr) mem_->Consume(Codec<VertexT>::Bytes(vertex));
     entry.vertex = std::move(vertex);
     std::vector<uint64_t> waiting = std::move(rit->second.waiting);
     bucket.rtable.erase(rit);
@@ -151,6 +154,22 @@ class VertexCache {
     GT_CHECK(inserted) << "vertex " << v << " in both Γ-table and R-table";
     if (git->second.lock_count == 0) bucket.zero.insert(v);
     return waiting;
+  }
+
+  /// OP2, zero-copy variant: decodes one Codec<VertexT> record straight from
+  /// a wire-fragment span (the R-table fills from the span; no intermediate
+  /// flatten). *consumed reports how many bytes the record occupied so the
+  /// caller can advance its cursor; *waiting receives the task IDs that were
+  /// blocked on the vertex. Corrupted/truncated records return
+  /// Status::Corruption without touching the tables.
+  Status InsertResponseSpan(const char* data, size_t size, size_t* consumed,
+                            std::vector<uint64_t>* waiting) {
+    VertexT vertex;
+    Deserializer des(data, size);
+    GT_RETURN_IF_ERROR(Codec<VertexT>::Decode(des, &vertex));
+    *consumed = des.position();
+    *waiting = InsertResponse(std::move(vertex));
+    return Status::Ok();
   }
 
   /// Looks up a vertex the calling task already holds a lock on (used when a
@@ -197,7 +216,9 @@ class VertexCache {
           auto git = bucket.gamma.find(*zit);
           GT_CHECK(git != bucket.gamma.end());
           GT_CHECK_EQ(git->second.lock_count, 0);
-          if (mem_ != nullptr) mem_->Release(ValueBytes(git->second.vertex));
+          if (mem_ != nullptr) {
+            mem_->Release(Codec<VertexT>::Bytes(git->second.vertex));
+          }
           bucket.gamma.erase(git);
           zit = bucket.zero.erase(zit);
           ++evicted;
@@ -210,7 +231,9 @@ class VertexCache {
             continue;
           }
           bucket.zero.erase(git->first);
-          if (mem_ != nullptr) mem_->Release(ValueBytes(git->second.vertex));
+          if (mem_ != nullptr) {
+            mem_->Release(Codec<VertexT>::Bytes(git->second.vertex));
+          }
           git = bucket.gamma.erase(git);
           ++evicted;
         }

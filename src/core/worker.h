@@ -16,9 +16,12 @@
 #include <vector>
 
 #include "core/aggregator.h"
+#include "core/codec.h"
 #include "core/comper.h"
 #include "core/config.h"
 #include "core/protocol.h"
+#include "core/pull_coalescer.h"
+#include "core/response_cache.h"
 #include "core/vertex_cache.h"
 #include "net/comm_hub.h"
 #include "obs/metrics.h"
@@ -59,6 +62,9 @@ class Worker {
         cache_(config.cache_num_buckets, config.cache_capacity,
                config.cache_overflow_alpha, config.cache_counter_delta,
                &mem_, config.cache_use_z_table),
+        coalescer_(config.num_workers, config.request_batch_size,
+                   config.request_flush_bytes),
+        resp_cache_(config.response_cache_bytes),
         metrics_("worker" + std::to_string(worker_id)) {
     master_id_ = config_.num_workers;  // master mailbox index
     if (config_.enable_tracing) trace_ = std::make_unique<TraceRing>();
@@ -73,8 +79,6 @@ class Worker {
     spill_read_bytes_ = metrics_.GetCounter("spill.read_bytes");
     refill_spill_tasks_ = metrics_.GetCounter("refill.from_spill_tasks");
     refill_spawn_tasks_ = metrics_.GetCounter("refill.from_spawn_tasks");
-    request_buffers_ =
-        std::vector<RequestBuffer>(static_cast<size_t>(config_.num_workers));
     for (int i = 0; i < config_.compers_per_worker; ++i) {
       engines_.push_back(std::make_unique<ComperEngine>(this, i, factory()));
     }
@@ -693,7 +697,9 @@ class Worker {
 
   int64_t LocalTableBytes() const {
     int64_t bytes = 0;
-    for (const auto& [id, vertex] : local_) bytes += ValueBytes(vertex) + 16;
+    for (const auto& [id, vertex] : local_) {
+      bytes += Codec<VertexT>::Bytes(vertex) + 16;
+    }
     return bytes;
   }
 
@@ -714,32 +720,22 @@ class Worker {
     return next_spawn_.load(std::memory_order_relaxed) >= spawn_order_.size();
   }
 
-  /// Appends a vertex request for batched sending (paper: requests are
-  /// batched per destination to combat round-trip time).
+  /// Queues a vertex pull for batched sending (paper: requests are batched
+  /// per destination to combat round-trip time). The coalescer additionally
+  /// drops IDs already in flight within the open window — safe because the
+  /// VertexCache's R-table fans one response record out to every waiting
+  /// task — and flushes on a byte budget as well as the count threshold.
   void EnqueueVertexRequest(VertexId v) {
     const int dst = OwnerOf(v, config_.num_workers);
     GT_CHECK_NE(dst, id_) << "local vertex routed to the cache";
-    RequestBuffer& buf = request_buffers_[dst];
     std::vector<VertexId> to_send;
-    {
-      std::lock_guard<std::mutex> lock(buf.mutex);
-      buf.ids.push_back(v);
-      if (buf.ids.size() >= static_cast<size_t>(config_.request_batch_size)) {
-        to_send.swap(buf.ids);
-      }
-    }
-    if (!to_send.empty()) SendVertexRequest(dst, to_send);
+    if (coalescer_.Add(dst, v, &to_send)) SendVertexRequest(dst, to_send);
   }
 
   void FlushAllRequests() {
+    std::vector<VertexId> to_send;
     for (int dst = 0; dst < config_.num_workers; ++dst) {
-      RequestBuffer& buf = request_buffers_[dst];
-      std::vector<VertexId> to_send;
-      {
-        std::lock_guard<std::mutex> lock(buf.mutex);
-        to_send.swap(buf.ids);
-      }
-      if (!to_send.empty()) SendVertexRequest(dst, to_send);
+      if (coalescer_.Flush(dst, &to_send)) SendVertexRequest(dst, to_send);
     }
   }
 
@@ -862,32 +858,43 @@ class Worker {
         data_processed_.fetch_add(1, std::memory_order_relaxed);
         std::vector<VertexId> ids;
         GT_CHECK_OK(DecodeVertexRequest(mb.payload, &ids));
-        Serializer ser;
-        ser.Write<uint64_t>(ids.size());
+        // Γ-sharing: each record rides as a refcounted fragment handed out
+        // by the response cache — a hot vertex is serialized once and its
+        // slab is shared by every concurrent response batch carrying it.
+        Serializer header;
+        header.Write<uint64_t>(ids.size());
+        MessageBatch resp;
+        resp.payload = TakePayload(header);
         for (VertexId v : ids) {
           auto it = local_.find(v);
           GT_CHECK(it != local_.end())
               << "request for vertex " << v << " not owned by worker " << id_;
-          SerializeValue(ser, it->second);
+          resp.payload.Append(resp_cache_.Get(it->second));
         }
-        MessageBatch resp;
         resp.src_worker = id_;
         resp.dst_worker = mb.src_worker;
         resp.type = MsgType::kVertexResponse;
-        resp.payload = ser.Release();
         data_sent_.fetch_add(1, std::memory_order_relaxed);
         hub_->Send(std::move(resp));
         break;
       }
       case MsgType::kVertexResponse: {
         data_processed_.fetch_add(1, std::memory_order_relaxed);
-        Deserializer des(mb.payload);
+        PayloadCursor cur(mb.payload);
         uint64_t n = 0;
-        GT_CHECK_OK(des.Read(&n));
+        GT_CHECK_OK(cur.Read(&n));
+        std::vector<uint64_t> waiting;
         for (uint64_t i = 0; i < n; ++i) {
-          VertexT v;
-          GT_CHECK_OK(DeserializeValue(des, &v));
-          std::vector<uint64_t> waiting = cache_.InsertResponse(std::move(v));
+          // Each record is contiguous by construction (the sender never
+          // splits one record across fragments), so the R-table fills
+          // straight from the wire fragment — no flatten, no copy.
+          size_t len = 0;
+          const char* data = cur.ContiguousBytes(&len);
+          size_t consumed = 0;
+          waiting.clear();
+          GT_CHECK_OK(cache_.InsertResponseSpan(data, len, &consumed,
+                                                &waiting));
+          GT_CHECK_OK(cur.Skip(consumed));
           for (uint64_t tid : waiting) {
             const int comper = ComperOfTaskId(tid);
             GT_CHECK_LT(comper, static_cast<int>(engines_.size()));
@@ -929,8 +936,9 @@ class Worker {
       }
       case MsgType::kAggregatorSync: {
         AggT global{};
-        Deserializer des(mb.payload);
-        GT_CHECK_OK(DeserializeValue(des, &global));
+        PayloadView view(mb.payload);
+        Deserializer des(view.data(), view.size());
+        GT_CHECK_OK(Codec<AggT>::Decode(des, &global));
         agg_.SetGlobal(std::move(global));
         break;
       }
@@ -1061,7 +1069,7 @@ class Worker {
         drained_messages_.load(std::memory_order_relaxed);
     {
       Serializer ser;
-      SerializeValue(ser, agg_.TakeLocal());
+      Codec<AggT>::Encode(ser, agg_.TakeLocal());
       report.agg_delta = ser.Release();
     }
     MessageBatch mb;
@@ -1119,7 +1127,7 @@ class Worker {
     for (const std::string& r : records) ser.WriteString(r);
     const std::string key = "ckpt/" + std::to_string(epoch) + "/worker_" +
                             std::to_string(id_);
-    GT_CHECK_OK(checkpoint_dfs_->Put(key, ser.data()));
+    GT_CHECK_OK(checkpoint_dfs_->Put(key, ser.Release()));
     // Cut the aggregator delta for the ack while the compers are still
     // parked: everything committed so far is pre-snapshot by quiescence.
     // Releasing first opened a race where a resumed comper finished a task
@@ -1131,7 +1139,7 @@ class Worker {
     ack.epoch = epoch;
     {
       Serializer agg_ser;
-      SerializeValue(agg_ser, agg_.TakeLocal());
+      Codec<AggT>::Encode(agg_ser, agg_.TakeLocal());
       ack.agg_delta = agg_ser.Release();
     }
     pause_.store(false, std::memory_order_release);
@@ -1216,6 +1224,10 @@ class Worker {
       set("cache.group.evictions",
           group.evictions.load(std::memory_order_relaxed), label);
     }
+    set("request.deduped", coalescer_.deduped());
+    set("resp_cache.hits", resp_cache_.hits());
+    set("resp_cache.resets", resp_cache_.resets());
+    set("resp_cache.bytes", resp_cache_.bytes());
     set("tasks.spawned", tasks_spawned_.load(std::memory_order_relaxed));
     set("tasks.finished", tasks_finished_.load(std::memory_order_relaxed));
     set("tasks.iterations", task_iterations_.load(std::memory_order_relaxed));
@@ -1254,11 +1266,12 @@ class Worker {
   std::unique_ptr<StealRuntime> steal_runtime_;
   std::mutex steal_mutex_;
 
-  struct RequestBuffer {
-    std::mutex mutex;
-    std::vector<VertexId> ids;
-  };
-  std::vector<RequestBuffer> request_buffers_;
+  /// Per-destination pull batching + in-window dedup (compers add, comm
+  /// thread flushes).
+  PullCoalescer coalescer_;
+  /// Γ-sharing response memoization; comm-thread-confined (the only thread
+  /// that answers kVertexRequest), so it needs no lock.
+  ResponseCache<VertexT> resp_cache_;
 
   MiniDfs* checkpoint_dfs_ = nullptr;
 

@@ -2,7 +2,8 @@
 #define GTHINKER_NET_MESSAGE_H_
 
 #include <cstdint>
-#include <string>
+
+#include "net/payload.h"
 
 namespace gthinker {
 
@@ -19,18 +20,24 @@ struct NetConfig {
 /// Kinds of batches moving between workers. Everything inter-worker — vertex
 /// pulls, responses, control/progress traffic, stolen task batches, aggregator
 /// sync — goes through this one framing, exactly like an MPI deployment.
+///
+/// Each entry documents its actual payload layout as produced by the
+/// encoders in core/protocol.h (all integers little-endian fixed width;
+/// "blob" = u64 length prefix + bytes).
 enum class MsgType : uint8_t {
-  kVertexRequest = 0,   // payload: u32 count + VertexId[count] + u64 task tag?
-  kVertexResponse = 1,  // payload: serialized (id, Γ(id)) records
-  kProgressReport = 2,  // worker -> master periodic progress
-  kStealOrder = 3,      // master -> busy worker: send tasks to idle worker
-  kTaskBatch = 4,       // busy worker -> idle worker: serialized tasks
-  kAggregatorSync = 5,  // worker <-> master partial aggregates
-  kTerminate = 6,       // master -> all: job done
-  kCheckpointRequest = 7,  // master -> all: snapshot state at this epoch
-  kCheckpointAck = 8,      // worker -> master: snapshot committed
-  kDrainBarrier = 9,       // worker -> master: locally quiesced;
-                           // master -> all: every worker quiesced, drain wire
+  kVertexRequest = 0,   // u64 count + VertexId[count] (EncodeVertexRequest)
+  kVertexResponse = 1,  // u64 count + count Codec-encoded (id, Γ(id)) records
+  kProgressReport = 2,  // ProgressReport::Encode: fixed-width counters +
+                        // TaskLedger (9 × i64) + live/disk/drained + agg blob
+  kStealOrder = 3,      // i32 dst_worker + i64 order_t_us (hub clock);
+                        // decoder tolerates the legacy i32-only short form
+  kTaskBatch = 4,       // i64 steal_order_t_us + u64 count + count task blobs
+  kAggregatorSync = 5,  // Codec<AggT>-encoded global aggregate (no framing)
+  kTerminate = 6,       // empty payload
+  kCheckpointRequest = 7,  // u64 epoch (CheckpointRequest::Encode)
+  kCheckpointAck = 8,      // i32 worker_id + u64 epoch + agg-delta blob
+  kDrainBarrier = 9,       // worker -> master: i32 worker_id;
+                           // master -> all: empty payload (drain release)
 };
 
 /// Number of distinct MsgType values (for per-type wire accounting).
@@ -63,12 +70,14 @@ inline const char* MsgTypeName(MsgType type) {
   return "unknown";
 }
 
-/// One batch on the wire.
+/// One batch on the wire. The payload is a refcounted fragment chain
+/// (net/payload.h): it is built once by the sender and crosses the hub by
+/// handle, with zero intermediate byte copies.
 struct MessageBatch {
   int src_worker = -1;
   int dst_worker = -1;
   MsgType type = MsgType::kVertexRequest;
-  std::string payload;
+  Payload payload;
   /// Simulated delivery timestamp (microseconds on the hub clock); the
   /// receiver must not process the batch before this instant.
   int64_t deliver_at_us = 0;

@@ -31,11 +31,10 @@ Status SpillFile::WriteBatch(const std::string& dir,
     return Status::IoError("open spill " + *path + ": " +
                            std::strerror(errno));
   }
-  const std::string& buf = ser.data();
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out.write(ser.data(), static_cast<std::streamsize>(ser.size()));
   out.flush();
   if (!out) return Status::IoError("write spill " + *path);
-  if (bytes != nullptr) *bytes = static_cast<int64_t>(buf.size());
+  if (bytes != nullptr) *bytes = static_cast<int64_t>(ser.size());
   return Status::Ok();
 }
 

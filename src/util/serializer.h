@@ -5,8 +5,10 @@
 #include <cstring>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/status.h"
 
 namespace gthinker {
@@ -17,24 +19,33 @@ namespace gthinker {
 ///
 /// Encoding: little-endian fixed width for integral/floating types, u64
 /// length prefix for strings and vectors.
+///
+/// The encoder writes directly into a pooled Slab (util/buffer_pool.h), so a
+/// finished buffer can be handed to the wire zero-copy via TakeSlab() — the
+/// slab travels inside a net::Payload and is recycled when the last message
+/// batch referencing it is destroyed. Release() still yields an owning
+/// std::string (one copy) for paths that want plain bytes (spill files,
+/// checkpoint blobs, task records).
 class Serializer {
  public:
   Serializer() = default;
+  Serializer(const Serializer&) = delete;  // two writers on one slab
+  Serializer& operator=(const Serializer&) = delete;
+  Serializer(Serializer&&) = default;
+  Serializer& operator=(Serializer&&) = default;
 
   template <typename T>
   void Write(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "Write requires a trivially copyable type");
-    const size_t old = buf_.size();
-    buf_.resize(old + sizeof(T));
-    std::memcpy(buf_.data() + old, &value, sizeof(T));
+    Reserve(sizeof(T));
+    std::memcpy(slab_.data() + size_, &value, sizeof(T));
+    size_ += sizeof(T);
   }
 
   void WriteString(const std::string& s) {
     Write<uint64_t>(s.size());
-    const size_t old = buf_.size();
-    buf_.resize(old + s.size());
-    std::memcpy(buf_.data() + old, s.data(), s.size());
+    WriteBytes(s.data(), s.size());
   }
 
   template <typename T>
@@ -42,26 +53,50 @@ class Serializer {
     static_assert(std::is_trivially_copyable_v<T>,
                   "WriteVector requires trivially copyable elements");
     Write<uint64_t>(v.size());
-    const size_t old = buf_.size();
-    buf_.resize(old + v.size() * sizeof(T));
-    if (!v.empty()) {
-      std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
-    }
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
   }
 
   void WriteBytes(const void* data, size_t n) {
-    const size_t old = buf_.size();
-    buf_.resize(old + n);
-    if (n > 0) std::memcpy(buf_.data() + old, data, n);
+    if (n == 0) return;
+    Reserve(n);
+    std::memcpy(slab_.data() + size_, data, n);
+    size_ += n;
   }
 
-  const std::string& data() const { return buf_; }
-  std::string Release() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
-  void Clear() { buf_.clear(); }
+  /// Start of the encoded bytes (nullptr while empty). Pair with size().
+  const char* data() const { return slab_.data(); }
+  size_t size() const { return size_; }
+
+  /// Copies the encoded bytes into an owning string and resets the encoder
+  /// (the backing slab is kept for reuse).
+  std::string Release() {
+    std::string out(slab_ ? slab_.data() : "", size_);
+    size_ = 0;
+    return out;
+  }
+
+  /// Zero-copy handoff: moves the backing slab (with the caller taking the
+  /// reference) and resets the encoder. *size receives the encoded length;
+  /// the returned ref is empty when nothing was written.
+  SlabRef TakeSlab(size_t* size) {
+    *size = size_;
+    size_ = 0;
+    return std::move(slab_);
+  }
+
+  void Clear() { size_ = 0; }
 
  private:
-  std::string buf_;
+  void Reserve(size_t n) {
+    const size_t need = size_ + n;
+    if (need <= slab_.capacity()) return;
+    SlabRef bigger(BufferPool::Global().Acquire(need));
+    if (size_ > 0) std::memcpy(bigger.data(), slab_.data(), size_);
+    slab_ = std::move(bigger);
+  }
+
+  SlabRef slab_;
+  size_t size_ = 0;
 };
 
 /// Sequential binary decoder over a byte buffer (not owned). All reads are
@@ -73,6 +108,14 @@ class Deserializer {
 
   explicit Deserializer(const std::string& buf)
       : Deserializer(buf.data(), buf.size()) {}
+
+  explicit Deserializer(const Serializer& ser)
+      : Deserializer(ser.data(), ser.size()) {}
+
+  /// A bare char* has no length; passing one would silently re-measure the
+  /// buffer with strlen via the string overload (truncating at the first
+  /// NUL byte of binary data). Force callers to supply the size.
+  explicit Deserializer(const char*) = delete;
 
   template <typename T>
   Status Read(T* out) {

@@ -74,6 +74,44 @@ TEST(ConfigValidate, RejectsNegativeBudgetsAndWire) {
   EXPECT_FALSE(c.Validate().ok());
 }
 
+TEST(ConfigValidate, RejectsBadCommunicationKnobs) {
+  JobConfig c;
+  c.request_flush_bytes = 15;  // cannot hold the count header plus one ID
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.request_flush_bytes = 16;
+  EXPECT_TRUE(c.Validate().ok());
+  c = JobConfig{};
+  c.response_cache_bytes = -1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.response_cache_bytes = 0;  // 0 legitimately disables memoization
+  EXPECT_TRUE(c.Validate().ok());
+  c = JobConfig{};
+  c.comm_poll_us = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+}
+
+TEST(ConfigValidate, RejectsBadPeriodsAndPaths) {
+  JobConfig c;
+  c.progress_interval_us = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.gc_interval_us = -1;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.drain_timeout_us = 0;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.metrics_sample_ms = -5;
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c = JobConfig{};
+  c.trace_path = "/tmp/trace.json";  // requires span tracing on
+  EXPECT_TRUE(c.Validate().IsInvalidArgument());
+  c.enable_span_tracing = true;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
 TEST(ConfigValidate, AcceptsAggressiveButLegalValues) {
   JobConfig c;
   c.num_workers = 16;

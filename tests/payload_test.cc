@@ -1,0 +1,239 @@
+// Tests for the zero-copy wire-path building blocks: BufferPool slab
+// recycling, refcounted Payload fragments, PayloadView flattening, and the
+// straddle-safe PayloadCursor.
+
+#include "net/payload.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/buffer_pool.h"
+#include "util/serializer.h"
+
+namespace gthinker {
+namespace {
+
+TEST(BufferPoolTest, SizeClassMapping) {
+  EXPECT_EQ(BufferPool::ClassFor(1), 0);
+  EXPECT_EQ(BufferPool::ClassFor(64), 0);
+  EXPECT_EQ(BufferPool::ClassFor(65), 1);
+  EXPECT_EQ(BufferPool::ClassFor(1 << 20), BufferPool::kNumClasses - 1);
+  EXPECT_EQ(BufferPool::ClassFor((1 << 20) + 1), -1);  // oversized
+}
+
+TEST(BufferPoolTest, RecycleServesFromFreeList) {
+  BufferPool pool;
+  Slab* a = pool.Acquire(100);
+  char* data = a->data;
+  ASSERT_NE(data, nullptr);
+  EXPECT_GE(a->capacity, 100u);
+  a->Unref();  // last ref -> recycled into the free list
+  Slab* b = pool.Acquire(100);
+  EXPECT_EQ(b->data, data);  // same physical slab came back
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 2);
+  EXPECT_EQ(stats.pool_hits, 1);
+  EXPECT_EQ(stats.allocs, 1);
+  EXPECT_EQ(stats.outstanding, 1);
+  b->Unref();
+  EXPECT_EQ(pool.stats().outstanding, 0);
+}
+
+TEST(BufferPoolTest, OversizedSlabsAreNotPooled) {
+  BufferPool pool;
+  Slab* big = pool.Acquire((1 << 20) + 1);
+  EXPECT_EQ(big->size_class, -1);
+  big->Unref();
+  Slab* again = pool.Acquire((1 << 20) + 1);
+  EXPECT_EQ(pool.stats().pool_hits, 0);
+  again->Unref();
+}
+
+TEST(BufferPoolTest, SlabRefCopySharesAndReleases) {
+  BufferPool pool;
+  SlabRef a(pool.Acquire(64));
+  {
+    SlabRef b = a;  // refcount 2
+    EXPECT_EQ(b.data(), a.data());
+    EXPECT_EQ(pool.stats().outstanding, 1);
+  }
+  // b released; a still pins the slab.
+  EXPECT_EQ(pool.stats().outstanding, 1);
+  a.Reset();
+  EXPECT_EQ(pool.stats().outstanding, 0);
+}
+
+TEST(PayloadTest, DefaultIsEmpty) {
+  Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.IsFlat());
+  EXPECT_EQ(p.ToString(), "");
+}
+
+TEST(PayloadTest, AdoptsStringWithoutCopyOnPayloadCopy) {
+  Payload p(std::string("hello world"));
+  EXPECT_EQ(p.size(), 11u);
+  EXPECT_TRUE(p == "hello world");
+  Payload q = p;  // fragment handle copy
+  ASSERT_EQ(q.num_fragments(), 1u);
+  EXPECT_EQ(q.fragments()[0].data, p.fragments()[0].data);  // same bytes
+}
+
+TEST(PayloadTest, CopyOfOwnsIndependentBytes) {
+  std::string src = "abcdef";
+  Payload p = Payload::CopyOf(src.data(), src.size());
+  src.assign(6, 'x');  // mutate the source after the copy
+  EXPECT_TRUE(p == "abcdef");
+}
+
+TEST(PayloadTest, AppendSplicesFragments) {
+  Payload p(std::string("head-"));
+  p.Append(Payload(std::string("mid-")));
+  p.Append(Payload::CopyOf("tail", 4));
+  EXPECT_EQ(p.num_fragments(), 3u);
+  EXPECT_FALSE(p.IsFlat());
+  EXPECT_EQ(p.size(), 13u);
+  EXPECT_EQ(p.ToString(), "head-mid-tail");
+  EXPECT_TRUE(p == "head-mid-tail");
+  EXPECT_TRUE(p != "head-mid-tailX");
+}
+
+TEST(PayloadTest, AppendSharesSlabAcrossPayloads) {
+  const auto before = BufferPool::Global().stats();
+  Payload record = Payload::CopyOf("record", 6);
+  Payload a;
+  a.Append(record);  // copy: refcount bump
+  Payload b;
+  b.Append(record);
+  // Three payloads alias the same slab: only one slab outstanding.
+  EXPECT_EQ(BufferPool::Global().stats().outstanding, before.outstanding + 1);
+  EXPECT_EQ(a.fragments()[0].data, b.fragments()[0].data);
+  record = Payload();
+  a = Payload();
+  EXPECT_TRUE(b == "record");  // b alone keeps the bytes alive
+  b = Payload();
+  EXPECT_EQ(BufferPool::Global().stats().outstanding, before.outstanding);
+}
+
+TEST(PayloadTest, TakePayloadIsZeroCopyAndResetsSerializer) {
+  Serializer ser;
+  ser.Write<uint32_t>(0xdeadbeef);
+  ser.WriteString("payload");
+  const size_t encoded = ser.size();
+  const char* bytes = ser.data();
+  Payload p = TakePayload(ser);
+  EXPECT_EQ(ser.size(), 0u);  // serializer reset for reuse
+  ASSERT_EQ(p.num_fragments(), 1u);
+  EXPECT_EQ(p.size(), encoded);
+  EXPECT_EQ(p.fragments()[0].data, bytes);  // the very same slab bytes
+}
+
+TEST(PayloadViewTest, FlatPayloadIsZeroCopy) {
+  Payload p = Payload::CopyOf("flat", 4);
+  PayloadView view(p);
+  EXPECT_EQ(view.data(), p.fragments()[0].data);
+  EXPECT_EQ(view.size(), 4u);
+}
+
+TEST(PayloadViewTest, FragmentedPayloadFlattens) {
+  Payload p(std::string("ab"));
+  p.Append(Payload(std::string("cd")));
+  PayloadView view(p);
+  EXPECT_EQ(std::string(view.data(), view.size()), "abcd");
+}
+
+TEST(PayloadCursorTest, ReadsAcrossFragmentBoundary) {
+  // A u32 split 2+2 across two fragments must still decode.
+  uint32_t value = 0x01020304;
+  char raw[4];
+  std::memcpy(raw, &value, 4);
+  Payload p = Payload::CopyOf(raw, 2);
+  p.Append(Payload::CopyOf(raw + 2, 2));
+  PayloadCursor cur(p);
+  uint32_t got = 0;
+  ASSERT_TRUE(cur.Read(&got).ok());
+  EXPECT_EQ(got, value);
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(PayloadCursorTest, OverreadIsCorruptionNotCrash) {
+  Payload p = Payload::CopyOf("abc", 3);
+  PayloadCursor cur(p);
+  uint64_t big = 0;
+  Status s = cur.Read(&big);
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_TRUE(cur.Skip(4).IsCorruption());
+  EXPECT_TRUE(cur.Skip(3).ok());
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(PayloadCursorTest, ContiguousBytesWalksFragments) {
+  Payload p = Payload::CopyOf("first", 5);
+  p.Append(Payload::CopyOf("second", 6));
+  PayloadCursor cur(p);
+  size_t len = 0;
+  const char* d = cur.ContiguousBytes(&len);
+  ASSERT_EQ(len, 5u);
+  EXPECT_EQ(std::string(d, len), "first");
+  ASSERT_TRUE(cur.Skip(5).ok());
+  d = cur.ContiguousBytes(&len);
+  ASSERT_EQ(len, 6u);
+  EXPECT_EQ(std::string(d, len), "second");
+  ASSERT_TRUE(cur.Skip(6).ok());
+  d = cur.ContiguousBytes(&len);
+  EXPECT_EQ(len, 0u);
+  EXPECT_EQ(d, nullptr);
+}
+
+TEST(PayloadCursorTest, PartialFragmentConsumptionThenContiguous) {
+  // Mirror the kVertexResponse receive loop: read a header, then hand the
+  // rest of the fragment to a record decoder.
+  Serializer header;
+  header.Write<uint64_t>(2);
+  Payload p = TakePayload(header);
+  p.Append(Payload::CopyOf("rec1", 4));
+  p.Append(Payload::CopyOf("rec2", 4));
+  PayloadCursor cur(p);
+  uint64_t n = 0;
+  ASSERT_TRUE(cur.Read(&n).ok());
+  EXPECT_EQ(n, 2u);
+  for (uint64_t i = 0; i < n; ++i) {
+    size_t len = 0;
+    const char* d = cur.ContiguousBytes(&len);
+    ASSERT_EQ(len, 4u);
+    EXPECT_EQ(std::string(d, 3), "rec");
+    ASSERT_TRUE(cur.Skip(len).ok());
+  }
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(SerializerSlabTest, ReleaseStillYieldsOwnedString) {
+  Serializer ser;
+  ser.WriteString(std::string(1000, 'z'));  // force slab growth
+  std::string bytes = ser.Release();
+  EXPECT_EQ(ser.size(), 0u);
+  Deserializer des(bytes);
+  std::string got;
+  ASSERT_TRUE(des.ReadString(&got).ok());
+  EXPECT_EQ(got, std::string(1000, 'z'));
+}
+
+TEST(SerializerSlabTest, DeserializerFromSerializerSeesBinaryBytes) {
+  Serializer ser;
+  ser.Write<uint32_t>(0);  // embedded NULs must survive
+  ser.Write<uint32_t>(7);
+  Deserializer des(ser);
+  uint32_t a = 1, b = 0;
+  ASSERT_TRUE(des.Read(&a).ok());
+  ASSERT_TRUE(des.Read(&b).ok());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 7u);
+  EXPECT_TRUE(des.AtEnd());
+}
+
+}  // namespace
+}  // namespace gthinker

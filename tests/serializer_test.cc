@@ -18,7 +18,7 @@ TEST(Serializer, PodRoundtrip) {
   ser.Write<double>(3.5);
   ser.Write<uint8_t>(255);
 
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   uint32_t a = 0;
   int64_t b = 0;
   double c = 0;
@@ -40,7 +40,7 @@ TEST(Serializer, StringRoundtrip) {
   ser.WriteString("");
   ser.WriteString(std::string("with\0null", 9));
 
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   std::string a, b, c;
   ASSERT_TRUE(des.ReadString(&a).ok());
   ASSERT_TRUE(des.ReadString(&b).ok());
@@ -57,7 +57,7 @@ TEST(Serializer, VectorRoundtrip) {
   ser.WriteVector(v);
   ser.WriteVector(empty);
 
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   std::vector<uint32_t> got, got_empty = {9};
   ASSERT_TRUE(des.ReadVector(&got).ok());
   ASSERT_TRUE(des.ReadVector(&got_empty).ok());
@@ -68,7 +68,7 @@ TEST(Serializer, VectorRoundtrip) {
 TEST(Deserializer, ReadPastEndIsCorruption) {
   Serializer ser;
   ser.Write<uint16_t>(1);
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   uint32_t too_big = 0;
   EXPECT_TRUE(des.Read(&too_big).IsCorruption());
 }
@@ -77,7 +77,7 @@ TEST(Deserializer, TruncatedStringIsCorruption) {
   Serializer ser;
   ser.Write<uint64_t>(100);  // claims 100 bytes follow
   ser.WriteBytes("short", 5);
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   std::string out;
   EXPECT_TRUE(des.ReadString(&out).IsCorruption());
 }
@@ -85,7 +85,7 @@ TEST(Deserializer, TruncatedStringIsCorruption) {
 TEST(Deserializer, TruncatedVectorIsCorruption) {
   Serializer ser;
   ser.Write<uint64_t>(1000);
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   std::vector<uint64_t> out;
   EXPECT_TRUE(des.ReadVector(&out).IsCorruption());
 }
@@ -140,7 +140,7 @@ TEST_P(SerializerFuzzTest, MixedRoundtrip) {
       ser.WriteVector(v);
     }
   }
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   size_t ii = 0, si = 0, vi = 0;
   for (int kind : kinds) {
     if (kind == 0) {

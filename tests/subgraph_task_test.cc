@@ -57,7 +57,7 @@ TEST(Subgraph, SerializationRoundtrip) {
   Serializer ser;
   g.Serialize(ser);
   Subgraph<VertexT> back;
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   ASSERT_TRUE(back.Deserialize(des).ok());
   EXPECT_EQ(back.NumVertices(), 2u);
   EXPECT_EQ(back.GetVertex(3)->value, (AdjList{4, 5}));
@@ -100,7 +100,7 @@ TEST(Task, SerializationRoundtripWithContext) {
   Serializer ser;
   t.Serialize(ser);
   Task<AdjList, CliqueContext> back;
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   ASSERT_TRUE(back.Deserialize(des).ok());
   EXPECT_EQ(back.context().s, (std::vector<VertexId>{1, 2, 3}));
   EXPECT_EQ(back.pulls(), (std::vector<VertexId>{5, 6}));
@@ -120,7 +120,7 @@ TEST(Task, LabeledVertexSerialization) {
   Serializer ser;
   t.Serialize(ser);
   Task<LabeledAdj, VertexId> back;
-  Deserializer des(ser.data());
+  Deserializer des(ser);
   ASSERT_TRUE(back.Deserialize(des).ok());
   const auto* got = back.subgraph().GetVertex(2);
   ASSERT_NE(got, nullptr);
