@@ -1,110 +1,558 @@
-// google-benchmark microbenchmarks for the hot kernels underneath the
-// framework: sorted intersections (TC inner loop), the branch-and-bound
-// clique search, vertex-cache operations, and task serialization. These are
-// the per-task CPU costs Fig. 2's "mining cost" curve is made of.
+// Compute-kernel microbenchmarks backing the CSR/bitset kernel layer
+// (BENCH_kernels.json). Each experiment times the pre-CSR reference
+// implementation (kept verbatim in the `legacy` namespace below: vector-of-
+// vectors compact graphs, branchy merge intersections, per-pair HasEdge in
+// the recursion inner loops) against the shipping kernels from
+// apps/kernels.cc, checking result equality before reporting the ratio.
+//
+//   tc_intersect: the triangle-count intersection loop — legacy re-allocates
+//                 Γ_>(u) per edge and merges with the branchy two-pointer
+//                 loop; the new path intersects in-place spans through the
+//                 adaptive merge/gallop/HitBits toolkit.
+//   intersect_*:  the raw intersection variants on synthetic sorted lists,
+//                 balanced and skewed.
+//   maxclique, kclique, maximalclique: branch-and-bound kernels, legacy vs
+//                 the CSR sorted path vs the bitset path.
+//   quasiclique, match: bitset vs CSR sorted path (the pre-PR code for these
+//                 is the sorted path modulo the CSR layout), toggled through
+//                 SetKernelBitsetMaxVertices.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
 
+#include "apps/kernel_simd.h"
 #include "apps/kernels.h"
-#include "apps/maxclique_app.h"
-#include "core/task.h"
-#include "core/vertex_cache.h"
+#include "bench_util.h"
 #include "graph/generator.h"
+#include "graph/graph.h"
+#include "util/logging.h"
 #include "util/random.h"
-#include "util/serializer.h"
+#include "util/timer.h"
 
-namespace gthinker {
+namespace gthinker::bench {
+namespace legacy {
+
+// ---------------------------------------------------------------------------
+// Pre-CSR reference implementations, verbatim from the old kernels.cc.
+// ---------------------------------------------------------------------------
+
+uint64_t SortedIntersectionCount(const AdjList& a, const AdjList& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t CountTrianglesSerial(const Graph& g) {
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const AdjList gt_v = g.GreaterNeighbors(v);
+    for (VertexId u : gt_v) {
+      total += SortedIntersectionCount(gt_v, g.GreaterNeighbors(u));
+    }
+  }
+  return total;
+}
+
+struct CompactGraph {
+  std::vector<VertexId> ids;
+  std::vector<std::vector<int>> adj;
+
+  int NumVertices() const { return static_cast<int>(ids.size()); }
+  bool HasEdge(int a, int b) const {
+    const auto& row = adj[a].size() <= adj[b].size() ? adj[a] : adj[b];
+    const int target = adj[a].size() <= adj[b].size() ? b : a;
+    return std::binary_search(row.begin(), row.end(), target);
+  }
+};
+
+CompactGraph FromGraph(const Graph& g) {
+  CompactGraph out;
+  const VertexId n = g.NumVertices();
+  out.ids.resize(n);
+  out.adj.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.ids[v] = v;
+    out.adj[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+  }
+  return out;
+}
+
+class CliqueSearcher {
+ public:
+  CliqueSearcher(const CompactGraph& g, size_t lower_bound)
+      : g_(g), best_size_(lower_bound) {}
+
+  std::vector<VertexId> Run() {
+    std::vector<int> candidates(g_.NumVertices());
+    for (int i = 0; i < g_.NumVertices(); ++i) candidates[i] = i;
+    std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+      return g_.adj[a].size() > g_.adj[b].size();
+    });
+    Expand(candidates);
+    std::vector<VertexId> out;
+    for (int v : best_) out.push_back(g_.ids[v]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  void ColorSort(const std::vector<int>& p, std::vector<int>* order,
+                 std::vector<int>* bound) {
+    std::vector<std::vector<int>> classes;
+    for (int v : p) {
+      size_t c = 0;
+      for (; c < classes.size(); ++c) {
+        bool conflict = false;
+        for (int u : classes[c]) {
+          if (g_.HasEdge(v, u)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == classes.size()) classes.emplace_back();
+      classes[c].push_back(v);
+    }
+    for (size_t c = 0; c < classes.size(); ++c) {
+      for (int v : classes[c]) {
+        order->push_back(v);
+        bound->push_back(static_cast<int>(c) + 1);
+      }
+    }
+  }
+
+  void Expand(const std::vector<int>& p) {
+    std::vector<int> order, bound;
+    ColorSort(p, &order, &bound);
+    for (int i = static_cast<int>(order.size()) - 1; i >= 0; --i) {
+      if (r_.size() + bound[i] <= best_size_) return;
+      const int v = order[i];
+      r_.push_back(v);
+      std::vector<int> next;
+      for (int j = 0; j < i; ++j) {
+        if (g_.HasEdge(v, order[j])) next.push_back(order[j]);
+      }
+      if (next.empty()) {
+        if (r_.size() > best_size_) {
+          best_size_ = r_.size();
+          best_ = r_;
+        }
+      } else {
+        Expand(next);
+      }
+      r_.pop_back();
+    }
+  }
+
+  const CompactGraph& g_;
+  size_t best_size_;
+  std::vector<int> r_;
+  std::vector<int> best_;
+};
+
+uint64_t CountCliquesRec(const CompactGraph& g, const std::vector<int>& cands,
+                         int remaining) {
+  if (remaining == 0) return 1;
+  if (static_cast<int>(cands.size()) < remaining) return 0;
+  if (remaining == 1) return cands.size();
+  uint64_t count = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const int v = cands[i];
+    std::vector<int> next;
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      if (g.HasEdge(v, cands[j])) next.push_back(cands[j]);
+    }
+    count += CountCliquesRec(g, next, remaining - 1);
+  }
+  return count;
+}
+
+uint64_t CountCliquesOfSize(const CompactGraph& g, int k) {
+  std::vector<int> all(g.NumVertices());
+  for (int i = 0; i < g.NumVertices(); ++i) all[i] = i;
+  return CountCliquesRec(g, all, k);
+}
+
+class MaximalCliqueCounter {
+ public:
+  explicit MaximalCliqueCounter(const CompactGraph& g) : g_(g) {}
+
+  uint64_t CountFrom(int root) {
+    count_ = 0;
+    std::vector<int> p, x;
+    for (int u : g_.adj[root]) {
+      if (g_.ids[u] > g_.ids[root]) {
+        p.push_back(u);
+      } else {
+        x.push_back(u);
+      }
+    }
+    Recurse(p, x);
+    return count_;
+  }
+
+ private:
+  std::vector<int> IntersectAdj(const std::vector<int>& s, int v) {
+    std::vector<int> out;
+    for (int u : s) {
+      if (g_.HasEdge(u, v)) out.push_back(u);
+    }
+    return out;
+  }
+
+  void Recurse(std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      ++count_;
+      return;
+    }
+    int pivot = -1;
+    size_t best_cover = 0;
+    for (const std::vector<int>* side : {&p, &x}) {
+      for (int u : *side) {
+        size_t cover = 0;
+        for (int w : p) {
+          if (g_.HasEdge(u, w)) ++cover;
+        }
+        if (pivot < 0 || cover > best_cover) {
+          pivot = u;
+          best_cover = cover;
+        }
+      }
+    }
+    std::vector<int> candidates;
+    for (int v : p) {
+      if (!g_.HasEdge(pivot, v)) candidates.push_back(v);
+    }
+    for (int v : candidates) {
+      Recurse(IntersectAdj(p, v), IntersectAdj(x, v));
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  const CompactGraph& g_;
+  uint64_t count_ = 0;
+};
+
+uint64_t CountMaximalCliquesSerial(const Graph& g) {
+  const CompactGraph cg = FromGraph(g);
+  MaximalCliqueCounter counter(cg);
+  uint64_t total = 0;
+  for (int v = 0; v < cg.NumVertices(); ++v) total += counter.CountFrom(v);
+  return total;
+}
+
+}  // namespace legacy
+
 namespace {
 
-void BM_SortedIntersection(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Random rng(1);
-  AdjList a, b;
-  for (size_t i = 0; i < n; ++i) {
-    a.push_back(static_cast<VertexId>(rng.Uniform(4 * n)));
-    b.push_back(static_cast<VertexId>(rng.Uniform(4 * n)));
-  }
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n);
-}
-BENCHMARK(BM_SortedIntersection)->Arg(64)->Arg(512)->Arg(4096);
-
-void BM_MaxCliqueKernel(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Graph g = Generator::ErdosRenyi(n, static_cast<uint64_t>(n) * 8, n);
-  const CompactGraph cg = CompactFromGraph(g);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MaxCliqueInCompact(cg, 0));
-  }
-}
-BENCHMARK(BM_MaxCliqueKernel)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_MaximalCliqueKernel(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Graph g = Generator::ErdosRenyi(n, static_cast<uint64_t>(n) * 6, n + 1);
-  const CompactGraph cg = CompactFromGraph(g);
-  for (auto _ : state) {
-    uint64_t total = 0;
-    for (int v = 0; v < cg.NumVertices(); ++v) {
-      total += CountMaximalCliquesFromRoot(cg, v);
+/// Wall-time of fn()'s best run out of `reps` (short kernels; one scheduler
+/// hiccup would swamp a single run). fn returns a checksum, checked equal
+/// across reps.
+template <typename Fn>
+double BestOf(int reps, uint64_t* checksum, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    const uint64_t sum = fn();
+    const double elapsed = t.ElapsedSeconds();
+    if (r == 0) {
+      *checksum = sum;
+      best = elapsed;
+    } else {
+      GT_CHECK_EQ(sum, *checksum);
+      best = std::min(best, elapsed);
     }
-    benchmark::DoNotOptimize(total);
   }
+  return best;
 }
-BENCHMARK(BM_MaximalCliqueKernel)->Arg(64)->Arg(128);
 
-void BM_VertexCacheHit(benchmark::State& state) {
-  VertexCache<Vertex<AdjList>> cache(static_cast<int>(state.range(0)),
-                                     1 << 20, 0.2, 10);
-  SCacheCounter ctr;
-  const Vertex<AdjList>* out = nullptr;
-  for (VertexId v = 0; v < 1024; ++v) {
-    cache.Request(v, v, &ctr, &out);
-    Vertex<AdjList> vert;
-    vert.id = v;
-    vert.value = {v + 1, v + 2, v + 3};
-    cache.InsertResponse(std::move(vert));
+/// Scoped override of the process-global dense/sparse kernel switch.
+class ThresholdGuard {
+ public:
+  explicit ThresholdGuard(int n) : saved_(KernelBitsetMaxVertices()) {
+    SetKernelBitsetMaxVertices(n);
   }
-  VertexId v = 0;
-  for (auto _ : state) {
-    cache.Request(v & 1023, 1, &ctr, &out);
-    cache.Release(v & 1023);
-    ++v;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_VertexCacheHit)->Arg(1)->Arg(64)->Arg(4096);
+  ~ThresholdGuard() { SetKernelBitsetMaxVertices(saved_); }
 
-void BM_TaskSerialization(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Task<AdjList, CliqueContext> task;
-  task.context().s = {1, 2, 3};
-  Random rng(2);
-  for (size_t i = 0; i < n; ++i) {
-    Vertex<AdjList> v;
-    v.id = static_cast<VertexId>(i);
-    for (int j = 0; j < 8; ++j) {
-      v.value.push_back(static_cast<VertexId>(rng.Uniform(n)));
+ private:
+  const int saved_;
+};
+
+struct Variant {
+  const char* name;
+  double elapsed_s = 0.0;
+  uint64_t checksum = 0;
+};
+
+/// Prints the variant table (speedups relative to variants[0]) and adds one
+/// JSON row per variant.
+void PrintAndRecord(BenchJson* json, const char* experiment,
+                    const std::vector<Variant>& variants, double work_items) {
+  for (const Variant& v : variants) {
+    const double speedup = variants[0].elapsed_s / v.elapsed_s;
+    std::printf("  %-12s %10.3f ms %10.2fx   (checksum %" PRIu64 ")\n",
+                v.name, v.elapsed_s * 1e3, speedup, v.checksum);
+    auto* row = json->AddRow(std::string(experiment) + "/" + v.name);
+    row->numbers["elapsed_s"] = v.elapsed_s;
+    row->numbers[std::string("speedup_vs_") + variants[0].name] = speedup;
+    if (work_items > 0) {
+      row->numbers["items_per_s"] = work_items / v.elapsed_s;
     }
-    std::sort(v.value.begin(), v.value.end());
-    task.subgraph().AddVertex(std::move(v));
   }
-  for (auto _ : state) {
-    Serializer ser;
-    task.Serialize(ser);
-    Task<AdjList, CliqueContext> back;
-    Deserializer des(ser);
-    benchmark::DoNotOptimize(back.Deserialize(des).ok());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_TaskSerialization)->Arg(16)->Arg(256)->Arg(2048);
+
+int Main(int argc, char** argv) {
+  int reps = 5;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0) reps = std::atoi(argv[i + 1]);
+  }
+
+  BenchJson json;
+  json.bench = "micro_kernels";
+
+  // ---- triangle-count intersection loop --------------------------------
+  // Hub-heavy degree distribution: exactly the skewed Γ_>(v) vs Γ_>(u)
+  // shape the adaptive toolkit targets.
+  {
+    const Graph g = Generator::PowerLaw(30'000, 12.0, 2.3, 97);
+    std::printf("tc_intersect: PowerLaw n=%u avg_deg=%.1f (%" PRIu64
+                " edges), best of %d\n",
+                g.NumVertices(), g.AvgDegree(), g.NumEdges(), reps);
+    std::vector<Variant> v{{"legacy"}, {"new"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      return legacy::CountTrianglesSerial(g);
+    });
+    v[1].elapsed_s =
+        BestOf(reps, &v[1].checksum, [&] { return CountTrianglesSerial(g); });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    PrintAndRecord(&json, "tc_intersect", v,
+                   static_cast<double>(g.NumEdges()));
+    json.AddRow("tc_intersect/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[1].elapsed_s;
+  }
+
+  // ---- raw intersection variants ---------------------------------------
+  // Balanced (merge regime) and ~64x-skewed (gallop/bitmap regime) pairs;
+  // every variant scans the same pair set and must produce the same total.
+  {
+    Random rng(1234);
+    auto make_list = [&rng](size_t len, VertexId domain) {
+      AdjList out;
+      out.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<VertexId>(rng.Uniform(domain)));
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      return out;
+    };
+    for (const bool skewed : {false, true}) {
+      const size_t pairs = 4000;
+      std::vector<std::pair<AdjList, AdjList>> inputs;
+      inputs.reserve(pairs);
+      for (size_t i = 0; i < pairs; ++i) {
+        const size_t la =
+            skewed ? 24 + rng.Uniform(16) : 300 + rng.Uniform(200);
+        const size_t lb =
+            skewed ? 2000 + rng.Uniform(2000) : 300 + rng.Uniform(200);
+        inputs.emplace_back(make_list(la, 60'000), make_list(lb, 60'000));
+      }
+      const char* shape = skewed ? "intersect_skewed" : "intersect_balanced";
+      std::printf("%s: %zu pairs\n", shape, pairs);
+      std::vector<Variant> v{
+          {"branchy"}, {"merge"}, {"gallop"}, {"adaptive"}, {"hitbits"}};
+      v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+        uint64_t sum = 0;
+        for (const auto& [a, b] : inputs) {
+          sum += legacy::SortedIntersectionCount(a, b);
+        }
+        return sum;
+      });
+      v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+        uint64_t sum = 0;
+        for (const auto& [a, b] : inputs) {
+          sum += simd::IntersectCountMerge(a.data(), a.size(), b.data(),
+                                           b.size());
+        }
+        return sum;
+      });
+      v[2].elapsed_s = BestOf(reps, &v[2].checksum, [&] {
+        uint64_t sum = 0;
+        for (const auto& [a, b] : inputs) {
+          const AdjList& s = a.size() <= b.size() ? a : b;
+          const AdjList& l = a.size() <= b.size() ? b : a;
+          sum += simd::IntersectCountGallop(s.data(), s.size(), l.data(),
+                                            l.size());
+        }
+        return sum;
+      });
+      v[3].elapsed_s = BestOf(reps, &v[3].checksum, [&] {
+        uint64_t sum = 0;
+        for (const auto& [a, b] : inputs) {
+          sum += simd::IntersectAdaptive(a, b);
+        }
+        return sum;
+      });
+      v[4].elapsed_s = BestOf(reps, &v[4].checksum, [&] {
+        uint64_t sum = 0;
+        simd::HitBits<VertexId> bits;
+        for (const auto& [a, b] : inputs) {
+          bits.Build(b.data(), b.size());
+          sum += bits.CountHits(a);
+        }
+        return sum;
+      });
+      for (size_t i = 1; i < v.size(); ++i) {
+        GT_CHECK_EQ(v[i].checksum, v[0].checksum);
+      }
+      PrintAndRecord(&json, shape, v, static_cast<double>(pairs));
+    }
+  }
+
+  // ---- max clique -------------------------------------------------------
+  {
+    const Graph g = Generator::ErdosRenyi(110, 3000, 11);
+    const legacy::CompactGraph lcg = legacy::FromGraph(g);
+    std::printf("maxclique: ER n=%u m=%" PRIu64 "\n", g.NumVertices(),
+                g.NumEdges());
+    std::vector<Variant> v{{"legacy"}, {"csr_sorted"}, {"bitset"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      return legacy::CliqueSearcher(lcg, 0).Run().size();
+    });
+    v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+      ThresholdGuard off(0);
+      return MaxCliqueSerial(g).size();
+    });
+    v[2].elapsed_s = BestOf(reps, &v[2].checksum, [&] {
+      ThresholdGuard on(1 << 20);
+      return MaxCliqueSerial(g).size();
+    });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    GT_CHECK_EQ(v[0].checksum, v[2].checksum);
+    PrintAndRecord(&json, "maxclique", v, 0.0);
+    json.AddRow("maxclique/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[2].elapsed_s;
+  }
+
+  // ---- k-clique ---------------------------------------------------------
+  {
+    const Graph g = Generator::ErdosRenyi(140, 2400, 13);
+    const legacy::CompactGraph lcg = legacy::FromGraph(g);
+    const int k = 5;
+    std::printf("kclique: ER n=%u m=%" PRIu64 " k=%d\n", g.NumVertices(),
+                g.NumEdges(), k);
+    std::vector<Variant> v{{"legacy"}, {"csr_sorted"}, {"bitset"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      return legacy::CountCliquesOfSize(lcg, k);
+    });
+    v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+      ThresholdGuard off(0);
+      return CountKCliquesSerial(g, k);
+    });
+    v[2].elapsed_s = BestOf(reps, &v[2].checksum, [&] {
+      ThresholdGuard on(1 << 20);
+      return CountKCliquesSerial(g, k);
+    });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    GT_CHECK_EQ(v[0].checksum, v[2].checksum);
+    PrintAndRecord(&json, "kclique", v, 0.0);
+    json.AddRow("kclique/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[2].elapsed_s;
+  }
+
+  // ---- maximal cliques (Bron–Kerbosch) ---------------------------------
+  {
+    const Graph g = Generator::ErdosRenyi(160, 2100, 17);
+    std::printf("maximalclique: ER n=%u m=%" PRIu64 "\n", g.NumVertices(),
+                g.NumEdges());
+    std::vector<Variant> v{{"legacy"}, {"csr_sorted"}, {"bitset"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      return legacy::CountMaximalCliquesSerial(g);
+    });
+    v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+      ThresholdGuard off(0);
+      return CountMaximalCliquesSerial(g);
+    });
+    v[2].elapsed_s = BestOf(reps, &v[2].checksum, [&] {
+      ThresholdGuard on(1 << 20);
+      return CountMaximalCliquesSerial(g);
+    });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    GT_CHECK_EQ(v[0].checksum, v[2].checksum);
+    PrintAndRecord(&json, "maximalclique", v, 0.0);
+    json.AddRow("maximalclique/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[2].elapsed_s;
+  }
+
+  // ---- quasi-clique and matcher: bitset vs CSR sorted ------------------
+  {
+    // Set-enumeration explodes combinatorially with n; this stays in the
+    // regime the pre-CSR test suite used (n <= ~24).
+    const Graph g = Generator::ErdosRenyi(24, 110, 19);
+    std::printf("quasiclique: ER n=%u m=%" PRIu64 " gamma=0.85 min=4\n",
+                g.NumVertices(), g.NumEdges());
+    std::vector<Variant> v{{"csr_sorted"}, {"bitset"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      ThresholdGuard off(0);
+      return LargestQuasiCliqueSerial(g, 0.85, 4).size();
+    });
+    v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+      ThresholdGuard on(1 << 20);
+      return LargestQuasiCliqueSerial(g, 0.85, 4).size();
+    });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    PrintAndRecord(&json, "quasiclique", v, 0.0);
+    json.AddRow("quasiclique/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[1].elapsed_s;
+  }
+  {
+    const Graph g = Generator::ErdosRenyi(1200, 14'000, 23);
+    const auto labels = Generator::RandomLabels(g.NumVertices(), 3, 29);
+    const QueryGraph q = QueryGraph::Triangle(0, 1, 2);
+    std::printf("match: ER n=%u m=%" PRIu64 " triangle query\n",
+                g.NumVertices(), g.NumEdges());
+    std::vector<Variant> v{{"csr_sorted"}, {"bitset"}};
+    v[0].elapsed_s = BestOf(reps, &v[0].checksum, [&] {
+      ThresholdGuard off(0);
+      return CountMatchesSerial(g, labels, q);
+    });
+    v[1].elapsed_s = BestOf(reps, &v[1].checksum, [&] {
+      ThresholdGuard on(1 << 20);
+      return CountMatchesSerial(g, labels, q);
+    });
+    GT_CHECK_EQ(v[0].checksum, v[1].checksum);
+    PrintAndRecord(&json, "match", v, 0.0);
+    json.AddRow("match/speedup")->numbers["speedup"] =
+        v[0].elapsed_s / v[1].elapsed_s;
+  }
+
+  const Status s = json.WriteTo(JsonPathArg(argc, argv));
+  if (!s.ok()) {
+    std::fprintf(stderr, "json write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
-}  // namespace gthinker
+}  // namespace gthinker::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return gthinker::bench::Main(argc, argv); }

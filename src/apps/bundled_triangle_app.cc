@@ -1,5 +1,6 @@
 #include "apps/bundled_triangle_app.h"
 
+#include "apps/kernel_simd.h"
 #include "util/logging.h"
 
 namespace gthinker {
@@ -39,14 +40,22 @@ bool BundledTriangleComper::Compute(TaskT* task, const Frontier& frontier) {
     if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
   }
   uint64_t count = 0;
+  simd::HitBits<VertexId> bits;
   for (VertexId root : task->context().roots) {
     const VertexT* rv = task->subgraph().GetVertex(root);
     GT_CHECK(rv != nullptr);
     const AdjList& root_gt = rv->value;
+    // One bitmap per root, reused across all |Γ_>(root)| probes.
+    const size_t domain =
+        root_gt.empty() ? 0 : static_cast<size_t>(root_gt.back()) + 1;
+    const bool use_bits =
+        simd::HitBitsWorthwhile(root_gt.size(), domain, root_gt.size());
+    if (use_bits) bits.Build(root_gt.data(), root_gt.size());
     for (VertexId u : root_gt) {
       const VertexT* uv = task->subgraph().GetVertex(u);
       GT_CHECK(uv != nullptr) << "bundle missing pulled vertex " << u;
-      count += SortedIntersectionCount(root_gt, uv->value);
+      count += use_bits ? bits.CountHits(uv->value)
+                        : simd::IntersectAdaptive(root_gt, uv->value);
     }
   }
   if (count > 0) Aggregate(count);

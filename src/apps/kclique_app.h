@@ -15,7 +15,8 @@ using KCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
 /// Γ_>(v) (exactly the MCF task construction, paper Fig. 5 line 2) and
 /// counts the (k-1)-cliques in it — each global k-clique is counted once,
 /// by its minimum vertex. k = 3 reduces to triangle counting, which the
-/// tests exploit as a cross-check.
+/// tests exploit as a cross-check. Small task subgraphs count via the
+/// word-parallel Γ_> recursion (apps/kernels.h dense/sparse switch).
 class KCliqueComper : public Comper<KCliqueTask, uint64_t> {
  public:
   explicit KCliqueComper(int k) : k_(k) {}

@@ -1,30 +1,75 @@
 #include "apps/kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <queue>
 #include <unordered_map>
 
+#include "apps/kernel_simd.h"
 #include "util/logging.h"
 
 namespace gthinker {
 
 namespace {
 
-bool SortedContains(const std::vector<int>& sorted, int x) {
-  return std::binary_search(sorted.begin(), sorted.end(), x);
+bool RowContains(const NbrSpan& row, int32_t x) {
+  return std::binary_search(row.begin(), row.end(), x);
+}
+
+/// Moves per-vertex rows into the flat CSR arrays (rows must be sorted).
+void FlattenRows(const std::vector<std::vector<int32_t>>& rows,
+                 std::vector<uint32_t>* offsets, std::vector<int32_t>* nbrs) {
+  const size_t n = rows.size();
+  size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  offsets->resize(n + 1);
+  nbrs->clear();
+  nbrs->reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    (*offsets)[i] = static_cast<uint32_t>(nbrs->size());
+    nbrs->insert(nbrs->end(), rows[i].begin(), rows[i].end());
+  }
+  (*offsets)[n] = static_cast<uint32_t>(nbrs->size());
+}
+
+std::atomic<int> g_kernel_bitset_max_vertices{2048};
+
+/// True when the dense bitset kernels should run on an n-vertex compact
+/// graph (n fits under the configured BitMatrix cap).
+bool UseBitsetKernels(int n) {
+  return n > 0 &&
+         n <= g_kernel_bitset_max_vertices.load(std::memory_order_relaxed);
+}
+
+/// Fills `m` with the adjacency of `g` (both directions).
+template <typename CompactT>
+void BuildBitMatrix(const CompactT& g, simd::BitMatrix* m) {
+  m->Reset(g.NumVertices());
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    for (int32_t u : g.Neigh(v)) m->Set(v, u);
+  }
 }
 
 }  // namespace
 
+int KernelBitsetMaxVertices() {
+  return g_kernel_bitset_max_vertices.load(std::memory_order_relaxed);
+}
+
+void SetKernelBitsetMaxVertices(int n) {
+  g_kernel_bitset_max_vertices.store(std::max(0, n),
+                                     std::memory_order_relaxed);
+}
+
 bool CompactGraph::HasEdge(int a, int b) const {
-  if (adj[a].size() > adj[b].size()) std::swap(a, b);
-  return SortedContains(adj[a], b);
+  if (Degree(a) > Degree(b)) std::swap(a, b);
+  return RowContains(Neigh(a), static_cast<int32_t>(b));
 }
 
 bool CompactLabeledGraph::HasEdge(int a, int b) const {
-  if (adj[a].size() > adj[b].size()) std::swap(a, b);
-  return SortedContains(adj[a], b);
+  if (Degree(a) > Degree(b)) std::swap(a, b);
+  return RowContains(Neigh(a), static_cast<int32_t>(b));
 }
 
 CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g) {
@@ -35,7 +80,7 @@ CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g) {
     index.emplace(v.id, static_cast<int>(out.ids.size()));
     out.ids.push_back(v.id);
   }
-  out.adj.resize(out.ids.size());
+  std::vector<std::vector<int32_t>> rows(out.ids.size());
   for (const auto& v : g.vertices()) {
     const int i = index.at(v.id);
     for (VertexId u : v.value) {
@@ -43,15 +88,16 @@ CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g) {
       if (it != index.end()) {
         // Symmetrize: task subgraphs often carry trimmed (Γ_>) lists, where
         // each edge appears in only one endpoint's list.
-        out.adj[i].push_back(it->second);
-        out.adj[it->second].push_back(i);
+        rows[i].push_back(it->second);
+        rows[it->second].push_back(i);
       }
     }
   }
-  for (auto& list : out.adj) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
   }
+  FlattenRows(rows, &out.offsets, &out.nbrs);
   return out;
 }
 
@@ -59,17 +105,25 @@ CompactGraph CompactFromGraph(const Graph& g) {
   CompactGraph out;
   const VertexId n = g.NumVertices();
   out.ids.resize(n);
-  out.adj.resize(n);
+  out.offsets.resize(n + 1);
+  out.offsets[0] = 0;
   for (VertexId v = 0; v < n; ++v) {
     out.ids[v] = v;
-    out.adj[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    out.offsets[v + 1] = out.offsets[v] + g.Degree(v);
+  }
+  out.nbrs.resize(out.offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
     // Graph adjacency is sorted and VertexId order == compact order here.
+    const AdjList& adj = g.Neighbors(v);
+    std::copy(adj.begin(), adj.end(), out.nbrs.begin() + out.offsets[v]);
   }
   return out;
 }
 
 // ---------------------------------------------------------------------------
 // Maximum clique: Tomita-style branch and bound with greedy coloring bounds.
+// Two interchangeable engines: the BBMC bitset form for compact graphs under
+// the bitset threshold, and the CSR sorted-list form above it.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -84,7 +138,7 @@ class CliqueSearcher {
     for (int i = 0; i < g_.NumVertices(); ++i) candidates[i] = i;
     // Highest-degree-first root ordering makes the first coloring tighter.
     std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
-      return g_.adj[a].size() > g_.adj[b].size();
+      return g_.Degree(a) > g_.Degree(b);
     });
     Expand(candidates);
     std::vector<VertexId> out;
@@ -156,10 +210,130 @@ class CliqueSearcher {
   std::vector<int> best_;
 };
 
+/// BBMC: the same branch and bound with vertices renumbered into degree-
+/// descending order and every set held as a bitset, so coloring and
+/// candidate refinement run word-parallel (64 vertices per AND).
+class BitCliqueSearcher {
+ public:
+  BitCliqueSearcher(const CompactGraph& g, size_t lower_bound)
+      : g_(g), n_(g.NumVertices()), best_size_(lower_bound) {
+    perm_.resize(n_);
+    for (int i = 0; i < n_; ++i) perm_[i] = i;
+    std::sort(perm_.begin(), perm_.end(), [&g](int a, int b) {
+      return g.Degree(a) > g.Degree(b);
+    });
+    std::vector<int> inv(n_);
+    for (int i = 0; i < n_; ++i) inv[perm_[i]] = i;
+    adj_.Reset(n_);
+    for (int v = 0; v < n_; ++v) {
+      for (int32_t u : g.Neigh(v)) adj_.Set(inv[v], inv[u]);
+    }
+    words_ = adj_.row_words();
+  }
+
+  std::vector<VertexId> Run() {
+    // Recursion depth is bounded by n_, so one scratch frame per depth keeps
+    // the whole search allocation-free after warm-up.
+    stack_.resize(static_cast<size_t>(n_) + 1);
+    Frame& root = stack_[0];
+    root.p.assign(words_, 0);
+    for (int i = 0; i < n_; ++i) SetBit(&root.p, i);
+    Expand(0);
+    std::vector<VertexId> out;
+    out.reserve(best_.size());
+    for (int v : best_) out.push_back(g_.ids[perm_[v]]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  /// Per-depth scratch: the candidate set plus the coloring buffers, reused
+  /// across every visit of that depth.
+  struct Frame {
+    std::vector<uint64_t> p;
+    std::vector<uint64_t> next;
+    std::vector<uint64_t> uncolored;
+    std::vector<int> order;
+    std::vector<int> bound;
+  };
+
+  static void SetBit(std::vector<uint64_t>* bits, int v) {
+    (*bits)[static_cast<size_t>(v) >> 6] |= uint64_t{1} << (v & 63);
+  }
+  static void ClearBit(std::vector<uint64_t>* bits, int v) {
+    (*bits)[static_cast<size_t>(v) >> 6] &= ~(uint64_t{1} << (v & 63));
+  }
+
+  /// Bitset greedy coloring: peel one independent-set color class at a time
+  /// by repeatedly taking the first remaining vertex and masking out its
+  /// neighborhood with one AND-NOT sweep. Uses f's scratch buffers; on
+  /// return f.order/f.bound hold the color-sorted candidates.
+  void ColorSort(Frame* f) {
+    f->order.clear();
+    f->bound.clear();
+    f->uncolored = f->p;
+    f->next.assign(words_, 0);  // doubles as the current class's queue
+    std::vector<uint64_t>& q = f->next;
+    int color = 0;
+    while (simd::WordsAny(f->uncolored.data(), words_)) {
+      ++color;
+      q = f->uncolored;
+      for (size_t w = 0; w < words_; ++w) {
+        while (q[w] != 0) {
+          const int v = static_cast<int>(w * 64) + simd::Ctz64(q[w]);
+          ClearBit(&q, v);
+          ClearBit(&f->uncolored, v);
+          // Nothing adjacent to v may join this class; bits below v are
+          // already decided, so masking the whole row is safe.
+          simd::WordsAndNotInto(q.data(), adj_.Row(v), words_, q.data());
+          f->order.push_back(v);
+          f->bound.push_back(color);
+        }
+      }
+    }
+  }
+
+  void Expand(size_t depth) {
+    Frame& f = stack_[depth];
+    ColorSort(&f);
+    Frame& child = stack_[depth + 1];
+    for (int i = static_cast<int>(f.order.size()) - 1; i >= 0; --i) {
+      if (r_.size() + f.bound[i] <= best_size_) return;  // color-bound cut
+      const int v = f.order[i];
+      ClearBit(&f.p, v);  // p now holds exactly order[0..i-1]
+      child.p.resize(words_);
+      simd::WordsAndInto(f.p.data(), adj_.Row(v), words_, child.p.data());
+      r_.push_back(v);
+      if (!simd::WordsAny(child.p.data(), words_)) {
+        if (r_.size() > best_size_) {
+          best_size_ = r_.size();
+          best_ = r_;
+        }
+      } else {
+        Expand(depth + 1);
+      }
+      r_.pop_back();
+    }
+  }
+
+  const CompactGraph& g_;
+  const int n_;
+  std::vector<int> perm_;
+  simd::BitMatrix adj_;
+  size_t words_ = 0;
+  size_t best_size_;
+  std::vector<int> r_;
+  std::vector<int> best_;
+  std::vector<Frame> stack_;
+};
+
 }  // namespace
 
 std::vector<VertexId> MaxCliqueInCompact(const CompactGraph& g,
                                          size_t lower_bound) {
+  if (UseBitsetKernels(g.NumVertices())) {
+    return BitCliqueSearcher(g, lower_bound).Run();
+  }
   return CliqueSearcher(g, lower_bound).Run();
 }
 
@@ -173,16 +347,18 @@ std::vector<VertexId> MaxCliqueSerial(const Graph& g) {
 
 namespace {
 
-/// Bron–Kerbosch with pivoting over sorted compact-index sets.
+/// Bron–Kerbosch with pivoting over sorted compact-index sets (CSR form,
+/// used above the bitset threshold). P stays sorted throughout, so the
+/// P-refinement is an adaptive sorted intersection with Γ(v).
 class MaximalCliqueCounter {
  public:
   explicit MaximalCliqueCounter(const CompactGraph& g) : g_(g) {}
 
   uint64_t CountFrom(int root) {
     count_ = 0;
-    std::vector<int> p, x;
+    std::vector<int32_t> p, x;
     // Order candidates/exclusions by original ID relative to the root.
-    for (int u : g_.adj[root]) {
+    for (int32_t u : g_.Neigh(root)) {
       if (g_.ids[u] > g_.ids[root]) {
         p.push_back(u);
       } else {
@@ -194,41 +370,41 @@ class MaximalCliqueCounter {
   }
 
  private:
-  std::vector<int> IntersectAdj(const std::vector<int>& set, int v) const {
-    std::vector<int> out;
-    out.reserve(set.size());
-    for (int u : set) {
-      if (g_.HasEdge(u, v)) out.push_back(u);
-    }
-    return out;
-  }
-
-  void Recurse(std::vector<int> p, std::vector<int> x) {
+  void Recurse(std::vector<int32_t> p, std::vector<int32_t> x) {
     if (p.empty() && x.empty()) {
       ++count_;
       return;
     }
     // Pivot: the vertex of P ∪ X covering the most of P.
-    int pivot = -1;
-    size_t best_cover = 0;
-    for (const std::vector<int>* side : {&p, &x}) {
-      for (int u : *side) {
-        size_t cover = 0;
-        for (int w : p) {
-          if (g_.HasEdge(u, w)) ++cover;
-        }
+    int32_t pivot = -1;
+    uint64_t best_cover = 0;
+    for (const std::vector<int32_t>* side : {&p, &x}) {
+      for (int32_t u : *side) {
+        const NbrSpan row = g_.Neigh(u);
+        const uint64_t cover = simd::IntersectAdaptive(
+            p.data(), p.size(), row.begin(), static_cast<size_t>(row.size()));
         if (pivot < 0 || cover > best_cover) {
           pivot = u;
           best_cover = cover;
         }
       }
     }
-    std::vector<int> candidates;
-    for (int v : p) {
-      if (!g_.HasEdge(pivot, v)) candidates.push_back(v);
+    const NbrSpan pivot_row = g_.Neigh(pivot);
+    std::vector<int32_t> candidates;
+    for (int32_t v : p) {
+      if (!RowContains(pivot_row, v)) candidates.push_back(v);
     }
-    for (int v : candidates) {
-      Recurse(IntersectAdj(p, v), IntersectAdj(x, v));
+    std::vector<int32_t> np, nx;
+    for (int32_t v : candidates) {
+      const NbrSpan row = g_.Neigh(v);
+      np.clear();
+      simd::IntersectAdaptiveInto(p.data(), p.size(), row.begin(),
+                                  static_cast<size_t>(row.size()), &np);
+      nx.clear();
+      for (int32_t u : x) {
+        if (RowContains(row, u)) nx.push_back(u);
+      }
+      Recurse(np, nx);
       p.erase(std::find(p.begin(), p.end(), v));
       x.push_back(v);
     }
@@ -238,15 +414,79 @@ class MaximalCliqueCounter {
   uint64_t count_ = 0;
 };
 
+/// Bitset Bron–Kerbosch: P and X are word vectors, pivot cover is an
+/// AND+popcount against the pivot's adjacency row, and the P/X refinement
+/// per candidate is two word-wise ANDs.
+class BitMaximalCliqueCounter {
+ public:
+  explicit BitMaximalCliqueCounter(const CompactGraph& g) : g_(g) {
+    BuildBitMatrix(g, &adj_);
+    words_ = adj_.row_words();
+  }
+
+  uint64_t CountFrom(int root) {
+    std::vector<uint64_t> p(words_, 0), x(words_, 0);
+    for (int32_t u : g_.Neigh(root)) {
+      auto* side = g_.ids[u] > g_.ids[root] ? &p : &x;
+      (*side)[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+    }
+    return Recurse(p, x);
+  }
+
+ private:
+  uint64_t Recurse(std::vector<uint64_t> p, std::vector<uint64_t> x) {
+    if (!simd::WordsAny(p.data(), words_) &&
+        !simd::WordsAny(x.data(), words_)) {
+      return 1;
+    }
+    int pivot = -1;
+    uint64_t best_cover = 0;
+    const auto consider = [&](int u) {
+      const uint64_t cover =
+          simd::WordsAndCount(p.data(), adj_.Row(u), words_);
+      if (pivot < 0 || cover > best_cover) {
+        pivot = u;
+        best_cover = cover;
+      }
+    };
+    simd::ForEachBit(p.data(), words_, consider);
+    simd::ForEachBit(x.data(), words_, consider);
+    std::vector<uint64_t> cand(words_);
+    simd::WordsAndNotInto(p.data(), adj_.Row(pivot), words_, cand.data());
+    uint64_t count = 0;
+    std::vector<uint64_t> np(words_), nx(words_);
+    simd::ForEachBit(cand.data(), words_, [&](int v) {
+      simd::WordsAndInto(p.data(), adj_.Row(v), words_, np.data());
+      simd::WordsAndInto(x.data(), adj_.Row(v), words_, nx.data());
+      count += Recurse(np, nx);
+      p[static_cast<size_t>(v) >> 6] &= ~(uint64_t{1} << (v & 63));
+      x[static_cast<size_t>(v) >> 6] |= uint64_t{1} << (v & 63);
+    });
+    return count;
+  }
+
+  const CompactGraph& g_;
+  simd::BitMatrix adj_;
+  size_t words_ = 0;
+};
+
 }  // namespace
 
 uint64_t CountMaximalCliquesFromRoot(const CompactGraph& g, int root) {
+  if (UseBitsetKernels(g.NumVertices())) {
+    return BitMaximalCliqueCounter(g).CountFrom(root);
+  }
   return MaximalCliqueCounter(g).CountFrom(root);
 }
 
 uint64_t CountMaximalCliquesSerial(const Graph& g) {
   const CompactGraph cg = CompactFromGraph(g);
   uint64_t total = 0;
+  if (UseBitsetKernels(cg.NumVertices())) {
+    BitMaximalCliqueCounter counter(cg);  // share the matrix across roots
+    for (int v = 0; v < cg.NumVertices(); ++v) total += counter.CountFrom(v);
+    return total;
+  }
   for (int v = 0; v < cg.NumVertices(); ++v) {
     total += CountMaximalCliquesFromRoot(cg, v);
   }
@@ -265,30 +505,83 @@ namespace {
 /// cands must be sorted ascending by compact index (the DAG orientation):
 /// each recursion level picks the next-larger member, so every k-clique is
 /// generated exactly once.
-uint64_t CountCliquesRec(const CompactGraph& g, const std::vector<int>& cands,
-                         int remaining) {
+uint64_t CountCliquesRec(const CompactGraph& g,
+                         const std::vector<int32_t>& cands, int remaining) {
   if (remaining == 0) return 1;
   if (static_cast<int>(cands.size()) < remaining) return 0;
   if (remaining == 1) return cands.size();
   uint64_t count = 0;
+  std::vector<int32_t> next;
   for (size_t i = 0; i < cands.size(); ++i) {
-    const int v = cands[i];
-    std::vector<int> next;
-    next.reserve(cands.size() - i - 1);
-    for (size_t j = i + 1; j < cands.size(); ++j) {
-      if (g.HasEdge(v, cands[j])) next.push_back(cands[j]);
-    }
+    const int32_t v = cands[i];
+    const NbrSpan row = g.Neigh(v);
+    next.clear();
+    // cands[i+1..] are all > v, so intersecting with the full row keeps
+    // exactly the larger adjacent candidates.
+    simd::IntersectAdaptiveInto(cands.data() + i + 1, cands.size() - i - 1,
+                                row.begin(), static_cast<size_t>(row.size()),
+                                &next);
     count += CountCliquesRec(g, next, remaining - 1);
   }
   return count;
 }
 
+/// Word-parallel kClist: directed adjacency rows hold only the larger
+/// (compact-index) endpoints, so `cands & dir_row(v)` is the next Γ_>
+/// candidate set in one AND sweep, and the two innermost levels collapse
+/// to popcounts.
+class BitKCliqueCounter {
+ public:
+  explicit BitKCliqueCounter(const CompactGraph& g) {
+    const int n = g.NumVertices();
+    dir_.Reset(n);
+    for (int v = 0; v < n; ++v) {
+      for (int32_t u : g.Neigh(v)) {
+        if (u > v) dir_.Set(v, u);
+      }
+    }
+    words_ = dir_.row_words();
+  }
+
+  uint64_t Count(int n, int k) {
+    std::vector<uint64_t> all(words_, 0);
+    for (int i = 0; i < n; ++i) {
+      all[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+    }
+    return Recurse(all, k);
+  }
+
+ private:
+  uint64_t Recurse(const std::vector<uint64_t>& cands, int remaining) {
+    if (remaining == 1) return simd::WordsCount(cands.data(), words_);
+    uint64_t count = 0;
+    std::vector<uint64_t> next(words_);
+    simd::ForEachBit(cands.data(), words_, [&](int v) {
+      if (remaining == 2) {
+        count += simd::WordsAndCount(cands.data(), dir_.Row(v), words_);
+        return;
+      }
+      simd::WordsAndInto(cands.data(), dir_.Row(v), words_, next.data());
+      if (simd::WordsCount(next.data(), words_) >=
+          static_cast<uint64_t>(remaining - 1)) {
+        count += Recurse(next, remaining - 1);
+      }
+    });
+    return count;
+  }
+
+  simd::BitMatrix dir_;
+  size_t words_ = 0;
+};
+
 }  // namespace
 
 uint64_t CountCliquesOfSize(const CompactGraph& g, int k) {
   GT_CHECK_GE(k, 1);
-  std::vector<int> all(g.NumVertices());
-  for (int i = 0; i < g.NumVertices(); ++i) all[i] = i;
+  const int n = g.NumVertices();
+  if (UseBitsetKernels(n)) return BitKCliqueCounter(g).Count(n, k);
+  std::vector<int32_t> all(n);
+  for (int i = 0; i < n; ++i) all[i] = i;
   return CountCliquesRec(g, all, k);
 }
 
@@ -301,28 +594,30 @@ uint64_t CountKCliquesSerial(const Graph& g, int k) {
 // ---------------------------------------------------------------------------
 
 uint64_t SortedIntersectionCount(const AdjList& a, const AdjList& b) {
-  uint64_t count = 0;
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return simd::IntersectAdaptive(a.data(), a.size(), b.data(), b.size());
 }
 
 uint64_t CountTrianglesSerial(const Graph& g) {
   uint64_t total = 0;
-  for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    const AdjList gt_v = g.GreaterNeighbors(v);
-    for (VertexId u : gt_v) {
-      total += SortedIntersectionCount(gt_v, g.GreaterNeighbors(u));
+  const VertexId n = g.NumVertices();
+  simd::HitBits<VertexId> bits;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [vb, ve] = g.GreaterRange(v);
+    const size_t nv = static_cast<size_t>(ve - vb);
+    if (nv < 2) continue;  // Γ_>(v) ∩ Γ_>(u) ⊆ Γ_>(v) \ {u} is empty
+    // Γ_>(v) is intersected against every one of its members: amortize a
+    // bitmap build over the nv probes when that beats per-pair merges.
+    const size_t domain = static_cast<size_t>(vb[nv - 1]) + 1;
+    const bool use_bits = simd::HitBitsWorthwhile(nv, domain, nv);
+    if (use_bits) bits.Build(vb, nv);
+    for (const VertexId* u = vb; u != ve; ++u) {
+      const auto [ub, ue] = g.GreaterRange(*u);
+      if (use_bits) {
+        total += bits.CountHits(ub, static_cast<size_t>(ue - ub));
+      } else {
+        total += simd::IntersectAdaptive(vb, nv, ub,
+                                         static_cast<size_t>(ue - ub));
+      }
     }
   }
   return total;
@@ -416,21 +711,22 @@ CompactLabeledGraph CompactFromLabeledSubgraph(
     out.ids.push_back(v.id);
     out.labels.push_back(v.value.label);
   }
-  out.adj.resize(out.ids.size());
+  std::vector<std::vector<int32_t>> rows(out.ids.size());
   for (const auto& v : g.vertices()) {
     const int i = index.at(v.id);
     for (const LabeledNbr& nbr : v.value.adj) {
       auto it = index.find(nbr.id);
       if (it != index.end()) {
-        out.adj[i].push_back(it->second);
-        out.adj[it->second].push_back(i);  // symmetrize (see CompactGraph)
+        rows[i].push_back(it->second);
+        rows[it->second].push_back(i);  // symmetrize (see CompactGraph)
       }
     }
   }
-  for (auto& list : out.adj) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
   }
+  FlattenRows(rows, &out.offsets, &out.nbrs);
   return out;
 }
 
@@ -440,6 +736,9 @@ class Matcher {
  public:
   Matcher(const CompactLabeledGraph& g, const QueryGraph& q) : g_(g), q_(q) {
     GT_CHECK(q.IsValidPlan()) << "query plan not left-connected";
+    if (UseBitsetKernels(g.NumVertices())) {
+      BuildBitMatrix(g, &adj_bits_);
+    }
   }
 
   uint64_t CountFrom(int root) {
@@ -454,24 +753,31 @@ class Matcher {
   }
 
  private:
+  /// O(1) bitset row probe when the matrix exists; CSR binary search above
+  /// the threshold. Replaces the per-edge HasEdge in the inner loop.
+  bool Adjacent(int a, int b) const {
+    if (!adj_bits_.empty()) return adj_bits_.Test(a, b);
+    return g_.HasEdge(a, b);
+  }
+
   uint64_t Extend(int qi) {
     if (qi == q_.NumVertices()) return 1;
     // Candidates come from the adjacency of an already-mapped query
     // neighbor; every other mapped query neighbor must also be adjacent.
     int anchor = -1;
     for (int u : q_.adj[qi]) {
-      if (u < qi && (anchor < 0 || g_.adj[mapping_[u]].size() <
-                                       g_.adj[mapping_[anchor]].size())) {
+      if (u < qi && (anchor < 0 || g_.Degree(mapping_[u]) <
+                                       g_.Degree(mapping_[anchor]))) {
         anchor = u;
       }
     }
     GT_CHECK_GE(anchor, 0);
     uint64_t count = 0;
-    for (int cand : g_.adj[mapping_[anchor]]) {
+    for (int32_t cand : g_.Neigh(mapping_[anchor])) {
       if (used_[cand] || g_.labels[cand] != q_.labels[qi]) continue;
       bool ok = true;
       for (int u : q_.adj[qi]) {
-        if (u < qi && u != anchor && !g_.HasEdge(mapping_[u], cand)) {
+        if (u < qi && u != anchor && !Adjacent(mapping_[u], cand)) {
           ok = false;
           break;
         }
@@ -488,6 +794,7 @@ class Matcher {
 
   const CompactLabeledGraph& g_;
   const QueryGraph& q_;
+  simd::BitMatrix adj_bits_;
   std::vector<int> mapping_;
   std::vector<bool> used_;
 };
@@ -505,10 +812,16 @@ uint64_t CountMatchesSerial(const Graph& g, const std::vector<Label>& labels,
   const VertexId n = g.NumVertices();
   cg.ids.resize(n);
   cg.labels = labels;
-  cg.adj.resize(n);
+  cg.offsets.resize(n + 1);
+  cg.offsets[0] = 0;
   for (VertexId v = 0; v < n; ++v) {
     cg.ids[v] = v;
-    cg.adj[v].assign(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    cg.offsets[v + 1] = cg.offsets[v] + g.Degree(v);
+  }
+  cg.nbrs.resize(cg.offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    const AdjList& adj = g.Neighbors(v);
+    std::copy(adj.begin(), adj.end(), cg.nbrs.begin() + cg.offsets[v]);
   }
   Matcher matcher(cg, q);
   uint64_t total = 0;
@@ -544,6 +857,10 @@ class QuasiCliqueSearcher {
       : g_(g), gamma_(gamma), min_size_(min_size) {
     GT_CHECK_GE(gamma, 0.5);
     GT_CHECK_GE(min_size, 2u);
+    if (UseBitsetKernels(g.NumVertices())) {
+      BuildBitMatrix(g, &adj_bits_);
+      words_ = adj_bits_.row_words();
+    }
   }
 
   /// Set-enumeration over candidates in ascending original-ID order, so that
@@ -565,14 +882,22 @@ class QuasiCliqueSearcher {
   }
 
  private:
+  /// Adjacency probe hoisted out of the inner loops: one bitset row test
+  /// under the threshold, a CSR binary search above it (the pre-CSR code
+  /// re-ran a binary search per pair from inside HasEdge either way).
+  bool Adjacent(int a, int b) const {
+    if (words_ > 0) return adj_bits_.Test(a, b);
+    return g_.HasEdge(a, b);
+  }
+
   /// Degree of v into S ∪ ext (the best it can ever achieve here).
   int PotentialDegree(int v, const std::vector<int>& ext) const {
     int deg = 0;
     for (int u : s_) {
-      if (u != v && g_.HasEdge(v, u)) ++deg;
+      if (u != v && Adjacent(v, u)) ++deg;
     }
     for (int u : ext) {
-      if (u != v && g_.HasEdge(v, u)) ++deg;
+      if (u != v && Adjacent(v, u)) ++deg;
     }
     return deg;
   }
@@ -580,27 +905,36 @@ class QuasiCliqueSearcher {
   /// dist_G(a, b) <= 2: adjacent or sharing a neighbor. Since a γ>=0.5
   /// quasi-clique induces a subgraph of diameter <= 2 (ref [17]), any two
   /// members are within 2 hops in G, which makes this a sound pairwise
-  /// pruning rule for prefixes and candidates alike.
+  /// pruning rule for prefixes and candidates alike. Word-parallel when the
+  /// bit rows exist: any common neighbor is one AND sweep with early exit.
   bool Within2Hops(int a, int b) const {
-    if (g_.HasEdge(a, b)) return true;
-    const auto& na = g_.adj[a];
-    const auto& nb = g_.adj[b];
-    size_t i = 0, j = 0;
-    while (i < na.size() && j < nb.size()) {
-      if (na[i] < nb[j]) {
-        ++i;
-      } else if (na[i] > nb[j]) {
-        ++j;
-      } else {
-        return true;
-      }
+    if (Adjacent(a, b)) return true;
+    if (words_ > 0) {
+      return simd::WordsAnyCommon(adj_bits_.Row(a), adj_bits_.Row(b), words_);
     }
-    return false;
+    const NbrSpan na = g_.Neigh(a);
+    const NbrSpan nb = g_.Neigh(b);
+    return simd::AnyCommonSorted(na.begin(), static_cast<size_t>(na.size()),
+                                 nb.begin(), static_cast<size_t>(nb.size()));
+  }
+
+  /// IsQuasiClique over the current S through the hoisted adjacency probe.
+  bool CurrentIsQuasiClique() const {
+    if (s_.size() <= 1) return true;
+    const double need = gamma_ * static_cast<double>(s_.size() - 1) - 1e-9;
+    for (int v : s_) {
+      int deg = 0;
+      for (int u : s_) {
+        if (u != v && Adjacent(v, u)) ++deg;
+      }
+      if (static_cast<double>(deg) < need) return false;
+    }
+    return true;
   }
 
   void Expand(const std::vector<int>& ext) {
     if (s_.size() >= min_size_ && s_.size() > best_.size() &&
-        IsQuasiClique(g_, s_, gamma_)) {
+        CurrentIsQuasiClique()) {
       best_ = s_;
     }
     // Only strictly-better quasi-cliques are interesting from here on.
@@ -640,6 +974,8 @@ class QuasiCliqueSearcher {
   const CompactGraph& g_;
   const double gamma_;
   const size_t min_size_;
+  simd::BitMatrix adj_bits_;
+  size_t words_ = 0;
   std::vector<int> s_;
   std::vector<int> best_;
 };

@@ -11,14 +11,37 @@
 
 namespace gthinker {
 
+/// Borrowed view of one CSR adjacency row: a pointer range over the flat
+/// neighbor array, sorted ascending.
+struct NbrSpan {
+  const int32_t* ptr = nullptr;
+  int len = 0;
+
+  const int32_t* begin() const { return ptr; }
+  const int32_t* end() const { return ptr + len; }
+  int size() const { return len; }
+  bool empty() const { return len == 0; }
+  int32_t operator[](int i) const { return ptr[i]; }
+};
+
 /// Compact (index-renumbered) view of a task's subgraph, the input to the
 /// serial mining kernels below. `ids[i]` is the original vertex ID of compact
-/// index i; `adj[i]` is i's sorted compact adjacency *within* the subgraph.
+/// index i. Adjacency is flat CSR: row i is `nbrs[offsets[i]..offsets[i+1])`,
+/// sorted ascending — one contiguous array instead of a vector-of-vectors,
+/// so neighborhood scans are sequential loads and degree is O(1).
 struct CompactGraph {
   std::vector<VertexId> ids;
-  std::vector<std::vector<int>> adj;
+  std::vector<uint32_t> offsets;  // NumVertices()+1 entries; offsets[0] == 0
+  std::vector<int32_t> nbrs;      // concatenated sorted rows
 
   int NumVertices() const { return static_cast<int>(ids.size()); }
+  int Degree(int v) const {
+    return static_cast<int>(offsets[v + 1] - offsets[v]);
+  }
+  NbrSpan Neigh(int v) const {
+    return {nbrs.data() + offsets[v], Degree(v)};
+  }
+  /// Binary search on the shorter of the two rows.
   bool HasEdge(int a, int b) const;
 };
 
@@ -30,8 +53,29 @@ CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g);
 CompactGraph CompactFromGraph(const Graph& g);
 
 // ---------------------------------------------------------------------------
+// Dense/sparse kernel switch.
+//
+// The branch-and-bound kernels (max clique, Bron–Kerbosch, k-clique, the
+// quasi-clique searcher and the matcher's conflict checks) run in bitset row
+// form — adjacency as an n×n BitMatrix, candidate sets as words — when the
+// compact graph has at most KernelBitsetMaxVertices() vertices. Above the
+// threshold they fall back to the CSR sorted-list path, which computes
+// identical results. The threshold caps the O(n²/8)-byte matrix a task may
+// allocate; JobConfig::kernel_bitset_max_vertices wires it per job.
+// ---------------------------------------------------------------------------
+
+/// Current threshold (process-global; default 2048 ≈ a 512 KB matrix).
+int KernelBitsetMaxVertices();
+
+/// Sets the threshold; 0 disables the bitset kernels entirely. Values < 0
+/// clamp to 0. Cluster::Run calls this with the job's configured value.
+void SetKernelBitsetMaxVertices(int n);
+
+// ---------------------------------------------------------------------------
 // Maximum clique (paper ref [31]): branch and bound with greedy-coloring
 // upper bounds, the serial algorithm MCF tasks run on their subgraphs.
+// Small/dense inputs run the BBMC bitset form (word-parallel coloring and
+// candidate refinement); larger ones the CSR sorted-list form.
 // ---------------------------------------------------------------------------
 
 /// Returns the vertex IDs of a clique in `g` strictly larger than
@@ -78,7 +122,9 @@ uint64_t CountKCliquesSerial(const Graph& g, int k);
 /// Forward algorithm over Γ_>: Σ_v Σ_{u∈Γ_>(v)} |Γ_>(v) ∩ Γ_>(u)|.
 uint64_t CountTrianglesSerial(const Graph& g);
 
-/// Number of elements common to two sorted ranges.
+/// Number of elements common to two sorted ranges. Thin wrapper over
+/// simd::IntersectAdaptive (apps/kernel_simd.h), kept for callers that
+/// don't want the header.
 uint64_t SortedIntersectionCount(const AdjList& a, const AdjList& b);
 
 // ---------------------------------------------------------------------------
@@ -107,13 +153,21 @@ struct QueryGraph {
   static QueryGraph Star(Label center, const std::vector<Label>& leaves);
 };
 
-/// Compact labeled view for the matcher.
+/// Compact labeled view for the matcher; same flat CSR layout as
+/// CompactGraph plus a label per compact vertex.
 struct CompactLabeledGraph {
   std::vector<VertexId> ids;
   std::vector<Label> labels;
-  std::vector<std::vector<int>> adj;
+  std::vector<uint32_t> offsets;
+  std::vector<int32_t> nbrs;
 
   int NumVertices() const { return static_cast<int>(ids.size()); }
+  int Degree(int v) const {
+    return static_cast<int>(offsets[v + 1] - offsets[v]);
+  }
+  NbrSpan Neigh(int v) const {
+    return {nbrs.data() + offsets[v], Degree(v)};
+  }
   bool HasEdge(int a, int b) const;
 };
 
@@ -136,11 +190,11 @@ uint64_t CountMatchesSerial(const Graph& g, const std::vector<Label>& labels,
 // S has at least ⌈γ·(|S|-1)⌉ neighbors inside S.
 // ---------------------------------------------------------------------------
 
-/// Largest γ-quasi-clique in `g` that contains compact vertex `root` and only
-/// vertices with compact index > root's peers... — precisely: only vertices
-/// whose original ID exceeds ids[root], so that each quasi-clique is found
-/// exactly once, by the task rooted at its smallest member. Requires
-/// |S| >= min_size; returns empty when none. γ must be >= 0.5.
+/// Largest γ-quasi-clique in `g` that contains compact vertex `root`,
+/// considering as additional members only vertices whose original ID exceeds
+/// ids[root] — so each quasi-clique is found exactly once, by the task
+/// rooted at its smallest member. Requires |S| >= min_size; returns empty
+/// when none qualifies. γ must be >= 0.5.
 std::vector<VertexId> LargestQuasiCliqueFromRoot(const CompactGraph& g,
                                                  int root, double gamma,
                                                  size_t min_size);

@@ -38,7 +38,10 @@ using CliqueTask = Task<AdjList, CliqueContext>;
 /// ext(S) = Γ_>(S) in task->subgraph(). Tasks whose subgraph exceeds τ
 /// vertices are decomposed into one child task per subgraph vertex;
 /// small-enough subgraphs run the serial branch-and-bound kernel with the
-/// aggregator's current best |S_max| as the pruning bound.
+/// aggregator's current best |S_max| as the pruning bound. Below the
+/// kernel_bitset_max_vertices threshold the kernel runs in BBMC bitset form
+/// (see apps/kernels.h); τ and that threshold interact — split tasks are by
+/// construction small enough for the bitset path when τ is under it.
 class MaxCliqueComper : public Comper<CliqueTask, std::vector<VertexId>> {
  public:
   /// τ: subgraph-size split threshold (paper default 40,000 on billion-edge

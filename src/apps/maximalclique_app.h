@@ -15,7 +15,9 @@ using MaximalCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
 /// full neighborhood Γ(v) (no trimming — maximality needs smaller-ID
 /// neighbors in the Bron–Kerbosch X set) and counts the maximal cliques
 /// whose minimum member is v. Per-task counts sum to the global number of
-/// maximal cliques.
+/// maximal cliques. Small task subgraphs run Bron–Kerbosch with bitset P/X
+/// sets (apps/kernels.h dense/sparse switch); the count is identical either
+/// way.
 class MaximalCliqueComper : public Comper<MaximalCliqueTask, uint64_t> {
  public:
   void TaskSpawn(const VertexT& v) override;

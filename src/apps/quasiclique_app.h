@@ -16,7 +16,8 @@ using QuasiCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
 /// §III: a task spawned from v pulls Γ(v) in iteration 1 and the 2nd-hop
 /// neighborhood in iteration 2 (any two members of a γ-quasi-clique are
 /// within 2 hops, ref [17]), then mines the collected ego-network with a
-/// serial set-enumeration search. Double-counting is avoided by only
+/// serial set-enumeration search (adjacency probes hoisted to bitset rows
+/// on small subgraphs — apps/kernels.h). Double-counting is avoided by only
 /// admitting members with IDs larger than v.
 ///
 /// Do NOT pair this comper with the Γ_> trimmer: 2-hop reachability may pass

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "apps/kernel_simd.h"
+
 namespace gthinker {
 
 void TrimToGreater(Vertex<AdjList>& v) {
@@ -23,10 +25,19 @@ bool TriangleComper::Compute(TaskT* task, const Frontier& frontier) {
   const VertexT* root = task->subgraph().GetVertex(task->context());
   const AdjList& root_gt = root->value;
   uint64_t count = 0;
+  // Γ_>(root) is intersected against every frontier list; amortize one
+  // membership-bitmap build over those probes when it beats per-pair merges.
+  simd::HitBits<VertexId> bits;
+  const size_t domain =
+      root_gt.empty() ? 0 : static_cast<size_t>(root_gt.back()) + 1;
+  const bool use_bits =
+      simd::HitBitsWorthwhile(root_gt.size(), domain, frontier.size());
+  if (use_bits) bits.Build(root_gt.data(), root_gt.size());
   for (const VertexT* u : frontier) {
     // u->value is Γ_>(u); the intersection yields w with v < u < w, each
     // (v,u,w) triangle once.
-    count += SortedIntersectionCount(root_gt, u->value);
+    count += use_bits ? bits.CountHits(u->value)
+                      : simd::IntersectAdaptive(root_gt, u->value);
   }
   if (count > 0) Aggregate(count);
   return false;

@@ -19,6 +19,9 @@ using TriangleTask = Task<AdjList, /*ContextT=*/VertexId>;
 /// Triangle counting (TC): one task per vertex v pulls Γ_>(v) and counts
 /// |Γ_>(v) ∩ Γ_>(u)| for every u ∈ Γ_>(v); per-task counts are summed by the
 /// aggregator. Each triangle v<u<w is counted exactly once, by v's task.
+/// The intersections run through the adaptive toolkit (apps/kernel_simd.h):
+/// one Γ_>(v) membership bitmap amortized over the frontier when worthwhile,
+/// merge/gallop otherwise.
 class TriangleComper : public Comper<TriangleTask, uint64_t> {
  public:
   void TaskSpawn(const VertexT& v) override;

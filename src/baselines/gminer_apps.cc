@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "apps/kernel_simd.h"
 #include "core/subgraph.h"
 #include "core/vertex.h"
 #include "util/logging.h"
@@ -44,9 +45,23 @@ GMinerTcResult GMinerTriangleCount(const Graph& graph,
                               std::vector<GMinerEngine::TaskRec>*) {
     const AdjList& root_gt = task.pulls;
     uint64_t local = 0;
+    // Reuse one membership bitmap of Γ_>(root) across the whole frontier;
+    // probe each Γ_>(u) in place instead of copying it out first.
+    simd::HitBits<VertexId> bits;
+    const size_t domain =
+        root_gt.empty() ? 0 : static_cast<size_t>(root_gt.back()) + 1;
+    const bool use_bits =
+        simd::HitBitsWorthwhile(root_gt.size(), domain, frontier.size());
+    if (use_bits) bits.Build(root_gt.data(), root_gt.size());
     for (size_t i = 0; i < frontier.size(); ++i) {
-      const AdjList u_gt = GreaterOf(frontier[i], task.pulls[i]);
-      local += SortedIntersectionCount(root_gt, u_gt);
+      const AdjList& adj = frontier[i];
+      auto it = std::upper_bound(adj.begin(), adj.end(), task.pulls[i]);
+      const VertexId* u_gt = adj.data() + (it - adj.begin());
+      const size_t u_len = static_cast<size_t>(adj.end() - it);
+      local += use_bits
+                   ? bits.CountHits(u_gt, u_len)
+                   : simd::IntersectAdaptive(root_gt.data(), root_gt.size(),
+                                             u_gt, u_len);
     }
     if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
   };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "apps/kernel_simd.h"
 #include "apps/kernels.h"
 #include "util/logging.h"
 
@@ -20,15 +21,24 @@ NScaleTcResult NScaleTriangleCount(const Graph& graph,
   };
   auto mine = [&graph, &triangles](VertexId root,
                                    const Subgraph<Vertex<AdjList>>& ego) {
-    const AdjList root_gt = graph.GreaterNeighbors(root);
+    const auto [rb, re] = graph.GreaterRange(root);
+    const size_t nr = static_cast<size_t>(re - rb);
     uint64_t local = 0;
-    for (VertexId u : root_gt) {
-      const Vertex<AdjList>* uv = ego.GetVertex(u);
+    // Bitmap of Γ_>(root), probed by each neighbor's Γ_> span in place —
+    // no AdjList copy per neighbor.
+    simd::HitBits<VertexId> bits;
+    const size_t domain = nr > 0 ? static_cast<size_t>(rb[nr - 1]) + 1 : 0;
+    const bool use_bits = simd::HitBitsWorthwhile(nr, domain, nr);
+    if (use_bits) bits.Build(rb, nr);
+    for (const VertexId* u = rb; u != re; ++u) {
+      const Vertex<AdjList>* uv = ego.GetVertex(*u);
       if (uv == nullptr) continue;
-      const auto u_gt = std::upper_bound(uv->value.begin(), uv->value.end(),
-                                         u);
-      local += SortedIntersectionCount(
-          root_gt, AdjList(u_gt, uv->value.end()));
+      const auto it =
+          std::upper_bound(uv->value.begin(), uv->value.end(), *u);
+      const VertexId* u_gt = uv->value.data() + (it - uv->value.begin());
+      const size_t u_len = static_cast<size_t>(uv->value.end() - it);
+      local += use_bits ? bits.CountHits(u_gt, u_len)
+                        : simd::IntersectAdaptive(rb, nr, u_gt, u_len);
     }
     if (local > 0) triangles.fetch_add(local, std::memory_order_relaxed);
   };

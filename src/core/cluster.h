@@ -27,6 +27,10 @@
 
 namespace gthinker {
 
+/// Declared here (not via apps/kernels.h — core does not include apps
+/// headers); defined in apps/kernels.cc, which every job binary links.
+void SetKernelBitsetMaxVertices(int n);
+
 /// Builds a Worker's vertex value from the in-memory input graph. Overloads
 /// cover the shipped value types; apps with custom values add their own.
 inline void BuildVertexValue(const Graph& graph,
@@ -112,6 +116,9 @@ class Cluster {
   static RunResult<ComperT> Run(const Job<ComperT>& job) {
     const JobConfig& config = job.config;
     GT_CHECK_OK(config.Validate());
+    // Kernels are free functions without a config handle; the dense/sparse
+    // switch is process-global (apps/kernels.h).
+    SetKernelBitsetMaxVertices(config.kernel_bitset_max_vertices);
     GT_CHECK(job.comper_factory != nullptr);
     GT_CHECK(job.graph != nullptr || job.dfs != nullptr)
         << "job needs an input graph";

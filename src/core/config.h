@@ -63,6 +63,16 @@ struct JobConfig {
   /// Simulated interconnect (0/0 = instantaneous in-process delivery).
   NetConfig net;
 
+  // ---- compute kernels (apps/kernels.h dense/sparse switch) ----
+  /// Largest compact-graph vertex count for which the serial mining kernels
+  /// run in bitset row form (BBMC coloring, bitset Bron–Kerbosch P/X,
+  /// word-parallel k-clique); bigger task subgraphs fall back to the CSR
+  /// sorted-list path with identical results. Caps the O(n²/8)-byte
+  /// adjacency matrix a task may allocate (default 2048 ≈ 512 KB); 0
+  /// disables the bitset kernels. Cluster::Run installs the value
+  /// process-wide via SetKernelBitsetMaxVertices().
+  int kernel_bitset_max_vertices = 2048;
+
   // ---- scheduling / control ----
   /// Period of worker progress reports to the master (drives aggregator sync,
   /// stealing and termination detection; paper syncs aggregator at 1s).
@@ -158,6 +168,10 @@ struct JobConfig {
     }
     if (comm_poll_us <= 0) {
       return Status::InvalidArgument("comm_poll_us must be positive");
+    }
+    if (kernel_bitset_max_vertices < 0) {
+      return Status::InvalidArgument(
+          "kernel_bitset_max_vertices must be >= 0");
     }
     if (net.latency_us < 0 || net.bandwidth_mbps < 0.0) {
       return Status::InvalidArgument("net parameters must be non-negative");

@@ -62,4 +62,11 @@ AdjList Graph::GreaterNeighbors(VertexId v) const {
   return AdjList(it, list.end());
 }
 
+std::pair<const VertexId*, const VertexId*> Graph::GreaterRange(
+    VertexId v) const {
+  const AdjList& list = adj_[v];
+  auto it = std::upper_bound(list.begin(), list.end(), v);
+  return {list.data() + (it - list.begin()), list.data() + list.size()};
+}
+
 }  // namespace gthinker

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/types.h"
@@ -54,6 +55,11 @@ class Graph {
   /// Returns the neighbors of v with IDs strictly greater than v (Γ_>(v)),
   /// the trimmed lists used when following a set-enumeration tree.
   AdjList GreaterNeighbors(VertexId v) const;
+
+  /// Non-allocating Γ_>(v): a [begin, end) pointer range into the sorted
+  /// adjacency list covering the neighbors with IDs > v. Valid until the
+  /// graph is modified.
+  std::pair<const VertexId*, const VertexId*> GreaterRange(VertexId v) const;
 
  private:
   std::vector<AdjList> adj_;

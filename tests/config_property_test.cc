@@ -34,6 +34,11 @@ JobConfig RandomConfig(uint64_t seed) {
   config.request_batch_size = 1 + static_cast<int>(rng.Uniform(300));
   config.enable_stealing = rng.Bernoulli(0.5);
   config.refill_spawn_first = rng.Bernoulli(0.3);
+  // Exercise both kernel paths: bitset disabled, a tiny threshold that
+  // splits task subgraphs across it, or the default.
+  const int kernel_modes[] = {0, 8, 2048};
+  config.kernel_bitset_max_vertices =
+      kernel_modes[rng.Uniform(3)];
   if (rng.Bernoulli(0.4)) {
     config.net.latency_us = static_cast<int64_t>(rng.Uniform(300));
     config.net.bandwidth_mbps = 50.0 + rng.NextDouble() * 2000.0;

@@ -1,4 +1,6 @@
-// Property tests for the serial mining kernels against brute-force oracles.
+// Property tests for the serial mining kernels against brute-force oracles,
+// plus randomized differential tests pinning the bitset kernels to the CSR
+// sorted-list path (toggled via SetKernelBitsetMaxVertices).
 
 #include "apps/kernels.h"
 
@@ -7,7 +9,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "apps/kernel_simd.h"
 #include "graph/generator.h"
+#include "util/random.h"
 
 namespace gthinker {
 namespace {
@@ -162,7 +166,26 @@ TEST(CompactFromSubgraph, DropsOutOfSubgraphNeighbors) {
   g.AddVertex({2, {}});
   const CompactGraph cg = CompactFromSubgraph(g);
   EXPECT_EQ(cg.NumVertices(), 2);
-  EXPECT_EQ(cg.adj[0].size(), 1u);
+  EXPECT_EQ(cg.Degree(0), 1);
+}
+
+TEST(CompactGraph, CsrLayoutInvariants) {
+  Graph g = Generator::ErdosRenyi(30, 100, 77);
+  const CompactGraph cg = CompactFromGraph(g);
+  ASSERT_EQ(cg.offsets.size(), static_cast<size_t>(cg.NumVertices()) + 1);
+  EXPECT_EQ(cg.offsets.front(), 0u);
+  EXPECT_EQ(cg.offsets.back(), cg.nbrs.size());
+  for (int v = 0; v < cg.NumVertices(); ++v) {
+    ASSERT_LE(cg.offsets[v], cg.offsets[v + 1]);
+    const NbrSpan row = cg.Neigh(v);
+    EXPECT_EQ(row.size(), cg.Degree(v));
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    EXPECT_EQ(static_cast<uint32_t>(cg.Degree(v)), g.Degree(v));
+    for (int32_t u : row) {
+      EXPECT_TRUE(cg.HasEdge(v, u));
+      EXPECT_TRUE(cg.HasEdge(u, v));  // symmetric
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -331,6 +354,192 @@ TEST(QuasiClique, VerifiedAgainstDefinitionOnRandomGraphs) {
     EXPECT_TRUE(IsQuasiClique(cg, s, 0.6));
     EXPECT_GE(best.size(), 3u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Intersection toolkit: every variant against std::set_intersection.
+// ---------------------------------------------------------------------------
+
+std::vector<VertexId> RandomSortedList(Random* rng, size_t len,
+                                       VertexId domain) {
+  std::vector<VertexId> out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<VertexId>(rng->Uniform(domain)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TEST(IntersectVariants, AllAgreeWithStdSetIntersection) {
+  Random rng(4242);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Mix balanced and heavily skewed length pairs so both the merge and
+    // the gallop branch of IntersectAdaptive are exercised.
+    const size_t la = 1 + rng.Uniform(40);
+    const size_t lb =
+        rng.Bernoulli(0.5) ? 1 + rng.Uniform(40) : 64 + rng.Uniform(2000);
+    const VertexId domain = 1 + static_cast<VertexId>(rng.Uniform(4000));
+    const auto a = RandomSortedList(&rng, la, domain);
+    const auto b = RandomSortedList(&rng, lb, domain);
+
+    std::vector<VertexId> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+
+    EXPECT_EQ(simd::IntersectCountMerge(a.data(), a.size(), b.data(),
+                                        b.size()),
+              expect.size());
+    const auto& shorter = a.size() <= b.size() ? a : b;
+    const auto& longer = a.size() <= b.size() ? b : a;
+    EXPECT_EQ(simd::IntersectCountGallop(shorter.data(), shorter.size(),
+                                         longer.data(), longer.size()),
+              expect.size());
+    EXPECT_EQ(simd::IntersectAdaptive(a, b), expect.size());
+    EXPECT_EQ(SortedIntersectionCount(a, b), expect.size());
+
+    std::vector<VertexId> materialized;
+    simd::IntersectAdaptiveInto(a.data(), a.size(), b.data(), b.size(),
+                                &materialized);
+    EXPECT_EQ(materialized, expect);
+
+    if (!b.empty()) {
+      simd::HitBits<VertexId> bits(b.data(), b.size());
+      EXPECT_EQ(bits.CountHits(a), expect.size());
+    }
+    EXPECT_EQ(simd::AnyCommonSorted(a.data(), a.size(), b.data(), b.size()),
+              !expect.empty());
+  }
+}
+
+TEST(IntersectVariants, EmptyAndDisjointEdgeCases) {
+  const std::vector<VertexId> empty, some = {1, 5, 9};
+  EXPECT_EQ(simd::IntersectAdaptive(empty, some), 0u);
+  EXPECT_EQ(simd::IntersectAdaptive(some, empty), 0u);
+  EXPECT_EQ(simd::IntersectAdaptive(some, some), 3u);
+  EXPECT_FALSE(
+      simd::AnyCommonSorted(empty.data(), 0, some.data(), some.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: bitset kernels vs. the CSR sorted-list path. The
+// dense/sparse switch is process-global, so each run flips it and restores.
+// ---------------------------------------------------------------------------
+
+class ThresholdGuard {
+ public:
+  explicit ThresholdGuard(int n) : saved_(KernelBitsetMaxVertices()) {
+    SetKernelBitsetMaxVertices(n);
+  }
+  ~ThresholdGuard() { SetKernelBitsetMaxVertices(saved_); }
+
+ private:
+  const int saved_;
+};
+
+struct DiffCase {
+  uint64_t seed;
+  VertexId n;
+  uint64_t edges;
+};
+
+// Densities from far-sparse to near-complete on both small and mid-size
+// graphs, so the bitset rows see mostly-zero and mostly-one words alike.
+class KernelDiffTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(KernelDiffTest, BothPathsProduceIdenticalResults) {
+  const DiffCase c = GetParam();
+  Graph g = Generator::ErdosRenyi(c.n, c.edges, c.seed);
+  auto labels = Generator::RandomLabels(g.NumVertices(), 3, c.seed + 7);
+  const QueryGraph query = QueryGraph::Triangle(0, 1, 2);
+
+  // Quasi-clique set-enumeration blows up combinatorially with size and
+  // density (the pre-CSR suite capped it at n=18), so only the small sparse
+  // cases exercise it; the tight gamma keeps the candidate pruning
+  // effective.
+  const bool run_quasi = c.n <= 24 && c.edges <= 90;
+
+  size_t clique_sorted;
+  std::vector<VertexId> clique_sorted_members;
+  uint64_t maximal_sorted, k3_sorted, k4_sorted, match_sorted;
+  std::vector<VertexId> quasi_sorted;
+  {
+    ThresholdGuard off(0);  // force the CSR sorted-list path
+    clique_sorted_members = MaxCliqueSerial(g);
+    clique_sorted = clique_sorted_members.size();
+    maximal_sorted = CountMaximalCliquesSerial(g);
+    k3_sorted = CountKCliquesSerial(g, 3);
+    k4_sorted = CountKCliquesSerial(g, 4);
+    match_sorted = CountMatchesSerial(g, labels, query);
+    if (run_quasi) quasi_sorted = LargestQuasiCliqueSerial(g, 0.8, 3);
+  }
+
+  ThresholdGuard on(1 << 20);  // force the bitset path
+  const std::vector<VertexId> clique_bits = MaxCliqueSerial(g);
+  EXPECT_EQ(clique_bits.size(), clique_sorted);
+  EXPECT_TRUE(IsCliqueSet(g, clique_bits));
+  EXPECT_TRUE(IsCliqueSet(g, clique_sorted_members));
+  EXPECT_EQ(CountMaximalCliquesSerial(g), maximal_sorted);
+  EXPECT_EQ(CountKCliquesSerial(g, 3), k3_sorted);
+  EXPECT_EQ(k3_sorted, CountTrianglesSerial(g));  // k=3 cross-check
+  EXPECT_EQ(CountKCliquesSerial(g, 4), k4_sorted);
+  EXPECT_EQ(CountMatchesSerial(g, labels, query), match_sorted);
+  if (run_quasi) {
+    const std::vector<VertexId> quasi_bits =
+        LargestQuasiCliqueSerial(g, 0.8, 3);
+    EXPECT_EQ(quasi_bits.size(), quasi_sorted.size());
+    if (!quasi_bits.empty()) {
+      const CompactGraph cg = CompactFromGraph(g);
+      EXPECT_TRUE(IsQuasiClique(
+          cg, std::vector<int>(quasi_bits.begin(), quasi_bits.end()), 0.8));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, KernelDiffTest,
+    ::testing::Values(DiffCase{41, 24, 30},    // sparse
+                      DiffCase{42, 24, 90},    // medium
+                      DiffCase{43, 24, 200},   // dense
+                      DiffCase{44, 24, 270},   // near-complete (max 276)
+                      DiffCase{45, 60, 150},   // sparse, crosses word size
+                      DiffCase{46, 60, 600},   // medium
+                      DiffCase{47, 60, 1300},  // dense
+                      DiffCase{48, 130, 900},  // 3 words per row
+                      DiffCase{49, 130, 3000}));
+
+TEST(KernelDiff, ThresholdBoundaryIsExact) {
+  // A graph with exactly n vertices runs bitset at threshold n and falls
+  // back at n-1; both must agree (and with the unlimited default).
+  Graph g = Generator::ErdosRenyi(48, 400, 50);
+  const int n = static_cast<int>(g.NumVertices());
+  size_t at, below;
+  uint64_t maximal_at, maximal_below, k3_at, k3_below;
+  {
+    ThresholdGuard guard(n);  // n <= threshold: bitset path runs
+    at = MaxCliqueSerial(g).size();
+    maximal_at = CountMaximalCliquesSerial(g);
+    k3_at = CountKCliquesSerial(g, 3);
+  }
+  {
+    ThresholdGuard guard(n - 1);  // n > threshold: sorted fallback
+    below = MaxCliqueSerial(g).size();
+    maximal_below = CountMaximalCliquesSerial(g);
+    k3_below = CountKCliquesSerial(g, 3);
+  }
+  EXPECT_EQ(at, below);
+  EXPECT_EQ(maximal_at, maximal_below);
+  EXPECT_EQ(k3_at, k3_below);
+  EXPECT_EQ(at, MaxCliqueSerial(g).size());  // default threshold agrees too
+}
+
+TEST(KernelDiff, SetterClampsNegativeToZero) {
+  ThresholdGuard guard(KernelBitsetMaxVertices());
+  SetKernelBitsetMaxVertices(-5);
+  EXPECT_EQ(KernelBitsetMaxVertices(), 0);
+  SetKernelBitsetMaxVertices(2048);
+  EXPECT_EQ(KernelBitsetMaxVertices(), 2048);
 }
 
 }  // namespace
