@@ -171,10 +171,10 @@ class Cluster {
     // bounded time-series. Reads are single relaxed atomics, so the sampler
     // perturbs nothing; it is joined before the workers are torn down.
     enum SeriesKind { kCacheSize, kLiveTasks, kQueueDepth, kDiskTasks,
-                      kInboxDepth, kNumSeries };
+                      kInboxDepth, kSpillQueueDepth, kNumSeries };
     static constexpr const char* kSeriesNames[kNumSeries] = {
         "cache_size", "live_tasks", "queue_depth", "disk_tasks",
-        "inbox_depth"};
+        "inbox_depth", "spill_queue_depth"};
     std::vector<std::vector<obs::BoundedSeries>> sampled(num_workers);
     std::atomic<bool> sampler_stop{false};
     std::thread sampler;
@@ -194,6 +194,8 @@ class Cluster {
             sampled[w][kQueueDepth].Append(t, workers[w]->SampleQueueDepth());
             sampled[w][kDiskTasks].Append(t, workers[w]->SampleDiskTasks());
             sampled[w][kInboxDepth].Append(t, hub.InboxDepth(w));
+            sampled[w][kSpillQueueDepth].Append(
+                t, workers[w]->SampleSpillQueueDepth());
           }
           std::this_thread::sleep_for(
               std::chrono::milliseconds(config.metrics_sample_ms));

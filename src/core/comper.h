@@ -59,6 +59,13 @@ class Comper {
   /// vertices are released right after this returns. Return true to run
   /// another iteration (after the new Pull()s are satisfied), false when the
   /// task is finished.
+  ///
+  /// The engine resolves the whole pull set of a task as one batch:
+  /// remote pulls hit T_cache through `VertexCache::RequestBatch` (one
+  /// bucket-lock acquisition per touched bucket, not per vertex) and the
+  /// post-Compute releases go through `ReleaseBatch` the same way, so a
+  /// wide frontier costs one lock round-trip per touched bucket instead of
+  /// one per pulled vertex (DESIGN.md §4 "T_cache internals").
   virtual bool Compute(TaskT* task, const Frontier& frontier) = 0;
 
   // Default aggregator algebra (apps using aggregation shadow these).

@@ -37,6 +37,11 @@ struct JobConfig {
   /// ABLATION ONLY (bench/ablation_ztable): disable the Z-table; GC then
   /// scans whole Γ-tables under the bucket lock to find evictable entries.
   bool cache_use_z_table = true;
+  /// Guard T_cache buckets with a test-and-test-and-set spinlock instead of
+  /// std::mutex. OP1–OP3 critical sections are a handful of hash operations,
+  /// so spinning beats a futex round-trip when compers don't oversubscribe
+  /// the cores by much; keep the default (mutex) when they do.
+  bool cache_spinlock = false;
 
   // ---- task management (paper §V-B) ----
   /// C: task-batch size; Q_task refills when |Q_task| <= C, back to 2C.
@@ -111,6 +116,12 @@ struct JobConfig {
   // ---- durability ----
   /// Directory for task spill files; empty = fresh temp dir per job.
   std::string spill_root;
+  /// Spill writes/reads go through a per-worker writer/prefetcher thread
+  /// (storage/async_spill.h): queue overflow hands the batch off instead of
+  /// blocking the comper, and the next L_file refill is staged in memory
+  /// ahead of demand. Off reproduces the synchronous spill path exactly
+  /// (the ablation baseline for bench/cache_micro).
+  bool spill_async = true;
   /// Checkpoint period (0 = off) and target directory (MiniDfs root).
   int64_t checkpoint_interval_us = 0;
   std::string checkpoint_dir;

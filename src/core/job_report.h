@@ -58,7 +58,9 @@ inline obs::JobReport MakeJobReport(const std::string& job_name,
   cluster["steal_efficiency"] = stats.StealEfficiency();
   cluster["comper_utilization"] = stats.ComperUtilization();
   report.derived.emplace_back("cluster", std::move(cluster));
-  // Per-worker cache hit rate from each worker's own registry snapshot.
+  // Per-worker health ratios from each worker's own registry snapshot:
+  // cache hit rate, plus bucket-lock contention per cache op (how often the
+  // try_lock fast path found the bucket already held).
   for (const obs::MetricsSnapshot& snap : stats.metrics) {
     const int64_t hits = snap.CounterValue("cache.hits");
     const int64_t requests = snap.CounterValue("cache.requests");
@@ -66,6 +68,11 @@ inline obs::JobReport MakeJobReport(const std::string& job_name,
     std::map<std::string, double> per_worker;
     per_worker["cache_hit_rate"] =
         static_cast<double>(hits) / static_cast<double>(requests);
+    const int64_t contention = snap.CounterValue("cache.lock_contention");
+    if (contention >= 0) {
+      per_worker["cache_lock_contention_rate"] =
+          static_cast<double>(contention) / static_cast<double>(requests);
+    }
     report.derived.emplace_back(snap.scope, std::move(per_worker));
   }
 

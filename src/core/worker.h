@@ -26,6 +26,7 @@
 #include "net/comm_hub.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
+#include "storage/async_spill.h"
 #include "storage/file_list.h"
 #include "storage/mini_dfs.h"
 #include "storage/spill_file.h"
@@ -61,7 +62,7 @@ class Worker {
         spill_dir_(std::move(spill_dir)),
         cache_(config.cache_num_buckets, config.cache_capacity,
                config.cache_overflow_alpha, config.cache_counter_delta,
-               &mem_, config.cache_use_z_table),
+               &mem_, config.cache_use_z_table, config.cache_spinlock),
         coalescer_(config.num_workers, config.request_batch_size,
                    config.request_flush_bytes),
         resp_cache_(config.response_cache_bytes),
@@ -79,6 +80,21 @@ class Worker {
     spill_read_bytes_ = metrics_.GetCounter("spill.read_bytes");
     refill_spill_tasks_ = metrics_.GetCounter("refill.from_spill_tasks");
     refill_spawn_tasks_ = metrics_.GetCounter("refill.from_spawn_tasks");
+    if (config_.spill_async) {
+      spill_io_ = std::make_unique<AsyncSpillIo>(&l_file_);
+      // Disk timings land in the same histograms the synchronous path
+      // records into, so spill.write_us / read_us stay comparable across
+      // the spill_async ablation.
+      spill_io_->SetWriteObserver([this](int64_t us, int64_t bytes) {
+        spill_write_us_->Record(us);
+        spill_write_bytes_->Add(bytes);
+      });
+      spill_io_->SetReadObserver([this](int64_t us, int64_t bytes) {
+        spill_read_us_->Record(us);
+        spill_read_bytes_->Add(bytes);
+      });
+      spill_io_->Start();
+    }
     for (int i = 0; i < config_.compers_per_worker; ++i) {
       engines_.push_back(std::make_unique<ComperEngine>(this, i, factory()));
     }
@@ -130,18 +146,12 @@ class Worker {
     GT_RETURN_IF_ERROR(des.Read(&n));
     std::vector<std::string> batch;
     auto flush_batch = [this, &batch]() -> Status {
-      std::string path;
-      int64_t bytes = 0;
-      Timer write_timer;
-      GT_RETURN_IF_ERROR(
-          SpillFile::WriteBatch(spill_dir_, batch, &path, &bytes));
-      spill_write_us_->Record(write_timer.ElapsedMicros());
-      spill_write_bytes_->Add(bytes);
-      live_tasks_.fetch_add(static_cast<int64_t>(batch.size()));
-      tasks_restored_.fetch_add(static_cast<int64_t>(batch.size()),
-                                std::memory_order_relaxed);
-      l_file_.PushBack(path, static_cast<int64_t>(batch.size()));
+      const int64_t count = static_cast<int64_t>(batch.size());
+      const std::string path = SpillWrite(std::move(batch));
       batch.clear();
+      live_tasks_.fetch_add(count);
+      tasks_restored_.fetch_add(count, std::memory_order_relaxed);
+      l_file_.PushBack(path, count);
       return Status::Ok();
     };
     for (uint64_t i = 0; i < n; ++i) {
@@ -180,6 +190,9 @@ class Worker {
       if (t.joinable()) t.join();
     }
     threads_.clear();
+    // After the compers and comm thread exit nothing can submit spill work;
+    // drain whatever is still queued and retire the writer thread.
+    if (spill_io_ != nullptr) spill_io_->Stop();
   }
 
   /// True once the final progress report has been sent (job over).
@@ -358,12 +371,7 @@ class Worker {
         if (worker_->config_.refill_spawn_first && SpawnBatch()) continue;
         if (auto file = worker_->l_file_.TryPopFront()) {
           std::vector<std::string> records;
-          int64_t bytes = 0;
-          Timer read_timer;
-          GT_CHECK_OK(
-              SpillFile::ReadBatchAndDelete(file->path, &records, &bytes));
-          worker_->spill_read_us_->Record(read_timer.ElapsedMicros());
-          worker_->spill_read_bytes_->Add(bytes);
+          GT_CHECK_OK(worker_->SpillFetch(file->path, &records));
           GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
               << "spill file " << file->path << " record count drifted";
           for (const std::string& rec : records) {
@@ -428,13 +436,7 @@ class Worker {
           // Keep original queue order inside the file.
           records[batch - 1 - i] = ser.Release();
         }
-        std::string path;
-        int64_t bytes = 0;
-        Timer write_timer;
-        GT_CHECK_OK(SpillFile::WriteBatch(worker_->spill_dir_, records, &path,
-                                          &bytes));
-        worker_->spill_write_us_->Record(write_timer.ElapsedMicros());
-        worker_->spill_write_bytes_->Add(bytes);
+        const std::string path = worker_->SpillWrite(std::move(records));
         worker_->l_file_.PushBack(path, static_cast<int64_t>(batch));
         worker_->spilled_batches_.fetch_add(1, std::memory_order_relaxed);
         worker_->tasks_spilled_.fetch_add(static_cast<int64_t>(batch),
@@ -451,14 +453,8 @@ class Worker {
     /// declares it ready.
     void Resolve(std::unique_ptr<TaskT> task) {
       worker_->mem_.Release(task->MemoryBytes());
-      bool any_remote = false;
-      for (VertexId v : task->pulls()) {
-        if (!worker_->IsLocal(v)) {
-          any_remote = true;
-          break;
-        }
-      }
-      if (!any_remote) {
+      CollectRemotePulls(task->pulls());
+      if (remote_scratch_.empty()) {
         ExecuteIteration(std::move(task));
         return;
       }
@@ -473,22 +469,15 @@ class Worker {
         t_size_.fetch_add(1, std::memory_order_relaxed);
       }
       worker_->mem_.Consume(raw->MemoryBytes());
-      int hits = 0;
-      int total_remote = 0;
-      for (VertexId v : raw->pulls()) {
-        if (worker_->IsLocal(v)) continue;
-        ++total_remote;
-        const VertexT* unused = nullptr;
-        switch (worker_->cache_.Request(v, tid, &counter_, &unused)) {
-          case VertexCache<VertexT>::RequestResult::kHit:
-            ++hits;
-            break;
-          case VertexCache<VertexT>::RequestResult::kAlreadyRequested:
-            break;
-          case VertexCache<VertexT>::RequestResult::kNewRequest:
-            worker_->EnqueueVertexRequest(v);
-            break;
-        }
+      // Batched OP1: all of this task's remote pulls resolve with one lock
+      // acquisition per distinct bucket instead of one per vertex.
+      const int total_remote = static_cast<int>(remote_scratch_.size());
+      new_request_scratch_.clear();
+      const int hits = worker_->cache_.RequestBatch(
+          remote_scratch_.data(), remote_scratch_.size(), tid, &counter_,
+          &new_request_scratch_);
+      for (VertexId v : new_request_scratch_) {
+        worker_->EnqueueVertexRequest(v);
       }
       // Commit req; the task may already be complete (all hits, or responses
       // raced in while we were requesting).
@@ -546,9 +535,10 @@ class Worker {
       }
       task->BumpIteration();
       worker_->mem_.Release(task->MemoryBytes());
-      for (VertexId v : pulls) {
-        if (!worker_->IsLocal(v)) worker_->cache_.Release(v);
-      }
+      // Batched OP3: one lock acquisition per distinct bucket.
+      CollectRemotePulls(pulls);
+      worker_->cache_.ReleaseBatch(remote_scratch_.data(),
+                                   remote_scratch_.size());
       worker_->task_iterations_.fetch_add(1, std::memory_order_relaxed);
       if (more) {
         AddToQueue(std::move(task));
@@ -559,10 +549,23 @@ class Worker {
       }
     }
 
+    /// Filters a pull list down to the remote vertices, into the reused
+    /// comper-thread scratch remote_scratch_ (occurrence order preserved, so
+    /// batched cache ops replay duplicates exactly like the loop they
+    /// replaced).
+    void CollectRemotePulls(const std::vector<VertexId>& pulls) {
+      remote_scratch_.clear();
+      for (VertexId v : pulls) {
+        if (!worker_->IsLocal(v)) remote_scratch_.push_back(v);
+      }
+    }
+
     Worker* worker_;
     const int index_;
     std::unique_ptr<ComperT> user_;
     SCacheCounter counter_;
+    std::vector<VertexId> remote_scratch_;       // comper thread only
+    std::vector<VertexId> new_request_scratch_;  // comper thread only
 
     std::deque<std::unique_ptr<TaskT>> q_;  // Q_task: comper thread only
     std::atomic<size_t> q_size_{0};         // mirror for cross-thread reads
@@ -616,6 +619,37 @@ class Worker {
 
   bool IsLocal(VertexId v) const {
     return OwnerOf(v, config_.num_workers) == id_;
+  }
+
+  /// Writes one spill batch and returns its path. With spill_async the
+  /// records are handed to the writer thread and the call returns as soon as
+  /// the path is reserved (the path is immediately valid for SpillFetch and
+  /// L_file); otherwise this is the original blocking write.
+  std::string SpillWrite(std::vector<std::string> records) {
+    if (spill_io_ != nullptr) {
+      return spill_io_->Submit(spill_dir_, std::move(records));
+    }
+    std::string path;
+    int64_t bytes = 0;
+    Timer write_timer;
+    GT_CHECK_OK(SpillFile::WriteBatch(spill_dir_, records, &path, &bytes));
+    spill_write_us_->Record(write_timer.ElapsedMicros());
+    spill_write_bytes_->Add(bytes);
+    return path;
+  }
+
+  /// Reads one spill batch back and removes it (memory-served batches never
+  /// hit disk; disk files are deleted). Counterpart of SpillWrite for
+  /// Refill and DonateTasks.
+  Status SpillFetch(const std::string& path,
+                    std::vector<std::string>* records) {
+    if (spill_io_ != nullptr) return spill_io_->Fetch(path, records);
+    int64_t bytes = 0;
+    Timer read_timer;
+    GT_RETURN_IF_ERROR(SpillFile::ReadBatchAndDelete(path, records, &bytes));
+    spill_read_us_->Record(read_timer.ElapsedMicros());
+    spill_read_bytes_->Add(bytes);
+    return Status::Ok();
   }
 
   /// Task-lifecycle ledger entry points. live_tasks_ is the single source of
@@ -919,9 +953,9 @@ class Worker {
           live_tasks_.fetch_add(static_cast<int64_t>(records.size()));
           tasks_received_.fetch_add(static_cast<int64_t>(records.size()),
                                     std::memory_order_relaxed);
-          std::string path;
-          GT_CHECK_OK(SpillFile::WriteBatch(spill_dir_, records, &path));
-          l_file_.PushBack(path, static_cast<int64_t>(records.size()));
+          const int64_t count = static_cast<int64_t>(records.size());
+          const std::string path = SpillWrite(std::move(records));
+          l_file_.PushBack(path, count);
           stolen_batches_.fetch_add(1, std::memory_order_relaxed);
           Trace(-1, TaskEvent::kStolenBatch);
         }
@@ -978,11 +1012,7 @@ class Worker {
   void DonateTasks(int dst, int64_t order_t_us = 0) {
     std::vector<std::string> records;
     if (auto file = l_file_.TryPopBack()) {
-      int64_t bytes = 0;
-      Timer read_timer;
-      GT_CHECK_OK(SpillFile::ReadBatchAndDelete(file->path, &records, &bytes));
-      spill_read_us_->Record(read_timer.ElapsedMicros());
-      spill_read_bytes_->Add(bytes);
+      GT_CHECK_OK(SpillFetch(file->path, &records));
       GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
           << "spill file " << file->path << " record count drifted";
     } else {
@@ -1108,6 +1138,11 @@ class Worker {
     }
     std::vector<std::string> records;
     for (auto& engine : engines_) engine->CollectCheckpointRecords(&records);
+    // Durability barrier: the snapshot below reads spill files from disk
+    // without popping them, so every batch the async writer still holds must
+    // land first. (The kTaskBatch quiesce already ran master-side, and the
+    // compers are parked, so nothing new can be submitted meanwhile.)
+    if (spill_io_ != nullptr) spill_io_->Flush();
     // Spilled files are checkpointed by content (they stay on local disk for
     // the continuing run, which a failure would wipe).
     for (const FileList::Entry& entry : l_file_.Snapshot()) {
@@ -1195,6 +1230,9 @@ class Worker {
     }
     return depth;
   }
+  int64_t SampleSpillQueueDepth() const {
+    return spill_io_ != nullptr ? spill_io_->QueueDepth() : 0;
+  }
 
   /// Folds the cache's internal counters (kept as plain atomics on the hot
   /// path, not registry metrics) into the registry so one snapshot carries
@@ -1214,6 +1252,8 @@ class Worker {
     set("cache.evict_scan_us",
         cs.evict_scan_us.load(std::memory_order_relaxed));
     set("cache.gc_passes", cs.gc_passes.load(std::memory_order_relaxed));
+    set("cache.lock_contention",
+        cs.lock_contention.load(std::memory_order_relaxed));
     for (int g = 0; g < VertexCache<VertexT>::kNumBucketGroups; ++g) {
       const auto& group = cs.groups[g];
       const std::string label = "group=" + std::to_string(g);
@@ -1234,6 +1274,18 @@ class Worker {
     set("spill.batches", spilled_batches_.load(std::memory_order_relaxed));
     set("steal.batches_received",
         stolen_batches_.load(std::memory_order_relaxed));
+    if (spill_io_ != nullptr) {
+      const auto& ss = spill_io_->stats();
+      set("spill.mem_hits", ss.mem_hits.load(std::memory_order_relaxed));
+      set("spill.prefetch_hits",
+          ss.prefetch_hits.load(std::memory_order_relaxed));
+      set("spill.prefetch_reads",
+          ss.prefetch_reads.load(std::memory_order_relaxed));
+      // Peak writer-queue depth over the run (the live value is also on the
+      // master sampler's spill_queue_depth series).
+      metrics_.GetGauge("spill.queue_depth")
+          ->Set(ss.peak_queue_depth.load(std::memory_order_relaxed));
+    }
     for (const auto& engine : engines_) {
       metrics_.GetGauge("comper.idle_rounds")->Add(engine->IdleRounds());
       metrics_.GetGauge("comper.rounds")->Add(engine->Rounds());
@@ -1259,6 +1311,10 @@ class Worker {
   MemTracker mem_;
   VertexCache<VertexT> cache_;  // T_cache
   FileList l_file_;             // L_file
+  /// Spill writer/prefetcher thread (JobConfig::spill_async); null in the
+  /// synchronous ablation. Declared after l_file_ (it holds a pointer to it)
+  /// and constructed in the ctor body once the obs histograms exist.
+  std::unique_ptr<AsyncSpillIo> spill_io_;
   AggregatorState<ComperT> agg_;
 
   std::vector<std::unique_ptr<ComperEngine>> engines_;

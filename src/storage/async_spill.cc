@@ -1,0 +1,200 @@
+#include "storage/async_spill.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "storage/spill_file.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gthinker {
+
+AsyncSpillIo::AsyncSpillIo(FileList* l_file) : l_file_(l_file) {}
+
+AsyncSpillIo::~AsyncSpillIo() { Stop(); }
+
+void AsyncSpillIo::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GT_CHECK(!started_) << "AsyncSpillIo started twice";
+    started_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread(&AsyncSpillIo::ThreadLoop, this);
+}
+
+void AsyncSpillIo::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+int64_t AsyncSpillIo::EncodedSize(const std::vector<std::string>& records) {
+  int64_t bytes = static_cast<int64_t>(sizeof(uint64_t));
+  for (const std::string& r : records) {
+    bytes += static_cast<int64_t>(sizeof(uint64_t) + r.size());
+  }
+  return bytes;
+}
+
+std::string AsyncSpillIo::Submit(const std::string& dir,
+                                 std::vector<std::string> records) {
+  std::string path = SpillFile::ReservePath(dir);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GT_CHECK(started_ && !stop_) << "Submit on stopped AsyncSpillIo";
+    pending_.push_back(PendingWrite{path, std::move(records)});
+    const int64_t depth = static_cast<int64_t>(pending_.size()) +
+                          (writing_path_.empty() ? 0 : 1);
+    if (depth > stats_.peak_queue_depth.load(std::memory_order_relaxed)) {
+      stats_.peak_queue_depth.store(depth, std::memory_order_relaxed);
+    }
+  }
+  cv_work_.notify_one();
+  return path;
+}
+
+Status AsyncSpillIo::Fetch(const std::string& path,
+                           std::vector<std::string>* records, int64_t* bytes) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // 1. Still queued: cancel the write and hand the batch back — the
+    // round-trip never touches disk.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->path == path) {
+        *records = std::move(it->records);
+        pending_.erase(it);
+        stats_.mem_hits.fetch_add(1, std::memory_order_relaxed);
+        if (bytes != nullptr) *bytes = EncodedSize(*records);
+        // Cancelling the write may have emptied the queue: a Flush blocked
+        // on the drain predicate has to be woken here, because the writer
+        // thread will find nothing to write and never notify again.
+        cv_done_.notify_all();
+        return Status::Ok();
+      }
+    }
+    // 2. In flight on the thread (write or prefetch): wait for it to land.
+    cv_done_.wait(lock, [&] {
+      return writing_path_ != path && prefetching_path_ != path;
+    });
+    // 3. Staged by the prefetcher: consume the staged copy and delete the
+    // file it was read from.
+    auto pit = prefetched_.find(path);
+    if (pit != prefetched_.end()) {
+      *records = std::move(pit->second.records);
+      if (bytes != nullptr) *bytes = pit->second.bytes;
+      prefetched_.erase(pit);
+      stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      return Status::Ok();
+    }
+    // 4. Fall through to a synchronous disk read; flag the path so a
+    // concurrent prefetch of the same file discards its result.
+    fetching_.insert(path);
+  }
+  Timer read_timer;
+  int64_t read_bytes = 0;
+  Status st = SpillFile::ReadBatchAndDelete(path, records, &read_bytes);
+  const int64_t us = read_timer.ElapsedMicros();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fetching_.erase(path);
+    prefetched_.erase(path);
+  }
+  if (st.ok()) {
+    stats_.reads.fetch_add(1, std::memory_order_relaxed);
+    stats_.read_bytes.fetch_add(read_bytes, std::memory_order_relaxed);
+    stats_.read_us.fetch_add(us, std::memory_order_relaxed);
+    if (read_observer_) read_observer_(us, read_bytes);
+    if (bytes != nullptr) *bytes = read_bytes;
+  }
+  return st;
+}
+
+void AsyncSpillIo::Flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock,
+                [&] { return pending_.empty() && writing_path_.empty(); });
+}
+
+int64_t AsyncSpillIo::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(pending_.size()) +
+         (writing_path_.empty() ? 0 : 1);
+}
+
+void AsyncSpillIo::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (l_file_ != nullptr && !stop_) {
+      // With a prefetch source we poll: L_file has no hook to wake this
+      // thread when a new front entry appears.
+      cv_work_.wait_for(lock, std::chrono::milliseconds(1),
+                        [&] { return stop_ || !pending_.empty(); });
+    } else {
+      cv_work_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    }
+    if (!pending_.empty()) {
+      PendingWrite w = std::move(pending_.front());
+      pending_.pop_front();
+      writing_path_ = w.path;
+      lock.unlock();
+      Timer write_timer;
+      int64_t written = 0;
+      const Status st = SpillFile::WriteBatchTo(w.path, w.records, &written);
+      const int64_t us = write_timer.ElapsedMicros();
+      GT_CHECK_OK(st);
+      stats_.writes.fetch_add(1, std::memory_order_relaxed);
+      stats_.write_bytes.fetch_add(written, std::memory_order_relaxed);
+      stats_.write_us.fetch_add(us, std::memory_order_relaxed);
+      if (write_observer_) write_observer_(us, written);
+      lock.lock();
+      writing_path_.clear();
+      cv_done_.notify_all();
+      continue;
+    }
+    if (stop_) break;  // pending queue drained; safe to exit
+    if (l_file_ == nullptr || prefetched_.size() >= kMaxPrefetched) continue;
+    auto front = l_file_->PeekFront();
+    if (!front || prefetched_.count(front->path) != 0 ||
+        fetching_.count(front->path) != 0) {
+      continue;
+    }
+    prefetching_path_ = front->path;
+    lock.unlock();
+    Timer read_timer;
+    std::vector<std::string> staged;
+    int64_t staged_bytes = 0;
+    // Read WITHOUT deleting: a checkpoint snapshot or donor may still need
+    // the file on disk; it is deleted only when Fetch consumes the batch.
+    const Status st = SpillFile::ReadBatch(front->path, &staged,
+                                           &staged_bytes);
+    const int64_t us = read_timer.ElapsedMicros();
+    if (st.ok()) {
+      stats_.prefetch_reads.fetch_add(1, std::memory_order_relaxed);
+      stats_.read_bytes.fetch_add(staged_bytes, std::memory_order_relaxed);
+      stats_.read_us.fetch_add(us, std::memory_order_relaxed);
+      if (read_observer_) read_observer_(us, staged_bytes);
+    }
+    lock.lock();
+    // A racing Fetch may have disk-read (and deleted) the same file while we
+    // were staging it — its entry in fetching_ means our copy is stale.
+    if (st.ok() && fetching_.count(front->path) == 0) {
+      prefetched_.emplace(front->path,
+                          Prefetched{std::move(staged), staged_bytes});
+    }
+    prefetching_path_.clear();
+    cv_done_.notify_all();
+  }
+}
+
+}  // namespace gthinker

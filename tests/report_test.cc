@@ -77,8 +77,8 @@ TEST(JobReportE2E, ObservedRunProducesFullReportAndTrace) {
 
   // ---- sampled time-series ----
   ASSERT_FALSE(result.stats.timeseries.empty());
-  // 5 series per worker.
-  EXPECT_EQ(result.stats.timeseries.size(), 10u);
+  // 6 series per worker (incl. the spill.queue_depth writer-backlog gauge).
+  EXPECT_EQ(result.stats.timeseries.size(), 12u);
   bool any_points = false;
   for (const obs::TimeSeries& ts : result.stats.timeseries) {
     if (!ts.points.empty()) any_points = true;
@@ -125,7 +125,7 @@ TEST(JobReportE2E, ObservedRunProducesFullReportAndTrace) {
   ASSERT_TRUE(root.Find("metrics")->IsArray());
   EXPECT_EQ(root.Find("metrics")->array.size(), 3u);
   ASSERT_TRUE(root.Find("timeseries")->IsArray());
-  EXPECT_EQ(root.Find("timeseries")->array.size(), 10u);
+  EXPECT_EQ(root.Find("timeseries")->array.size(), 12u);
 
   // ---- Chrome trace artifact ----
   const std::string trace_text = ReadFile(trace_path);

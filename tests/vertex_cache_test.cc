@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -264,6 +265,152 @@ TEST(VertexCache, ConcurrentStress) {
 
 namespace gthinker {
 namespace {
+
+TEST(VertexCache, BucketCountRoundsUpToPowerOfTwo) {
+  // Arbitrary bucket counts (config sweeps draw any positive int) round up
+  // so the router can mask instead of divide.
+  EXPECT_EQ(Cache(1, 100, 0.2, 1).num_buckets(), 1u);
+  EXPECT_EQ(Cache(3, 100, 0.2, 1).num_buckets(), 4u);
+  EXPECT_EQ(Cache(16, 100, 0.2, 1).num_buckets(), 16u);
+  EXPECT_EQ(Cache(1000, 100, 0.2, 1).num_buckets(), 1024u);
+}
+
+TEST(VertexCache, RequestBatchMatchesSequentialRequests) {
+  // Same vertex set, two caches: batched and one-at-a-time resolution must
+  // agree on every observable (results, new-request set, sizes, stats).
+  Cache batched(16, 1000, 0.2, 1);
+  Cache sequential(16, 1000, 0.2, 1);
+  SCacheCounter bctr, sctr;
+  const VertexT* out = nullptr;
+
+  // Pre-populate both with some cached (locked + released) vertices.
+  for (VertexId v = 0; v < 8; ++v) {
+    for (Cache* c : {&batched, &sequential}) {
+      SCacheCounter ctr;
+      c->Request(v, 900 + v, &ctr, &out);
+      c->InsertResponse(MakeVertex(v));
+      c->Release(v);
+      c->FlushCounter(&ctr);
+    }
+  }
+  // Leave 20..22 requested-unanswered in both.
+  for (VertexId v = 20; v < 23; ++v) {
+    batched.Request(v, 800 + v, &bctr, &out);
+    sequential.Request(v, 800 + v, &sctr, &out);
+  }
+
+  // Mixed pull set: hits, wait-joins, new requests, and a duplicate (5
+  // appears twice => two vertex locks, like two sequential Requests).
+  const std::vector<VertexId> pulls = {5, 21, 40, 5, 41, 2, 20, 40};
+  std::vector<VertexId> new_requests;
+  const int hits = batched.RequestBatch(pulls.data(), pulls.size(),
+                                        /*task=*/77, &bctr, &new_requests);
+
+  int seq_hits = 0;
+  std::vector<VertexId> seq_new;
+  for (VertexId v : pulls) {
+    switch (sequential.Request(v, 77, &sctr, &out)) {
+      case RR::kHit:
+        ++seq_hits;
+        break;
+      case RR::kNewRequest:
+        seq_new.push_back(v);
+        break;
+      case RR::kAlreadyRequested:
+        break;
+    }
+  }
+  EXPECT_EQ(hits, seq_hits);
+  std::sort(new_requests.begin(), new_requests.end());
+  std::sort(seq_new.begin(), seq_new.end());
+  EXPECT_EQ(new_requests, seq_new);
+  batched.FlushCounter(&bctr);
+  sequential.FlushCounter(&sctr);
+  EXPECT_EQ(batched.ApproxSize(), sequential.ApproxSize());
+  EXPECT_EQ(batched.ExactSize(), sequential.ExactSize());
+  EXPECT_EQ(batched.stats().hits.load(), sequential.stats().hits.load());
+  EXPECT_EQ(batched.stats().wait_joins.load(),
+            sequential.stats().wait_joins.load());
+  EXPECT_EQ(batched.stats().new_requests.load(),
+            sequential.stats().new_requests.load());
+  EXPECT_EQ(batched.CheckInvariants(), sequential.CheckInvariants());
+}
+
+TEST(VertexCache, DuplicatePullsInBatchRegisterPerOccurrence) {
+  // One task pulling the same remote vertex twice must be woken once per
+  // registration (the worker counts met-vs-req per occurrence).
+  Cache cache(16, 100, 0.2, 1);
+  SCacheCounter ctr;
+  std::vector<VertexId> new_requests;
+  const std::vector<VertexId> pulls = {7, 7, 7};
+  EXPECT_EQ(cache.RequestBatch(pulls.data(), pulls.size(), 42, &ctr,
+                               &new_requests),
+            0);
+  // Exactly one wire request...
+  EXPECT_EQ(new_requests, (std::vector<VertexId>{7}));
+  // ...but three wake registrations, all for task 42.
+  auto waiting = cache.InsertResponse(MakeVertex(7));
+  EXPECT_EQ(waiting, (std::vector<uint64_t>{42, 42, 42}));
+  // And three vertex locks to unwind.
+  const VertexId rel[] = {7, 7, 7};
+  cache.ReleaseBatch(rel, 3);
+  EXPECT_EQ(cache.EvictUpTo(10), 1);
+}
+
+TEST(VertexCache, ReleaseBatchMakesEntriesEvictable) {
+  Cache cache(16, 100, 0.2, 1);
+  SCacheCounter ctr;
+  const VertexT* out = nullptr;
+  std::vector<VertexId> ids;
+  for (VertexId v = 0; v < 12; ++v) {
+    cache.Request(v, v, &ctr, &out);
+    cache.InsertResponse(MakeVertex(v));
+    ids.push_back(v);
+  }
+  EXPECT_EQ(cache.EvictUpTo(100), 0);  // all locked
+  cache.ReleaseBatch(ids.data(), ids.size());
+  cache.CheckInvariants();
+  EXPECT_EQ(cache.EvictUpTo(100), 12);
+  EXPECT_EQ(cache.ExactSize(), 0);
+}
+
+TEST(VertexCache, ZListEvictsInReleaseOrder) {
+  // One bucket => the intrusive Z-list is the global eviction order: FIFO in
+  // unlock time, regardless of insertion order.
+  Cache cache(1, 100, 0.2, 1);
+  SCacheCounter ctr;
+  const VertexT* out = nullptr;
+  for (VertexId v = 0; v < 3; ++v) {
+    cache.Request(v, v, &ctr, &out);
+    cache.InsertResponse(MakeVertex(v));
+  }
+  cache.Release(2);
+  cache.Release(0);
+  cache.Release(1);
+  EXPECT_EQ(cache.EvictUpTo(1), 1);  // evicts 2 (released first)
+  SCacheCounter ctr2;
+  EXPECT_EQ(cache.Request(0, 8, &ctr2, &out), RR::kHit);  // survivors
+  EXPECT_EQ(cache.Request(1, 8, &ctr2, &out), RR::kHit);
+  EXPECT_EQ(cache.Request(2, 9, &ctr2, &out), RR::kNewRequest);  // gone
+}
+
+TEST(VertexCache, SpinlockModeBehavesIdentically) {
+  Cache cache(16, 100, 0.2, 1, nullptr, /*use_z_table=*/true,
+              /*use_spinlock=*/true);
+  SCacheCounter ctr;
+  const VertexT* out = nullptr;
+  const std::vector<VertexId> pulls = {1, 2, 3, 1};
+  std::vector<VertexId> new_requests;
+  EXPECT_EQ(cache.RequestBatch(pulls.data(), pulls.size(), 5, &ctr,
+                               &new_requests),
+            0);
+  EXPECT_EQ(new_requests.size(), 3u);
+  for (VertexId v : new_requests) cache.InsertResponse(MakeVertex(v));
+  cache.ReleaseBatch(pulls.data(), pulls.size());
+  cache.CheckInvariants();
+  EXPECT_EQ(cache.EvictUpTo(10), 3);
+  EXPECT_EQ(cache.ExactSize(), 0);
+}
 
 TEST(VertexCache, FullScanEvictionEquivalentToZTable) {
   // The ablation path (no Z-table) must evict exactly the unlocked entries.
