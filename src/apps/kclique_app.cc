@@ -16,31 +16,75 @@ void KCliqueComper::TaskSpawn(const VertexT& v) {
   // A k-clique rooted at v needs k-1 larger neighbors.
   if (v.value.size() < static_cast<size_t>(k_ - 1)) return;
   auto task = std::make_unique<TaskT>();
-  task->context() = v.id;
-  task->subgraph().AddVertex(v);
+  task->context().root = v.id;
+  task->subgraph().AddVertex(v);  // root first => compact index 0
   for (VertexId u : v.value) task->Pull(u);
   AddTask(std::move(task));
 }
 
+uint64_t KCliqueComper::CandidateCount(const TaskT& task) {
+  // The trimmer already restricted the root's list to Γ_>(root).
+  const VertexT* root = task.subgraph().GetVertex(task.context().root);
+  return root == nullptr ? 0 : static_cast<uint64_t>(root->value.size());
+}
+
 bool KCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
-  // Build the subgraph induced by ext = Γ_>(v), trimming pulled lists to it.
-  const VertexT* root = task->subgraph().GetVertex(task->context());
-  GT_CHECK(root != nullptr);
-  const AdjList ext = root->value;
-  typename TaskT::SubgraphT g;
+  // Merge the pulled Γ_> lists; CompactFromSubgraph drops adjacency entries
+  // pointing outside {root} ∪ Γ_>(root), which is exactly the ext-trimming
+  // the old throwaway-subgraph construction did by hand. Pulls arrive in
+  // ascending ID order and root is the minimum, so compact index order
+  // matches ID order — the precondition of the Γ_> recursion.
   for (const VertexT* u : frontier) {
-    VertexT nu;
-    nu.id = u->id;
-    for (VertexId w : u->value) {
-      if (std::binary_search(ext.begin(), ext.end(), w)) {
-        nu.value.push_back(w);
-      }
-    }
-    g.AddVertex(std::move(nu));
+    if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
   }
-  const uint64_t count = CountCliquesOfSize(CompactFromSubgraph(g), k_ - 1);
+  SplitCtx& ctx = task->context();
+  const CompactGraph cg = CompactFromSubgraph(task->subgraph());
+  GT_CHECK_EQ(cg.ids[0], ctx.root);
+  const uint64_t candidates = LargerIdNeighbors(cg, /*root=*/0);
+  const uint64_t end = std::min(ctx.end, candidates);
+  if (SplitArmed()) {
+    if (end > ctx.begin + 1 && OverSizeThreshold(end - ctx.begin)) {
+      // Oversized before mining even starts: pin the range and hand the
+      // task back for an immediate split.
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    uint64_t next = end;
+    const uint64_t count = CountCliquesFromRootRange(
+        cg, /*root=*/0, k_, ctx.begin, end,
+        [this] { return IterationBudgetExceeded(); }, &next);
+    if (count > 0) Aggregate(count);
+    if (next < end) {
+      // Budget overrun: bank the partial count, narrow to the unprocessed
+      // suffix and ask the engine to split it across new tasks.
+      ctx.begin = next;
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    return false;
+  }
+  uint64_t next = 0;
+  const uint64_t count =
+      CountCliquesFromRootRange(cg, /*root=*/0, k_, ctx.begin, end,
+                                /*yield=*/nullptr, &next);
   if (count > 0) Aggregate(count);
   return false;
+}
+
+bool KCliqueComper::Split(TaskT* task, int fanout,
+                          std::vector<std::unique_ptr<TaskT>>* children) {
+  if (!SplitTaskReady(*task)) return false;
+  return SplitByCandidateRange(task, fanout, children,
+                               [task] { return CandidateCount(*task); });
+}
+
+uint64_t KCliqueComper::SplitWeight(const TaskT& task) const {
+  if (!SplitTaskReady(task)) return 0;
+  const SplitCtx& ctx = task.context();
+  const uint64_t end = std::min(ctx.end, CandidateCount(task));
+  return end > ctx.begin ? end - ctx.begin : 0;
 }
 
 }  // namespace gthinker

@@ -2,32 +2,49 @@
 #define GTHINKER_APPS_KCLIQUE_APP_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "apps/kernels.h"
+#include "apps/split_context.h"
 #include "core/comper.h"
 #include "core/task.h"
 
 namespace gthinker {
 
-using KCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+using KCliqueTask = Task<AdjList, /*ContextT=*/SplitCtx>;
 
-/// k-clique counting: one task per vertex v builds the subgraph induced by
-/// Γ_>(v) (exactly the MCF task construction, paper Fig. 5 line 2) and
-/// counts the (k-1)-cliques in it — each global k-clique is counted once,
-/// by its minimum vertex. k = 3 reduces to triangle counting, which the
-/// tests exploit as a cross-check. Small task subgraphs count via the
+/// k-clique counting: one task per vertex v merges the subgraph induced by
+/// {v} ∪ Γ_>(v) (exactly the MCF task construction, paper Fig. 5 line 2)
+/// and counts the k-cliques containing v — each global k-clique is counted
+/// once, by its minimum vertex. k = 3 reduces to triangle counting, which
+/// the tests exploit as a cross-check. Small task subgraphs count via the
 /// word-parallel Γ_> recursion (apps/kernels.h dense/sparse switch).
+///
+/// Pair with the Γ_> trimmer (TrimToGreater): pulled adjacency lists then
+/// carry only larger-ID neighbors, which is all the recursion reads.
+///
+/// Decomposable (Split/SplitWeight): the context's candidate range covers
+/// Γ_>(v) ascending; top-level branches are partitioned by the smallest
+/// non-root member, so shard counts sum bit-identically to the unsplit
+/// count.
 class KCliqueComper : public Comper<KCliqueTask, uint64_t> {
  public:
   explicit KCliqueComper(int k) : k_(k) {}
 
   void TaskSpawn(const VertexT& v) override;
   bool Compute(TaskT* task, const Frontier& frontier) override;
+  bool Split(TaskT* task, int fanout,
+             std::vector<std::unique_ptr<TaskT>>* children) override;
+  uint64_t SplitWeight(const TaskT& task) const override;
 
   static AggT AggZero() { return 0; }
   static AggT AggMerge(AggT a, AggT b) { return a + b; }
 
  private:
+  /// |Γ_>(root)|, read straight off the (trimmed) root adjacency list.
+  static uint64_t CandidateCount(const TaskT& task);
+
   const int k_;
 };
 

@@ -369,6 +369,56 @@ class MaximalCliqueCounter {
     return count_;
   }
 
+  /// Top-level branches [begin, end) only, pivot-free at the top so the
+  /// branches partition the count exactly: branch i moves candidates before
+  /// it into X, fixing order[i] as the second member of every clique found
+  /// under it. Inner levels still run the pivoted Recurse.
+  uint64_t CountFromRange(int root, uint64_t begin, uint64_t end,
+                          const std::function<bool()>& yield,
+                          uint64_t* next) {
+    count_ = 0;
+    std::vector<int32_t> order, x;
+    for (int32_t u : g_.Neigh(root)) {
+      if (g_.ids[u] > g_.ids[root]) {
+        order.push_back(u);
+      } else {
+        x.push_back(u);
+      }
+    }
+    std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+      return g_.ids[a] < g_.ids[b];
+    });
+    const uint64_t n = order.size();
+    if (end > n) end = n;
+    *next = end;
+    if (begin == 0 && n == 0 && x.empty()) ++count_;  // {root} is maximal
+    // Candidates skipped by the range act as exclusions: a clique whose
+    // second member precedes the range belongs to an earlier shard.
+    for (uint64_t j = 0; j < begin && j < n; ++j) x.push_back(order[j]);
+    std::vector<int32_t> np, nx;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i > begin && yield && yield()) {
+        *next = i;
+        return count_;
+      }
+      const int32_t v = order[i];
+      const NbrSpan row = g_.Neigh(v);
+      np.clear();
+      for (uint64_t j = i + 1; j < n; ++j) {
+        if (RowContains(row, order[j])) np.push_back(order[j]);
+      }
+      // Recurse intersects sorted index sets; re-sort the ID-ordered tail.
+      std::sort(np.begin(), np.end());
+      nx.clear();
+      for (int32_t u : x) {
+        if (RowContains(row, u)) nx.push_back(u);
+      }
+      Recurse(np, nx);
+      x.push_back(v);
+    }
+    return count_;
+  }
+
  private:
   void Recurse(std::vector<int32_t> p, std::vector<int32_t> x) {
     if (p.empty() && x.empty()) {
@@ -433,6 +483,52 @@ class BitMaximalCliqueCounter {
     return Recurse(p, x);
   }
 
+  /// Word-set mirror of MaximalCliqueCounter::CountFromRange: same pivot-
+  /// free top level over the ID-sorted candidate order, same partition.
+  uint64_t CountFromRange(int root, uint64_t begin, uint64_t end,
+                          const std::function<bool()>& yield,
+                          uint64_t* next) {
+    std::vector<uint64_t> p(words_, 0), x(words_, 0);
+    std::vector<int32_t> order;
+    for (int32_t u : g_.Neigh(root)) {
+      if (g_.ids[u] > g_.ids[root]) {
+        order.push_back(u);
+        p[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+      } else {
+        x[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+      }
+    }
+    std::sort(order.begin(), order.end(), [this](int32_t a, int32_t b) {
+      return g_.ids[a] < g_.ids[b];
+    });
+    const uint64_t n = order.size();
+    if (end > n) end = n;
+    *next = end;
+    uint64_t count = 0;
+    if (begin == 0 && n == 0 && !simd::WordsAny(x.data(), words_)) {
+      ++count;  // {root} is maximal
+    }
+    for (uint64_t j = 0; j < begin && j < n; ++j) {
+      const int32_t u = order[j];
+      p[static_cast<size_t>(u) >> 6] &= ~(uint64_t{1} << (u & 63));
+      x[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+    }
+    std::vector<uint64_t> np(words_), nx(words_);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i > begin && yield && yield()) {
+        *next = i;
+        return count;
+      }
+      const int32_t v = order[i];
+      simd::WordsAndInto(p.data(), adj_.Row(v), words_, np.data());
+      simd::WordsAndInto(x.data(), adj_.Row(v), words_, nx.data());
+      count += Recurse(np, nx);
+      p[static_cast<size_t>(v) >> 6] &= ~(uint64_t{1} << (v & 63));
+      x[static_cast<size_t>(v) >> 6] |= uint64_t{1} << (v & 63);
+    }
+    return count;
+  }
+
  private:
   uint64_t Recurse(std::vector<uint64_t> p, std::vector<uint64_t> x) {
     if (!simd::WordsAny(p.data(), words_) &&
@@ -477,6 +573,34 @@ uint64_t CountMaximalCliquesFromRoot(const CompactGraph& g, int root) {
     return BitMaximalCliqueCounter(g).CountFrom(root);
   }
   return MaximalCliqueCounter(g).CountFrom(root);
+}
+
+uint64_t LargerIdNeighbors(const CompactGraph& g, int root) {
+  uint64_t n = 0;
+  for (int32_t u : g.Neigh(root)) {
+    if (g.ids[u] > g.ids[root]) ++n;
+  }
+  return n;
+}
+
+uint64_t LargerIdVertices(const CompactGraph& g, int root) {
+  uint64_t n = 0;
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    if (g.ids[v] > g.ids[root]) ++n;
+  }
+  return n;
+}
+
+uint64_t CountMaximalCliquesFromRootRange(const CompactGraph& g, int root,
+                                          uint64_t begin, uint64_t end,
+                                          const std::function<bool()>& yield,
+                                          uint64_t* next) {
+  if (UseBitsetKernels(g.NumVertices())) {
+    return BitMaximalCliqueCounter(g).CountFromRange(root, begin, end, yield,
+                                                     next);
+  }
+  return MaximalCliqueCounter(g).CountFromRange(root, begin, end, yield,
+                                                next);
 }
 
 uint64_t CountMaximalCliquesSerial(const Graph& g) {
@@ -551,6 +675,13 @@ class BitKCliqueCounter {
     return Recurse(all, k);
   }
 
+  // Exposed for the range kernel's custom top level.
+  size_t words() const { return words_; }
+  const uint64_t* Row(int v) const { return dir_.Row(v); }
+  uint64_t RecurseOn(const std::vector<uint64_t>& cands, int remaining) {
+    return Recurse(cands, remaining);
+  }
+
  private:
   uint64_t Recurse(const std::vector<uint64_t>& cands, int remaining) {
     if (remaining == 1) return simd::WordsCount(cands.data(), words_);
@@ -583,6 +714,71 @@ uint64_t CountCliquesOfSize(const CompactGraph& g, int k) {
   std::vector<int32_t> all(n);
   for (int i = 0; i < n; ++i) all[i] = i;
   return CountCliquesRec(g, all, k);
+}
+
+uint64_t CountCliquesFromRootRange(const CompactGraph& g, int root, int k,
+                                   uint64_t begin, uint64_t end,
+                                   const std::function<bool()>& yield,
+                                   uint64_t* next) {
+  GT_CHECK_GE(k, 1);
+  // Candidate order: root's larger-ID neighbors ascending by original ID.
+  // Branch i fixes order[i] as the smallest non-root member; the remaining
+  // k-2 members come from the later candidates adjacent to it, so branches
+  // partition the k-cliques rooted at `root` exactly.
+  std::vector<int32_t> order;
+  for (int32_t u : g.Neigh(root)) {
+    if (g.ids[u] > g.ids[root]) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(),
+            [&g](int32_t a, int32_t b) { return g.ids[a] < g.ids[b]; });
+  const uint64_t n = order.size();
+  if (end > n) end = n;
+  *next = end;
+  if (k == 1) return (begin == 0) ? 1 : 0;  // {root} itself
+  if (k == 2) return end - begin;           // root + one candidate
+  uint64_t count = 0;
+  if (UseBitsetKernels(g.NumVertices())) {
+    BitKCliqueCounter counter(g);
+    const size_t words = counter.words();
+    std::vector<uint64_t> cands(words, 0);
+    for (int32_t u : order) {
+      cands[static_cast<size_t>(u) >> 6] |= uint64_t{1} << (u & 63);
+    }
+    std::vector<uint64_t> sub(words);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i > begin && yield && yield()) {
+        *next = i;
+        return count;
+      }
+      const int32_t v = order[i];
+      // dir rows keep only larger compact indices; candidate order is ID
+      // order, and the two coincide for CompactFromSubgraph/Graph inputs
+      // (the documented precondition of the k-clique kernels).
+      if (k == 3) {
+        count += simd::WordsAndCount(cands.data(), counter.Row(v), words);
+        continue;
+      }
+      simd::WordsAndInto(cands.data(), counter.Row(v), words, sub.data());
+      count += counter.RecurseOn(sub, k - 2);
+    }
+    return count;
+  }
+  std::vector<int32_t> sub;
+  for (uint64_t i = begin; i < end; ++i) {
+    if (i > begin && yield && yield()) {
+      *next = i;
+      return count;
+    }
+    const int32_t v = order[i];
+    const NbrSpan row = g.Neigh(v);
+    sub.clear();
+    for (uint64_t j = i + 1; j < n; ++j) {
+      if (RowContains(row, order[j])) sub.push_back(order[j]);
+    }
+    std::sort(sub.begin(), sub.end());  // Rec wants index-sorted sets
+    count += CountCliquesRec(g, sub, k - 2);
+  }
+  return count;
 }
 
 uint64_t CountKCliquesSerial(const Graph& g, int k) {
@@ -867,6 +1063,7 @@ class QuasiCliqueSearcher {
   /// each quasi-clique is discovered exactly once (from its smallest member).
   std::vector<VertexId> RunFrom(int root) {
     best_.clear();
+    floor_ = 0;
     s_ = {root};
     std::vector<int> ext;
     for (int v = 0; v < g_.NumVertices(); ++v) {
@@ -875,6 +1072,43 @@ class QuasiCliqueSearcher {
     std::sort(ext.begin(), ext.end(),
               [this](int a, int b) { return g_.ids[a] < g_.ids[b]; });
     Expand(ext);
+    std::vector<VertexId> out;
+    for (int v : best_) out.push_back(g_.ids[v]);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Top-level branches [begin, end) only: branch i commits ext[i] as the
+  /// second-smallest member and searches the later candidates. `lower_bound`
+  /// seeds the branch-and-bound floor, so shards resumed with the best size
+  /// found so far prune as hard as the unsharded search would; only results
+  /// strictly larger than the floor are returned.
+  std::vector<VertexId> RunFromRange(int root, size_t lower_bound,
+                                     uint64_t begin, uint64_t end,
+                                     const std::function<bool()>& yield,
+                                     uint64_t* next) {
+    best_.clear();
+    floor_ = lower_bound;
+    s_ = {root};
+    std::vector<int> ext;
+    for (int v = 0; v < g_.NumVertices(); ++v) {
+      if (g_.ids[v] > g_.ids[root]) ext.push_back(v);
+    }
+    std::sort(ext.begin(), ext.end(),
+              [this](int a, int b) { return g_.ids[a] < g_.ids[b]; });
+    const uint64_t n = ext.size();
+    if (end > n) end = n;
+    *next = end;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (i > begin && yield && yield()) {
+        *next = i;
+        break;
+      }
+      s_.push_back(ext[i]);
+      Expand(std::vector<int>(ext.begin() + static_cast<int64_t>(i) + 1,
+                              ext.end()));
+      s_.pop_back();
+    }
     std::vector<VertexId> out;
     for (int v : best_) out.push_back(g_.ids[v]);
     std::sort(out.begin(), out.end());
@@ -932,13 +1166,17 @@ class QuasiCliqueSearcher {
     return true;
   }
 
+  /// Best size the search still has to beat: the largest member set found
+  /// in this run, or the externally seeded floor (range shards).
+  size_t BestFloor() const { return std::max(best_.size(), floor_); }
+
   void Expand(const std::vector<int>& ext) {
-    if (s_.size() >= min_size_ && s_.size() > best_.size() &&
+    if (s_.size() >= min_size_ && s_.size() > BestFloor() &&
         CurrentIsQuasiClique()) {
       best_ = s_;
     }
     // Only strictly-better quasi-cliques are interesting from here on.
-    const size_t target = std::max(min_size_, best_.size() + 1);
+    const size_t target = std::max(min_size_, BestFloor() + 1);
     if (s_.size() + ext.size() < target) {
       return;  // even taking every candidate cannot beat the record
     }
@@ -976,6 +1214,7 @@ class QuasiCliqueSearcher {
   const size_t min_size_;
   simd::BitMatrix adj_bits_;
   size_t words_ = 0;
+  size_t floor_ = 0;
   std::vector<int> s_;
   std::vector<int> best_;
 };
@@ -986,6 +1225,14 @@ std::vector<VertexId> LargestQuasiCliqueFromRoot(const CompactGraph& g,
                                                  int root, double gamma,
                                                  size_t min_size) {
   return QuasiCliqueSearcher(g, gamma, min_size).RunFrom(root);
+}
+
+std::vector<VertexId> LargestQuasiCliqueFromRootRange(
+    const CompactGraph& g, int root, double gamma, size_t min_size,
+    size_t lower_bound, uint64_t begin, uint64_t end,
+    const std::function<bool()>& yield, uint64_t* next) {
+  return QuasiCliqueSearcher(g, gamma, min_size)
+      .RunFromRange(root, lower_bound, begin, end, yield, next);
 }
 
 std::vector<VertexId> LargestQuasiCliqueSerial(const Graph& g, double gamma,

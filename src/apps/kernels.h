@@ -1,7 +1,9 @@
 #ifndef GTHINKER_APPS_KERNELS_H_
 #define GTHINKER_APPS_KERNELS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/subgraph.h"
@@ -101,6 +103,58 @@ uint64_t CountMaximalCliquesFromRoot(const CompactGraph& g, int root);
 
 /// Serial whole-graph ground truth.
 uint64_t CountMaximalCliquesSerial(const Graph& g);
+
+// ---------------------------------------------------------------------------
+// Range + yield kernel variants (big-task decomposition).
+//
+// Each mining kernel's top level iterates a stable candidate order — root's
+// larger-original-ID neighbors (cliques) or all larger-ID vertices
+// (quasi-cliques), ascending by original vertex ID. The *Range variants
+// process only candidate positions [begin, end) of that order, so a task can
+// be partitioned into shards whose results sum (counts) or max (sizes) to
+// the unsharded answer, bit-identically for the integer counters. Between
+// top-level candidates they poll `yield` (nullable): when it returns true
+// the kernel stops early, stores the first unprocessed position in *next
+// (== end when the range completed) and returns the partial result. At
+// least one candidate is processed per call, so budgeted re-entry always
+// terminates.
+// ---------------------------------------------------------------------------
+
+/// Number of neighbors of `root` with larger original ID: the top-level
+/// candidate-space size of the clique range kernels below.
+uint64_t LargerIdNeighbors(const CompactGraph& g, int root);
+
+/// Number of vertices of `g` (excluding root) with larger original ID: the
+/// candidate-space size of LargestQuasiCliqueFromRootRange.
+uint64_t LargerIdVertices(const CompactGraph& g, int root);
+
+/// CountMaximalCliquesFromRoot restricted to top-level branches
+/// [begin, end). Summing over a partition of [0, LargerIdNeighbors(g, root))
+/// reproduces the unsharded count exactly (the top level runs pivot-free,
+/// which partitions the maximal cliques by their second member).
+uint64_t CountMaximalCliquesFromRootRange(const CompactGraph& g, int root,
+                                          uint64_t begin, uint64_t end,
+                                          const std::function<bool()>& yield,
+                                          uint64_t* next);
+
+/// Counts the k-cliques of `g` that contain compact vertex `root` with root
+/// as their minimum-original-ID member, restricted to the branches whose
+/// smallest non-root member sits at position [begin, end) of the candidate
+/// order. Full range == the task's share of the global k-clique count.
+uint64_t CountCliquesFromRootRange(const CompactGraph& g, int root, int k,
+                                   uint64_t begin, uint64_t end,
+                                   const std::function<bool()>& yield,
+                                   uint64_t* next);
+
+/// LargestQuasiCliqueFromRoot restricted to branches whose first chosen
+/// member sits at position [begin, end) of the candidate order, reporting
+/// only results strictly larger than `lower_bound` vertices (seed it with
+/// the best size found so far to prune). The max size over a partition of
+/// the full range equals the unsharded result's size.
+std::vector<VertexId> LargestQuasiCliqueFromRootRange(
+    const CompactGraph& g, int root, double gamma, size_t min_size,
+    size_t lower_bound, uint64_t begin, uint64_t end,
+    const std::function<bool()>& yield, uint64_t* next);
 
 // ---------------------------------------------------------------------------
 // k-clique counting (kClist-style recursion over the Γ_> DAG).

@@ -1,5 +1,6 @@
 #include "apps/maximalclique_app.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "util/logging.h"
@@ -12,21 +13,80 @@ void MaximalCliqueComper::TaskSpawn(const VertexT& v) {
     return;
   }
   auto task = std::make_unique<TaskT>();
-  task->context() = v.id;
+  task->context().root = v.id;
   task->subgraph().AddVertex(v);  // root first => compact index 0
   for (VertexId u : v.value) task->Pull(u);
   AddTask(std::move(task));
 }
 
+uint64_t MaximalCliqueComper::CandidateCount(const TaskT& task) {
+  const VertexT* root = task.subgraph().GetVertex(task.context().root);
+  if (root == nullptr) return 0;
+  const AdjList& adj = root->value;
+  return static_cast<uint64_t>(
+      adj.end() - std::upper_bound(adj.begin(), adj.end(), root->id));
+}
+
 bool MaximalCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
   for (const VertexT* u : frontier) {
-    task->subgraph().AddVertex(*u);
+    if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
   }
+  SplitCtx& ctx = task->context();
   const CompactGraph cg = CompactFromSubgraph(task->subgraph());
-  GT_CHECK_EQ(cg.ids[0], task->context());
-  const uint64_t count = CountMaximalCliquesFromRoot(cg, /*root=*/0);
+  GT_CHECK_EQ(cg.ids[0], ctx.root);
+  const uint64_t candidates = LargerIdNeighbors(cg, /*root=*/0);
+  const uint64_t end = std::min(ctx.end, candidates);
+  if (SplitArmed()) {
+    if (end > ctx.begin + 1 && OverSizeThreshold(end - ctx.begin)) {
+      // Oversized before mining even starts: pin the range and hand the
+      // task back for an immediate split.
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    uint64_t next = end;
+    const uint64_t count = CountMaximalCliquesFromRootRange(
+        cg, /*root=*/0, ctx.begin, end,
+        [this] { return IterationBudgetExceeded(); }, &next);
+    if (count > 0) Aggregate(count);
+    if (next < end) {
+      // Budget overrun: bank the partial count, narrow to the unprocessed
+      // suffix and ask the engine to split it across new tasks.
+      ctx.begin = next;
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    return false;
+  }
+  // Splitting disarmed: a full-default-range task runs the original kernel
+  // (the task_split_enabled=false ablation stays bit-identical to the
+  // pre-split code path); a partial range — a steal-split child — runs its
+  // slice of the range kernel to completion.
+  uint64_t count;
+  if (ctx.begin == 0 && ctx.end == SplitCtx::kUnbounded) {
+    count = CountMaximalCliquesFromRoot(cg, /*root=*/0);
+  } else {
+    uint64_t next = 0;
+    count = CountMaximalCliquesFromRootRange(cg, /*root=*/0, ctx.begin, end,
+                                             /*yield=*/nullptr, &next);
+  }
   if (count > 0) Aggregate(count);
   return false;
+}
+
+bool MaximalCliqueComper::Split(TaskT* task, int fanout,
+                                std::vector<std::unique_ptr<TaskT>>* children) {
+  if (!SplitTaskReady(*task)) return false;
+  return SplitByCandidateRange(task, fanout, children,
+                               [task] { return CandidateCount(*task); });
+}
+
+uint64_t MaximalCliqueComper::SplitWeight(const TaskT& task) const {
+  if (!SplitTaskReady(task)) return 0;
+  const SplitCtx& ctx = task.context();
+  const uint64_t end = std::min(ctx.end, CandidateCount(task));
+  return end > ctx.begin ? end - ctx.begin : 0;
 }
 
 }  // namespace gthinker

@@ -2,14 +2,17 @@
 #define GTHINKER_APPS_MAXIMALCLIQUE_APP_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "apps/kernels.h"
+#include "apps/split_context.h"
 #include "core/comper.h"
 #include "core/task.h"
 
 namespace gthinker {
 
-using MaximalCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+using MaximalCliqueTask = Task<AdjList, /*ContextT=*/SplitCtx>;
 
 /// Maximal clique *enumeration* (counting): one task per vertex v pulls v's
 /// full neighborhood Γ(v) (no trimming — maximality needs smaller-ID
@@ -18,13 +21,27 @@ using MaximalCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
 /// maximal cliques. Small task subgraphs run Bron–Kerbosch with bitset P/X
 /// sets (apps/kernels.h dense/sparse switch); the count is identical either
 /// way.
+///
+/// Decomposable (Split/SplitWeight): a task's context carries the range of
+/// top-level candidates (v's larger-ID neighbors, ascending) it owns, so an
+/// oversized or over-budget task splits into children whose counts sum,
+/// bit-identically, to the unsplit count.
 class MaximalCliqueComper : public Comper<MaximalCliqueTask, uint64_t> {
  public:
   void TaskSpawn(const VertexT& v) override;
   bool Compute(TaskT* task, const Frontier& frontier) override;
+  bool Split(TaskT* task, int fanout,
+             std::vector<std::unique_ptr<TaskT>>* children) override;
+  uint64_t SplitWeight(const TaskT& task) const override;
 
   static AggT AggZero() { return 0; }
   static AggT AggMerge(AggT a, AggT b) { return a + b; }
+
+ private:
+  /// Top-level candidate count (larger-ID neighbors of the root), computable
+  /// from the root's adjacency list alone — no CompactGraph build, so the
+  /// steal path can afford it on the comm thread.
+  static uint64_t CandidateCount(const TaskT& task);
 };
 
 }  // namespace gthinker

@@ -1,5 +1,6 @@
 #include "apps/quasiclique_app.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 
@@ -10,25 +11,36 @@ namespace gthinker {
 void QuasiCliqueComper::TaskSpawn(const VertexT& v) {
   if (min_size_ > 1 && v.value.empty()) return;
   auto task = std::make_unique<TaskT>();
-  task->context() = v.id;
+  task->context().root = v.id;
   task->subgraph().AddVertex(v);
   for (VertexId u : v.value) task->Pull(u);  // iteration 1: Γ(v)
   AddTask(std::move(task));
+}
+
+uint64_t QuasiCliqueComper::CandidateCount(const TaskT& task) {
+  const VertexId root = task.context().root;
+  uint64_t count = 0;
+  for (const auto& v : task.subgraph().vertices()) {
+    if (v.id > root) ++count;
+  }
+  return count;
 }
 
 bool QuasiCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
   for (const VertexT* u : frontier) {
     if (!task->subgraph().HasVertex(u->id)) task->subgraph().AddVertex(*u);
   }
-  if (task->iteration() == 0) {
+  SplitCtx& ctx = task->context();
+  if (task->iteration() == 0 && !frontier.empty()) {
     // Iteration 2: pull 2nd-hop vertices. Only candidates (ID > root) are
     // needed as potential members; 1-hop intermediates of any ID are already
-    // in the subgraph and provide the connecting edges.
-    const VertexId root = task->context();
+    // in the subgraph and provide the connecting edges. (A split child
+    // re-entering at iteration 0 has an empty frontier and goes straight to
+    // mining — its ego-network is already complete.)
     std::unordered_set<VertexId> requested;
     for (const VertexT* u : frontier) {
       for (VertexId w : u->value) {
-        if (w > root && !task->subgraph().HasVertex(w) &&
+        if (w > ctx.root && !task->subgraph().HasVertex(w) &&
             requested.insert(w).second) {
           task->Pull(w);
         }
@@ -37,11 +49,62 @@ bool QuasiCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
     if (!task->pulls().empty()) return true;
   }
   const CompactGraph cg = CompactFromSubgraph(task->subgraph());
-  GT_CHECK_EQ(cg.ids[0], task->context());
-  std::vector<VertexId> found =
-      LargestQuasiCliqueFromRoot(cg, /*root=*/0, gamma_, min_size_);
+  GT_CHECK_EQ(cg.ids[0], ctx.root);
+  const uint64_t candidates = LargerIdVertices(cg, /*root=*/0);
+  const uint64_t end = std::min(ctx.end, candidates);
+  if (SplitArmed()) {
+    if (end > ctx.begin + 1 && OverSizeThreshold(end - ctx.begin)) {
+      // Oversized before mining even starts: pin the range and hand the
+      // task back for an immediate split.
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    uint64_t next = end;
+    std::vector<VertexId> found = LargestQuasiCliqueFromRootRange(
+        cg, /*root=*/0, gamma_, min_size_,
+        /*lower_bound=*/CurrentAgg().size(), ctx.begin, end,
+        [this] { return IterationBudgetExceeded(); }, &next);
+    if (found.size() > CurrentAgg().size()) Aggregate(found);
+    if (next < end) {
+      // Budget overrun: bank the best so far, narrow to the unprocessed
+      // suffix and ask the engine to split it across new tasks.
+      ctx.begin = next;
+      ctx.end = end;
+      RequestSplit();
+      return true;
+    }
+    return false;
+  }
+  // Splitting disarmed: a full-default-range task runs the original kernel
+  // (the task_split_enabled=false ablation stays identical to the pre-split
+  // code path); a partial range — a steal-split child — runs its slice.
+  std::vector<VertexId> found;
+  if (ctx.begin == 0 && ctx.end == SplitCtx::kUnbounded) {
+    found = LargestQuasiCliqueFromRoot(cg, /*root=*/0, gamma_, min_size_);
+  } else {
+    uint64_t next = 0;
+    found = LargestQuasiCliqueFromRootRange(
+        cg, /*root=*/0, gamma_, min_size_,
+        /*lower_bound=*/CurrentAgg().size(), ctx.begin, end,
+        /*yield=*/nullptr, &next);
+  }
   if (found.size() > CurrentAgg().size()) Aggregate(found);
   return false;
+}
+
+bool QuasiCliqueComper::Split(TaskT* task, int fanout,
+                              std::vector<std::unique_ptr<TaskT>>* children) {
+  if (!SplitTaskReady(*task)) return false;
+  return SplitByCandidateRange(task, fanout, children,
+                               [task] { return CandidateCount(*task); });
+}
+
+uint64_t QuasiCliqueComper::SplitWeight(const TaskT& task) const {
+  if (!SplitTaskReady(task)) return 0;
+  const SplitCtx& ctx = task.context();
+  const uint64_t end = std::min(ctx.end, CandidateCount(task));
+  return end > ctx.begin ? end - ctx.begin : 0;
 }
 
 }  // namespace gthinker

@@ -2,15 +2,17 @@
 #define GTHINKER_APPS_QUASICLIQUE_APP_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "apps/kernels.h"
+#include "apps/split_context.h"
 #include "core/comper.h"
 #include "core/task.h"
 
 namespace gthinker {
 
-using QuasiCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
+using QuasiCliqueTask = Task<AdjList, /*ContextT=*/SplitCtx>;
 
 /// Largest γ-quasi-clique (γ >= 0.5), the motivating application of paper
 /// §III: a task spawned from v pulls Γ(v) in iteration 1 and the 2nd-hop
@@ -22,6 +24,12 @@ using QuasiCliqueTask = Task<AdjList, /*ContextT=*/VertexId>;
 ///
 /// Do NOT pair this comper with the Γ_> trimmer: 2-hop reachability may pass
 /// through intermediate vertices of any ID.
+///
+/// Decomposable (Split/SplitWeight): the candidate range covers the
+/// larger-ID subgraph vertices ascending (branches keyed by the first
+/// chosen member). Shards prune against the shared aggregator best, and the
+/// max size over any shard partition equals the unsplit result's size.
+/// Splitting only triggers once the 2-hop pull phase is complete.
 class QuasiCliqueComper
     : public Comper<QuasiCliqueTask, std::vector<VertexId>> {
  public:
@@ -30,6 +38,9 @@ class QuasiCliqueComper
 
   void TaskSpawn(const VertexT& v) override;
   bool Compute(TaskT* task, const Frontier& frontier) override;
+  bool Split(TaskT* task, int fanout,
+             std::vector<std::unique_ptr<TaskT>>* children) override;
+  uint64_t SplitWeight(const TaskT& task) const override;
 
   static AggT AggZero() { return {}; }
   static AggT AggMerge(const AggT& a, const AggT& b) {
@@ -38,6 +49,9 @@ class QuasiCliqueComper
   }
 
  private:
+  /// Larger-ID member candidates currently in the subgraph.
+  static uint64_t CandidateCount(const TaskT& task);
+
   const double gamma_;
   const size_t min_size_;
 };

@@ -1,0 +1,96 @@
+#ifndef GTHINKER_APPS_SPLIT_CONTEXT_H_
+#define GTHINKER_APPS_SPLIT_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/codec.h"
+#include "graph/types.h"
+#include "util/serializer.h"
+#include "util/status.h"
+
+namespace gthinker {
+
+/// Shared task context of the decomposable mining apps: the root vertex plus
+/// the half-open top-level candidate range [begin, end) this task owns, in
+/// ascending-original-ID position order (the stable order the range kernels
+/// in apps/kernels.h iterate). `end == kUnbounded` means "every candidate";
+/// it is pinned to the real candidate count the first time the task splits
+/// or yields on its compute budget, so ranges stay meaningful across
+/// serialization, spills and steals.
+struct SplitCtx {
+  static constexpr uint64_t kUnbounded = ~uint64_t{0};
+
+  VertexId root = 0;
+  uint64_t begin = 0;
+  uint64_t end = kUnbounded;
+};
+
+template <>
+struct Codec<SplitCtx> : CodecBase<SplitCtx> {
+  static void Encode(Serializer& ser, const SplitCtx& c) {
+    ser.Write(c.root);
+    ser.Write(c.begin);
+    ser.Write(c.end);
+  }
+  static Status Decode(Deserializer& des, SplitCtx* c) {
+    GT_RETURN_IF_ERROR(des.Read(&c->root));
+    GT_RETURN_IF_ERROR(des.Read(&c->begin));
+    return des.Read(&c->end);
+  }
+};
+
+/// True when a task can be decomposed right now: its Γ slice is fully pulled
+/// and merged, so children can carry copies of it and never need a re-pull
+/// round-trip. A task still waiting on pulls must travel (or split) whole.
+template <typename TaskT>
+bool SplitTaskReady(const TaskT& task) {
+  return task.pulls().empty() && task.subgraph().NumVertices() > 1;
+}
+
+/// Shared Split() skeleton of the range-decomposable apps: narrows `task` in
+/// place to the first shard of its candidate range and appends up to
+/// fanout-1 new children owning the later shards, each with a full copy of
+/// the parent's subgraph and the parent's generation + 1. `candidate_count`
+/// is only invoked when the range was never pinned (a steal-path split of a
+/// task that never started mining). Returns false — leaving the task
+/// untouched — when fewer than two candidates remain.
+template <typename TaskT, typename CandidateCountFn>
+bool SplitByCandidateRange(TaskT* task, int fanout,
+                           std::vector<std::unique_ptr<TaskT>>* children,
+                           CandidateCountFn&& candidate_count) {
+  SplitCtx& ctx = task->context();
+  if (ctx.end == SplitCtx::kUnbounded) ctx.end = candidate_count();
+  if (ctx.end <= ctx.begin) return false;
+  const uint64_t remaining = ctx.end - ctx.begin;
+  const uint64_t shards =
+      std::min<uint64_t>(static_cast<uint64_t>(fanout), remaining);
+  if (shards < 2) return false;
+  const uint64_t size = remaining / shards;
+  const uint64_t rem = remaining % shards;
+  // Shard i owns [begin + i*size + min(i, rem), ...): the first `rem`
+  // shards get one extra candidate, partitioning [begin, end) exactly.
+  const auto shard_begin = [&ctx, size, rem](uint64_t i) {
+    return ctx.begin + i * size + std::min(i, rem);
+  };
+  const uint64_t parent_end = ctx.end;
+  const uint32_t depth = task->split_depth() + 1;
+  for (uint64_t i = 1; i < shards; ++i) {
+    auto child = std::make_unique<TaskT>();
+    child->subgraph() = task->subgraph();
+    child->context().root = ctx.root;
+    child->context().begin = shard_begin(i);
+    child->context().end = i + 1 < shards ? shard_begin(i + 1) : parent_end;
+    child->set_split_depth(depth);
+    children->push_back(std::move(child));
+  }
+  ctx.end = shard_begin(1);
+  task->set_split_depth(depth);
+  return true;
+}
+
+}  // namespace gthinker
+
+#endif  // GTHINKER_APPS_SPLIT_CONTEXT_H_

@@ -32,7 +32,9 @@ class Comper {
   using VertexT = typename TaskT::VertexT;
   using Frontier = std::vector<const VertexT*>;
 
-  /// Runtime services implemented by the worker engine.
+  /// Runtime services implemented by the worker engine. The split services
+  /// default to "splitting disarmed" so auxiliary runtimes (steal
+  /// serialization sinks, test harnesses) need not implement them.
   class Runtime {
    public:
     virtual ~Runtime() = default;
@@ -40,6 +42,22 @@ class Comper {
     virtual void Aggregate(const AggT& delta) = 0;
     virtual AggT CurrentAgg() const = 0;
     virtual void Output(std::string record) = 0;
+
+    // ---- big-task decomposition services ----
+    /// True when the engine wants Compute() to consider splitting at all
+    /// (task_split_enabled plus at least one trigger knob armed).
+    virtual bool SplitArmed() const { return false; }
+    /// True when `candidates` top-level candidates exceed the configured
+    /// task_split_max_candidates threshold — split before mining.
+    virtual bool OverSizeThreshold(uint64_t /*candidates*/) const {
+      return false;
+    }
+    /// True once the current Compute() call has overrun
+    /// task_time_budget_us; apps poll it between top-level candidates.
+    virtual bool IterationBudgetExceeded() const { return false; }
+    /// Tells the engine the task Compute() is returning from should be
+    /// split (via the app's Split() UDF) instead of plainly requeued.
+    virtual void RequestSplit() {}
   };
 
   virtual ~Comper() = default;
@@ -67,6 +85,26 @@ class Comper {
   /// wide frontier costs one lock round-trip per touched bucket instead of
   /// one per pulled vertex (DESIGN.md §4 "T_cache internals").
   virtual bool Compute(TaskT* task, const Frontier& frontier) = 0;
+
+  /// Optional UDF (codesign follow-up): divide-and-conquer decomposition of
+  /// an oversized task. Narrow `task` in place to its first candidate shard
+  /// and append up to fanout-1 NEW child tasks to `children`, each carrying
+  /// a copy of the already-pulled Γ slice it needs (children must not need a
+  /// re-pull round-trip for data the parent already holds). Return false
+  /// (the default) when this task cannot be split further — the engine then
+  /// requeues it whole. The engine registers each child as a task creation
+  /// in the conservation ledger: a split of 1 into k counts k-1 creations.
+  virtual bool Split(TaskT* /*task*/, int /*fanout*/,
+                     std::vector<std::unique_ptr<TaskT>>* /*children*/) {
+    return false;
+  }
+
+  /// Optional UDF: how many top-level candidates remain in `task`, or 0 when
+  /// the task is not splittable right now (e.g. its Γ is not pulled yet, so
+  /// splitting would multiply pull round-trips). Drives steal-aware donation:
+  /// a donor splits a pending task whose weight exceeds
+  /// task_split_steal_weight before shipping it.
+  virtual uint64_t SplitWeight(const TaskT& /*task*/) const { return 0; }
 
   // Default aggregator algebra (apps using aggregation shadow these).
   static AggT AggZero() { return AggT{}; }
@@ -98,6 +136,22 @@ class Comper {
   }
 
   void BindRuntime(Runtime* runtime) { runtime_ = runtime; }
+
+ protected:
+  // Split-service forwarders for app Compute() bodies. Safe without a bound
+  // runtime (baselines drive compers directly): they report "disarmed".
+  bool SplitArmed() const {
+    return runtime_ != nullptr && runtime_->SplitArmed();
+  }
+  bool OverSizeThreshold(uint64_t candidates) const {
+    return runtime_ != nullptr && runtime_->OverSizeThreshold(candidates);
+  }
+  bool IterationBudgetExceeded() const {
+    return runtime_ != nullptr && runtime_->IterationBudgetExceeded();
+  }
+  void RequestSplit() {
+    if (runtime_ != nullptr) runtime_->RequestSplit();
+  }
 
  private:
   Runtime* runtime_ = nullptr;

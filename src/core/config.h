@@ -51,6 +51,29 @@ struct JobConfig {
   /// D: cap on |T_task| + |B_task| per comper (paper default 8·C).
   int inflight_task_cap = 8 * 150;
 
+  // ---- big-task decomposition (codesign follow-up, PAPERS.md) ----
+  /// Master switch for task splitting. Off reproduces the pre-split engine
+  /// exactly (the ablation baseline for bench/split_micro): no budget checks,
+  /// no steal-aware splitting, bit-identical results and schedules.
+  bool task_split_enabled = true;
+  /// Per-iteration compute budget in microseconds (0 = off). When a
+  /// Compute() call overruns it, the app's yield hook fires and the task is
+  /// handed back to the scheduler as split children (divide-and-conquer
+  /// timeout re-spawn).
+  int64_t task_time_budget_us = 0;
+  /// Candidate-set size threshold (0 = off): a task whose top-level
+  /// candidate range is at least this large is split *before* mining, so one
+  /// hub task never monopolizes a comper for a full budget period first.
+  int64_t task_split_max_candidates = 0;
+  /// Fan-out of one Split() call: the parent narrows to the first shard and
+  /// emits fanout-1 new children (so the ledger registers fanout-1
+  /// creations). Must be >= 2 when splitting is enabled.
+  int task_split_fanout = 4;
+  /// Steal-aware donation (0 = off): when a donor pops a pending task whose
+  /// SplitWeight() is at least this many candidates, it splits the task in
+  /// two and ships the halves (with their pulled Γ) instead of one monster.
+  int64_t task_split_steal_weight = 0;
+
   // ---- communication ----
   /// Vertex IDs per request batch appended to the sending module.
   int request_batch_size = 256;
@@ -166,6 +189,20 @@ struct JobConfig {
     if (inflight_task_cap < task_batch_size) {
       return Status::InvalidArgument(
           "inflight_task_cap must be >= task_batch_size");
+    }
+    if (task_time_budget_us < 0) {
+      return Status::InvalidArgument("task_time_budget_us must be >= 0");
+    }
+    if (task_split_max_candidates < 0) {
+      return Status::InvalidArgument(
+          "task_split_max_candidates must be >= 0");
+    }
+    if (task_split_steal_weight < 0) {
+      return Status::InvalidArgument("task_split_steal_weight must be >= 0");
+    }
+    if (task_split_enabled && task_split_fanout < 2) {
+      return Status::InvalidArgument(
+          "task_split_fanout must be >= 2 when task_split_enabled");
     }
     if (request_batch_size <= 0) {
       return Status::InvalidArgument("request_batch_size must be positive");

@@ -36,9 +36,21 @@ class Task {
 
   /// P(t): the vertices this task waits for before its next compute call.
   const std::vector<VertexId>& pulls() const { return pulls_; }
-  std::vector<VertexId> TakePulls() { return std::move(pulls_); }
+  /// Takes the pull set, leaving pulls_ explicitly empty — NOT moved-from.
+  /// A moved-from vector has valid-but-unspecified *capacity*, so a later
+  /// Pull()/MemoryBytes() on the same task would read whatever the move left
+  /// behind and skew the mem accounting; the swap-out below pins the
+  /// post-take state to capacity 0.
+  std::vector<VertexId> TakePulls() {
+    std::vector<VertexId> out;
+    out.swap(pulls_);
+    return out;
+  }
   void SetPulls(std::vector<VertexId> pulls) { pulls_ = std::move(pulls); }
-  void ClearPulls() { pulls_.clear(); }
+  void ClearPulls() {
+    pulls_.clear();
+    pulls_.shrink_to_fit();
+  }
 
   SubgraphT& subgraph() { return subgraph_; }
   const SubgraphT& subgraph() const { return subgraph_; }
@@ -49,6 +61,12 @@ class Task {
   /// Number of compute() iterations already run on this task.
   uint32_t iteration() const { return iteration_; }
   void BumpIteration() { ++iteration_; }
+
+  /// How many Split() generations produced this task (0 = never split).
+  /// Serialized: a split child keeps its depth across spills and steals so
+  /// the obs `split.depth` histogram sees the true decomposition tree depth.
+  uint32_t split_depth() const { return split_depth_; }
+  void set_split_depth(uint32_t depth) { split_depth_ = depth; }
 
   /// Span-trace identity (core/protocol.h MakeTaskId). Transient: NOT
   /// serialized — a task reloaded from spill or received from a steal gets a
@@ -64,6 +82,7 @@ class Task {
 
   void Serialize(Serializer& ser) const {
     ser.Write(iteration_);
+    ser.Write(split_depth_);
     ser.WriteVector(pulls_);
     subgraph_.Serialize(ser);
     Codec<ContextT>::Encode(ser, context_);
@@ -71,6 +90,7 @@ class Task {
 
   Status Deserialize(Deserializer& des) {
     GT_RETURN_IF_ERROR(des.Read(&iteration_));
+    GT_RETURN_IF_ERROR(des.Read(&split_depth_));
     GT_RETURN_IF_ERROR(des.ReadVector(&pulls_));
     GT_RETURN_IF_ERROR(subgraph_.Deserialize(des));
     return Codec<ContextT>::Decode(des, &context_);
@@ -81,6 +101,7 @@ class Task {
   ContextT context_{};
   std::vector<VertexId> pulls_;
   uint32_t iteration_ = 0;
+  uint32_t split_depth_ = 0;
   uint64_t span_id_ = 0;
 };
 

@@ -80,6 +80,9 @@ class Worker {
     spill_read_bytes_ = metrics_.GetCounter("spill.read_bytes");
     refill_spill_tasks_ = metrics_.GetCounter("refill.from_spill_tasks");
     refill_spawn_tasks_ = metrics_.GetCounter("refill.from_spawn_tasks");
+    split_count_ = metrics_.GetCounter("split.count");
+    split_children_ = metrics_.GetCounter("split.children");
+    split_depth_us_ = metrics_.GetHistogram("split.depth");
     if (config_.spill_async) {
       spill_io_ = std::make_unique<AsyncSpillIo>(&l_file_);
       // Disk timings land in the same histograms the synchronous path
@@ -233,6 +236,22 @@ class Worker {
     void Output(std::string record) override {
       worker_->WriteOutput(std::move(record));
     }
+
+    // ---- big-task decomposition services (comper thread only) ----
+    bool SplitArmed() const override {
+      const JobConfig& c = worker_->config_;
+      return c.task_split_enabled &&
+             (c.task_time_budget_us > 0 || c.task_split_max_candidates > 0);
+    }
+    bool OverSizeThreshold(uint64_t candidates) const override {
+      const int64_t threshold = worker_->config_.task_split_max_candidates;
+      return threshold > 0 && candidates >= static_cast<uint64_t>(threshold);
+    }
+    bool IterationBudgetExceeded() const override {
+      const int64_t budget = worker_->config_.task_time_budget_us;
+      return budget > 0 && iter_timer_.ElapsedMicros() >= budget;
+    }
+    void RequestSplit() override { split_requested_ = true; }
 
     /// Mining-thread body: each round runs push() then (gates permitting)
     /// pop() (paper §V-B "Algorithm of a Comper").
@@ -512,8 +531,12 @@ class Worker {
     /// UDF, then release every remote pull back to the cache (OP3) so GC can
     /// evict in time.
     void ExecuteIteration(std::unique_ptr<TaskT> task) {
-      worker_->mem_.Consume(task->MemoryBytes());
+      // Take the pulls *before* measuring: TakePulls leaves pulls_ empty, so
+      // consuming first would count buffer bytes the matching Release below
+      // never sees again (the mem-accounting skew grew by one pull buffer
+      // per iteration).
       const std::vector<VertexId> pulls = task->TakePulls();
+      worker_->mem_.Consume(task->MemoryBytes());
       typename ComperT::Frontier frontier;
       frontier.reserve(pulls.size());
       for (VertexId v : pulls) {
@@ -523,6 +546,8 @@ class Worker {
           frontier.push_back(worker_->cache_.GetLocked(v));
         }
       }
+      split_requested_ = false;
+      iter_timer_.Restart();
       Timer compute_timer;
       const bool more = user_->Compute(task.get(), frontier);
       const int64_t compute_us = compute_timer.ElapsedMicros();
@@ -541,12 +566,49 @@ class Worker {
                                    remote_scratch_.size());
       worker_->task_iterations_.fetch_add(1, std::memory_order_relaxed);
       if (more) {
+        if (split_requested_) TrySplit(task.get());
         AddToQueue(std::move(task));
       } else {
         worker_->OnTaskFinished();
         worker_->Trace(index_, TaskEvent::kFinished);
         worker_->Span(task->span_id(), index_, obs::SpanPhase::kFinish);
       }
+    }
+
+    /// Runs the app's Split() UDF on a task that asked to be decomposed:
+    /// the parent is narrowed in place (the caller requeues it — no new
+    /// ledger entry) and each emitted child registers as one task creation,
+    /// so a split of 1 into k accounts exactly k-1 creations. Children
+    /// inherit the parent's pulled Γ inside their subgraph copies and enter
+    /// Q_task directly. A refusing Split() leaves the task whole.
+    void TrySplit(TaskT* parent) {
+      split_scratch_.clear();
+      const int fanout = worker_->config_.task_split_fanout;
+      if (!user_->Split(parent, fanout, &split_scratch_) ||
+          split_scratch_.empty()) {
+        split_scratch_.clear();
+        return;
+      }
+      worker_->split_count_->Add(1);
+      worker_->split_children_->Add(
+          static_cast<int64_t>(split_scratch_.size()));
+      // Split() bumps the generation; parent and children now share it.
+      worker_->split_depth_us_->Record(parent->split_depth());
+      if (worker_->spans_ != nullptr) {
+        worker_->Span(parent->span_id(), index_, obs::SpanPhase::kSplit);
+      }
+      for (auto& child : split_scratch_) {
+        worker_->OnTaskSpawned();
+        worker_->Trace(index_, TaskEvent::kSpawned);
+        if (worker_->spans_ != nullptr) {
+          child->set_span_id(worker_->NextSpanId());
+          worker_->Span(child->span_id(), index_, obs::SpanPhase::kSpawn,
+                        /*dur_us=*/0, /*t_us=*/-1,
+                        /*parent_task_id=*/parent->span_id());
+        }
+        AddToQueue(std::move(child));
+      }
+      split_scratch_.clear();
     }
 
     /// Filters a pull list down to the remote vertices, into the reused
@@ -566,6 +628,12 @@ class Worker {
     SCacheCounter counter_;
     std::vector<VertexId> remote_scratch_;       // comper thread only
     std::vector<VertexId> new_request_scratch_;  // comper thread only
+
+    // Split plumbing: all comper-thread-confined. iter_timer_ restarts at
+    // each Compute() call; the app polls IterationBudgetExceeded against it.
+    Timer iter_timer_;
+    bool split_requested_ = false;
+    std::vector<std::unique_ptr<TaskT>> split_scratch_;
 
     std::deque<std::unique_ptr<TaskT>> q_;  // Q_task: comper thread only
     std::atomic<size_t> q_size_{0};         // mirror for cross-thread reads
@@ -679,12 +747,14 @@ class Worker {
   /// Span-trace event (no-op unless enable_span_tracing). `t_us` < 0 means
   /// "now"; kExecute passes the slice start instead.
   void Span(uint64_t task_id, int comper, obs::SpanPhase phase,
-            int64_t dur_us = 0, int64_t t_us = -1) {
+            int64_t dur_us = 0, int64_t t_us = -1,
+            uint64_t parent_task_id = 0) {
     if (spans_ == nullptr) return;
     obs::SpanEvent e;
     e.t_us = t_us >= 0 ? t_us : hub_->NowUs();
     e.dur_us = dur_us;
     e.task_id = task_id;
+    e.parent_task_id = parent_task_id;
     e.worker = static_cast<int16_t>(id_);
     e.comper = static_cast<int16_t>(comper);
     e.phase = phase;
@@ -866,9 +936,18 @@ class Worker {
     if (deadline_hit) {
       // Pathological peer (should not happen): empty what we can reach so
       // the loss is *accounted* — tasks in abandoned batches move to the
-      // dropped column instead of silently unbalancing the ledger.
+      // dropped column instead of silently unbalancing the ledger. A
+      // zero-timeout Receive loop here used to exit on the first momentarily
+      // empty poll (and busy-spun against a slow sender otherwise); instead,
+      // poll with the normal comm timeout inside one bounded grace window so
+      // in-transit batches still land and get counted.
+      Timer grace_timer;
       MessageBatch mb;
-      while (hub_->Receive(id_, /*timeout_us=*/0, &mb)) {
+      while (grace_timer.ElapsedMicros() <= config_.drain_timeout_us) {
+        if (!hub_->Receive(id_, config_.comm_poll_us, &mb)) {
+          if (hub_->InFlightCount() == 0) break;
+          continue;
+        }
         if (mb.type == MsgType::kTaskBatch) {
           std::vector<std::string> records;
           GT_CHECK_OK(DecodeTaskBatch(mb.payload, &records));
@@ -1028,6 +1107,9 @@ class Worker {
         steal_runtime_->SetSink(nullptr);
       }
     }
+    if (config_.task_split_enabled && config_.task_split_steal_weight > 0) {
+      MaybeSplitDonation(&records);
+    }
     if (records.empty()) return;
     MessageBatch mb;
     mb.src_worker = id_;
@@ -1042,6 +1124,60 @@ class Worker {
     tasks_donated_.fetch_add(static_cast<int64_t>(records.size()),
                              std::memory_order_relaxed);
     live_tasks_.fetch_sub(static_cast<int64_t>(records.size()));
+  }
+
+  /// Steal-aware donation splitting (comm thread): a donation record whose
+  /// SplitWeight() reaches task_split_steal_weight is decomposed fanout-2
+  /// before shipping — the narrowed parent is banked back into L_file and
+  /// only the child half travels, so donor and thief each get roughly half
+  /// the candidate space. SplitWeight() returns 0 for tasks whose Γ is not
+  /// pulled yet, so splitting here never multiplies pull round-trips: a
+  /// split child carries its slice of the parent's already-pulled subgraph.
+  /// Ledger: each child is a new creation (OnTaskSpawned); the parent was
+  /// already live and stays live at home.
+  void MaybeSplitDonation(std::vector<std::string>* records) {
+    const auto threshold =
+        static_cast<uint64_t>(config_.task_split_steal_weight);
+    std::vector<std::string> ship;
+    std::vector<std::string> keep;
+    ship.reserve(records->size());
+    std::lock_guard<std::mutex> lock(steal_mutex_);
+    for (std::string& rec : *records) {
+      auto task = std::make_unique<TaskT>();
+      Deserializer des(rec);
+      if (!task->Deserialize(des).ok() ||
+          steal_comper_->SplitWeight(*task) < threshold) {
+        ship.push_back(std::move(rec));
+        continue;
+      }
+      std::vector<std::unique_ptr<TaskT>> children;
+      if (!steal_comper_->Split(task.get(), /*fanout=*/2, &children) ||
+          children.empty()) {
+        ship.push_back(std::move(rec));
+        continue;
+      }
+      split_count_->Add(1);
+      split_children_->Add(static_cast<int64_t>(children.size()));
+      split_depth_us_->Record(task->split_depth());
+      Serializer parent_ser;
+      task->Serialize(parent_ser);
+      keep.push_back(parent_ser.Release());
+      for (auto& child : children) {
+        OnTaskSpawned();
+        Serializer child_ser;
+        child->Serialize(child_ser);
+        ship.push_back(child_ser.Release());
+      }
+    }
+    if (!keep.empty()) {
+      const auto kept = static_cast<int64_t>(keep.size());
+      const std::string path = SpillWrite(std::move(keep));
+      l_file_.PushBack(path, kept);
+      // The parents hit disk like any spilled batch; counting them keeps
+      // spilled/loaded symmetric when the refill path reloads them.
+      tasks_spilled_.fetch_add(kept, std::memory_order_relaxed);
+    }
+    *records = std::move(ship);
   }
 
   void SendProgress(bool final_report) {
@@ -1348,6 +1484,9 @@ class Worker {
   obs::Counter* spill_read_bytes_ = nullptr;
   obs::Counter* refill_spill_tasks_ = nullptr;
   obs::Counter* refill_spawn_tasks_ = nullptr;
+  obs::Counter* split_count_ = nullptr;
+  obs::Counter* split_children_ = nullptr;
+  obs::Histogram* split_depth_us_ = nullptr;  // records generation, not time
 
   // output collection
   static constexpr size_t kOutputFlushRecords = 4096;

@@ -24,6 +24,7 @@ enum class SpanPhase : uint8_t {
   kExecute = 3,  // carries dur_us: one compute() iteration
   kFinish = 4,
   kLoaded = 5,
+  kSplit = 6,  // task decomposed; children link back via parent_task_id
 };
 
 inline const char* SpanPhaseName(SpanPhase phase) {
@@ -40,6 +41,8 @@ inline const char* SpanPhaseName(SpanPhase phase) {
       return "finish";
     case SpanPhase::kLoaded:
       return "loaded";
+    case SpanPhase::kSplit:
+      return "split";
   }
   return "unknown";
 }
@@ -50,6 +53,10 @@ struct SpanEvent {
   int64_t t_us = 0;
   int64_t dur_us = 0;  // only kExecute carries a duration
   uint64_t task_id = 0;
+  /// Span id of the task this one was split from (0 = not a split child):
+  /// the kSpawn of a split child and the kSplit of the parent both carry it,
+  /// so a trace viewer can stitch the decomposition tree.
+  uint64_t parent_task_id = 0;
   int16_t worker = 0;
   int16_t comper = 0;  // -1 for worker-level events
   SpanPhase phase = SpanPhase::kSpawn;
@@ -116,6 +123,10 @@ inline std::string ChromeTraceJson(const std::vector<SpanEvent>& events,
     w.BeginObject();
     w.Key("task");
     w.UInt(e.task_id);
+    if (e.parent_task_id != 0) {
+      w.Key("parent");
+      w.UInt(e.parent_task_id);
+    }
     w.EndObject();
     w.EndObject();
   }
