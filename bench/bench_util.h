@@ -91,7 +91,14 @@ struct BenchJson {
     std::map<std::string, std::string> cells;
   };
 
+  /// Version of the emitted JSON shape; bump on incompatible changes so
+  /// downstream tooling can reject documents it does not understand.
+  /// v2: added schema_version itself and the "config" echo object.
+  static constexpr int kSchemaVersion = 2;
+
   std::string bench;
+  std::map<std::string, int64_t> config_ints;     // run-config echo
+  std::map<std::string, double> config_doubles;
   std::vector<Row> rows;
 
   Row* AddRow(std::string label) {
@@ -99,11 +106,35 @@ struct BenchJson {
     return &rows.back();
   }
 
+  /// Stamps the cluster shape the bench ran with, so a result file is
+  /// self-describing and two runs are comparable without the source.
+  void EchoConfig(const JobConfig& config) {
+    config_ints["num_workers"] = config.num_workers;
+    config_ints["compers_per_worker"] = config.compers_per_worker;
+    config_ints["cache_capacity"] = config.cache_capacity;
+    config_ints["task_batch_size"] = config.task_batch_size;
+    config_ints["net_latency_us"] = config.net.latency_us;
+    config_doubles["net_bandwidth_mbps"] = config.net.bandwidth_mbps;
+  }
+
   std::string ToJson() const {
     obs::JsonWriter w;
     w.BeginObject();
+    w.Key("schema_version");
+    w.Int(kSchemaVersion);
     w.Key("bench");
     w.String(bench);
+    w.Key("config");
+    w.BeginObject();
+    for (const auto& [k, v] : config_ints) {
+      w.Key(k);
+      w.Int(v);
+    }
+    for (const auto& [k, v] : config_doubles) {
+      w.Key(k);
+      w.Double(v);
+    }
+    w.EndObject();
     w.Key("rows");
     w.BeginArray();
     for (const Row& row : rows) {

@@ -127,6 +127,7 @@ int Main(int argc, char** argv) {
 
   BenchJson doc;
   doc.bench = "split_micro";
+  doc.EchoConfig(on);
 
   struct Variant {
     const char* label;

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
 
   JobConfig gt_config = DefaultConfig();
   gt_config.time_budget_s = kBudgetS;
+  g_json.EchoConfig(gt_config);
 
   for (const std::string& name : DatasetNames()) {
     Dataset d = MakeDataset(name, kScale);

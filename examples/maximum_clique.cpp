@@ -3,6 +3,7 @@
 //
 //   ./maximum_clique [dataset] [workers] [compers] [tau]
 //                    [--report <json>] [--trace <json>] [--sample-ms <n>]
+//                    [--status-port <p>]
 //
 // e.g.  ./maximum_clique orkut 4 2 400 --report run.json --trace trace.json
 //
@@ -10,7 +11,9 @@
 // ratios, sampled time-series); --trace enables span tracing and writes a
 // Chrome trace-event file loadable in Perfetto / chrome://tracing;
 // --sample-ms sets the gauge sampling period (defaults to 50 when a report
-// is requested, otherwise off).
+// is requested, otherwise off); --status-port serves /metrics (Prometheus),
+// /status.json, and /healthz on 127.0.0.1:<p> while the job runs (-1 picks
+// an ephemeral port, printed at startup).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   std::string report_path;
   std::string trace_path;
   int64_t sample_ms = -1;
+  int status_port = 0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
@@ -40,6 +44,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
       sample_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--status-port") == 0 && i + 1 < argc) {
+      status_port = std::atoi(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   } else if (!report_path.empty()) {
     job.config.metrics_sample_ms = 50;  // sampling on by default with a report
   }
+  job.config.status_port = status_port;
   job.graph = &graph;
   job.comper_factory = [tau] {
     return std::make_unique<MaxCliqueComper>(tau);

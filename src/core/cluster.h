@@ -20,7 +20,11 @@
 #include "graph/graph.h"
 #include "graph/loader.h"
 #include "net/comm_hub.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/phase_profile.h"
 #include "obs/sampler.h"
+#include "obs/status_server.h"
 #include "storage/mini_dfs.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -134,6 +138,15 @@ class Cluster {
     const int master_id = num_workers;
     CommHub hub(num_workers + 1, config.net);
 
+    // Flight recorder: always-on bounded ring of recent structural events
+    // (capacity knob `flight_recorder_events`; 0 disables). Declared before
+    // the workers so it outlives every thread that records into it; the
+    // process-wide crash handlers dump all live recorders on a fatal check,
+    // SIGTERM/SIGINT, or (below) a time-budget exit.
+    obs::FlightRecorder::SetDumpDir(config.flight_dump_dir);
+    obs::FlightRecorder::InstallCrashHandlers();
+    obs::FlightRecorder flight(config.flight_recorder_events);
+
     std::vector<std::unique_ptr<WorkerT>> workers;
     workers.reserve(num_workers);
     for (int w = 0; w < num_workers; ++w) {
@@ -144,6 +157,7 @@ class Cluster {
       std::filesystem::create_directories(spill_root + "/w" +
                                           std::to_string(w), ec);
       GT_CHECK(!ec);
+      workers[w]->SetFlightRecorder(&flight);
       if (job.checkpoint_dfs != nullptr) {
         workers[w]->SetCheckpointDfs(job.checkpoint_dfs);
       }
@@ -169,33 +183,35 @@ class Cluster {
     // Gauge sampler (JobConfig::metrics_sample_ms): a master-side thread
     // polling each worker's cheap probes plus the hub inbox backlog into
     // bounded time-series. Reads are single relaxed atomics, so the sampler
-    // perturbs nothing; it is joined before the workers are torn down.
-    enum SeriesKind { kCacheSize, kLiveTasks, kQueueDepth, kDiskTasks,
-                      kInboxDepth, kSpillQueueDepth, kNumSeries };
-    static constexpr const char* kSeriesNames[kNumSeries] = {
-        "cache_size", "live_tasks", "queue_depth", "disk_tasks",
-        "inbox_depth", "spill_queue_depth"};
+    // perturbs nothing; it is joined before the workers are torn down. The
+    // sampled set (names and probe order) is obs::kWorkerSampledGauges.
+    constexpr size_t kNumSeries = obs::kNumWorkerSampledGauges;
     std::vector<std::vector<obs::BoundedSeries>> sampled(num_workers);
     std::atomic<bool> sampler_stop{false};
     std::thread sampler;
     if (config.metrics_sample_ms > 0) {
       for (int w = 0; w < num_workers; ++w) {
         sampled[w].reserve(kNumSeries);
-        for (int s = 0; s < kNumSeries; ++s) {
-          sampled[w].emplace_back(kSeriesNames[s], w);
+        for (size_t s = 0; s < kNumSeries; ++s) {
+          sampled[w].emplace_back(obs::kWorkerSampledGauges[s], w);
         }
       }
       sampler = std::thread([&] {
         while (!sampler_stop.load(std::memory_order_acquire)) {
           const int64_t t = hub.NowUs();
           for (int w = 0; w < num_workers; ++w) {
-            sampled[w][kCacheSize].Append(t, workers[w]->SampleCacheSize());
-            sampled[w][kLiveTasks].Append(t, workers[w]->SampleLiveTasks());
-            sampled[w][kQueueDepth].Append(t, workers[w]->SampleQueueDepth());
-            sampled[w][kDiskTasks].Append(t, workers[w]->SampleDiskTasks());
-            sampled[w][kInboxDepth].Append(t, hub.InboxDepth(w));
-            sampled[w][kSpillQueueDepth].Append(
-                t, workers[w]->SampleSpillQueueDepth());
+            // Probe order must match obs::kWorkerSampledGauges.
+            const int64_t values[kNumSeries] = {
+                workers[w]->SampleCacheSize(),
+                workers[w]->SampleLiveTasks(),
+                workers[w]->SampleQueueDepth(),
+                workers[w]->SampleDiskTasks(),
+                hub.InboxDepth(w),
+                workers[w]->SampleSpillQueueDepth(),
+            };
+            for (size_t s = 0; s < kNumSeries; ++s) {
+              sampled[w][s].Append(t, values[s]);
+            }
           }
           std::this_thread::sleep_for(
               std::chrono::milliseconds(config.metrics_sample_ms));
@@ -208,6 +224,137 @@ class Cluster {
     JobStats& stats = out.stats;
     Timer wall;
     Timer ckpt_timer;
+
+    // Live status endpoint (knob `status_port`; 0 = off, -1 = ephemeral).
+    // Both snapshot callbacks read only relaxed-atomic probes and
+    // mutex-frozen registry snapshots, so a scrape never perturbs the run.
+    // Stopped explicitly before the workers are destroyed.
+    obs::StatusServer status_server(
+        [&]() {
+          std::vector<obs::MetricsSnapshot> snaps;
+          snaps.reserve(static_cast<size_t>(num_workers) + 2);
+          for (auto& worker : workers) {
+            snaps.push_back(worker->MetricsSnapshot());
+          }
+          snaps.push_back(hub.MetricsSnapshot());
+          // Synthesized job scope: the same cheap probes the gauge sampler
+          // polls, exported live so dashboards get queue/cache/task depth
+          // without deriving them from per-worker internals.
+          obs::MetricsSnapshot job;
+          job.scope = "job";
+          job.gauges.emplace_back("uptime_us", wall.ElapsedMicros());
+          for (int w = 0; w < num_workers; ++w) {
+            const auto s = workers[w]->SampleLiveStatus();
+            const std::string l = "{worker=" + std::to_string(w) + "}";
+            job.gauges.emplace_back("tasks_live" + l, s.live_tasks);
+            job.gauges.emplace_back("queue_depth" + l, s.queue_depth);
+            job.gauges.emplace_back("disk_tasks" + l, s.disk_tasks);
+            job.gauges.emplace_back("cache_size" + l, s.cache_size);
+            job.gauges.emplace_back("inbox_depth" + l, hub.InboxDepth(w));
+          }
+          snaps.push_back(std::move(job));
+          return snaps;
+        },
+        [&]() {
+          obs::JsonWriter w;
+          w.BeginObject();
+          w.Key("job");
+          w.String("gthinker");
+          w.Key("uptime_s");
+          w.Double(wall.ElapsedSeconds());
+          w.Key("num_workers");
+          w.Int(num_workers);
+          int64_t live = 0, pending = 0, disk = 0, cache_entries = 0;
+          int64_t hits = 0, requests = 0;
+          int64_t spawned = 0, finished = 0, spilled = 0, stolen = 0;
+          int64_t splits = 0;
+          w.Key("workers");
+          w.BeginArray();
+          for (int wi = 0; wi < num_workers; ++wi) {
+            const auto s = workers[wi]->SampleLiveStatus();
+            live += s.live_tasks;
+            pending += s.queue_depth;
+            disk += s.disk_tasks;
+            cache_entries += s.cache_size;
+            hits += s.cache_hits;
+            requests += s.cache_requests;
+            spawned += s.tasks_spawned;
+            finished += s.tasks_finished;
+            spilled += s.spilled_batches;
+            stolen += s.stolen_batches;
+            splits += s.splits;
+            w.BeginObject();
+            w.Key("worker");
+            w.Int(wi);
+            w.Key("tasks_live");
+            w.Int(s.live_tasks);
+            w.Key("queue_depth");
+            w.Int(s.queue_depth);
+            w.Key("disk_tasks");
+            w.Int(s.disk_tasks);
+            w.Key("spill_queue_depth");
+            w.Int(s.spill_queue_depth);
+            w.Key("cache_size");
+            w.Int(s.cache_size);
+            w.Key("inbox_depth");
+            w.Int(hub.InboxDepth(wi));
+            w.Key("peak_mem_bytes");
+            w.Int(s.peak_mem_bytes);
+            w.Key("comper_utilization");
+            w.Double(s.comper_rounds > 0
+                         ? 1.0 - static_cast<double>(s.comper_idle_rounds) /
+                                     static_cast<double>(s.comper_rounds)
+                         : 0.0);
+            w.EndObject();
+          }
+          w.EndArray();
+          w.Key("tasks");
+          w.BeginObject();
+          w.Key("live");
+          w.Int(live);
+          w.Key("pending");
+          w.Int(pending);
+          w.Key("spilled");
+          w.Int(disk);
+          w.EndObject();
+          w.Key("cache");
+          w.BeginObject();
+          w.Key("entries");
+          w.Int(cache_entries);
+          w.Key("hit_rate");
+          w.Double(requests > 0 ? static_cast<double>(hits) /
+                                      static_cast<double>(requests)
+                                : 0.0);
+          w.EndObject();
+          w.Key("activity");
+          w.BeginObject();
+          w.Key("tasks_spawned");
+          w.Int(spawned);
+          w.Key("tasks_finished");
+          w.Int(finished);
+          w.Key("spilled_batches");
+          w.Int(spilled);
+          w.Key("stolen_batches");
+          w.Int(stolen);
+          w.Key("splits");
+          w.Int(splits);
+          w.Key("steal_orders");
+          w.Int(hub.SentCount(MsgType::kStealOrder));
+          w.EndObject();
+          w.EndObject();
+          return w.Take();
+        });
+    if (config.status_port != 0) {
+      const Status bound = status_server.Start(config.status_port);
+      if (bound.ok()) {
+        stats.status_port = status_server.port();
+        LOG_INFO << "status server listening on 127.0.0.1:"
+                 << stats.status_port;
+      } else {
+        // A busy port must not kill the job; it just runs unobserved.
+        LOG_ERROR << "status server: " << bound.ToString();
+      }
+    }
 
     std::vector<ProgressReport> latest(num_workers);
     std::vector<bool> fresh(num_workers, false);
@@ -346,6 +493,11 @@ class Cluster {
           wall.ElapsedSeconds() > config.time_budget_s) {
         stats.timed_out = true;
         terminate = true;
+        // A budget exit is a diagnosis moment: dump the recent event history
+        // so the state that failed to converge is inspectable post-mortem.
+        flight.Record(obs::FlightKind::kTimeout, /*worker=*/-1, /*comper=*/-1,
+                      static_cast<int64_t>(wall.ElapsedSeconds()));
+        obs::FlightRecorder::WriteCrashDump("timeout");
       }
 
       if (!terminate && config.checkpoint_interval_us > 0 &&
@@ -463,6 +615,19 @@ class Cluster {
     }
     stats.metrics.push_back(hub.MetricsSnapshot());
 
+    // Split/lineage roll-up across the per-worker registries (satellite of
+    // the big-task decomposition work: how much splitting actually happened).
+    for (const obs::MetricsSnapshot& snap : stats.metrics) {
+      const int64_t splits = snap.CounterValue("split.count");
+      if (splits > 0) stats.splits += splits;
+      const int64_t children = snap.CounterValue("split.children");
+      if (children > 0) stats.split_children += children;
+      if (const obs::HistogramSnapshot* depth =
+              snap.FindHistogram("split.depth")) {
+        stats.split_depth_max = std::max(stats.split_depth_max, depth->max);
+      }
+    }
+
     // Task-conservation verdict. The final reports are taken after every
     // worker has quiesced and drained, so the summed ledger must account for
     // every task ever created; any residue is a silently lost (or
@@ -518,6 +683,14 @@ class Cluster {
                 });
     }
 
+    // Phase-attribution profile: where every comper's wall time went, from
+    // the disjoint loop timers, plus the straggler table mined from execute
+    // spans (empty unless span tracing was on).
+    if (config.enable_phase_profile) {
+      stats.phases = obs::BuildPhaseProfile(stats.metrics, stats.spans);
+    }
+
+    status_server.Stop();
     workers.clear();
     if (own_spill_root) RemoveTree(spill_root);
 

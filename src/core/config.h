@@ -10,6 +10,7 @@
 #include "core/trace.h"
 #include "net/message.h"
 #include "obs/metrics.h"
+#include "obs/phase_profile.h"
 #include "obs/sampler.h"
 #include "obs/span_trace.h"
 #include "util/status.h"
@@ -135,6 +136,25 @@ struct JobConfig {
   std::string report_path;
   /// When non-empty (and enable_span_tracing), writes the Chrome trace here.
   std::string trace_path;
+  /// Live status server (obs/status_server.h): 0 = off, > 0 = bind that
+  /// port on 127.0.0.1, -1 = ephemeral port (tests; discover via
+  /// JobStats::status_port or obs::StatusServer::Current()). Serves
+  /// /metrics (Prometheus), /status.json and /healthz for the duration of
+  /// Cluster::Run.
+  int status_port = 0;
+  /// Capacity (events per job) of the always-on flight recorder ring
+  /// (obs/flight_recorder.h); 0 disables it. Recent scheduler transitions
+  /// are dumped to JSON on fatal ledger violations, timeout exits and
+  /// SIGTERM/SIGINT.
+  int64_t flight_recorder_events = 4096;
+  /// Directory for flight-recorder crash dumps; empty = the
+  /// GT_FLIGHT_DUMP_DIR environment variable, else stderr.
+  std::string flight_dump_dir;
+  /// Record per-comper phase timers (compute / pull-wait / queue-wait /
+  /// spill / steal) and emit the post-run phase-attribution profile
+  /// (JobStats::phases, report "phases" section). Costs one clock read per
+  /// idle round; on by default.
+  bool enable_phase_profile = true;
 
   // ---- durability ----
   /// Directory for task spill files; empty = fresh temp dir per job.
@@ -239,6 +259,12 @@ struct JobConfig {
     if (metrics_sample_ms < 0) {
       return Status::InvalidArgument("metrics_sample_ms must be >= 0");
     }
+    if (status_port < -1 || status_port > 65535) {
+      return Status::InvalidArgument("status_port out of [-1, 65535]");
+    }
+    if (flight_recorder_events < 0) {
+      return Status::InvalidArgument("flight_recorder_events must be >= 0");
+    }
     if (!trace_path.empty() && !enable_span_tracing) {
       return Status::InvalidArgument(
           "trace_path needs enable_span_tracing");
@@ -275,6 +301,12 @@ struct JobStats {
   int64_t cache_requests = 0;
   /// kStealOrder batches the master issued, for StealEfficiency().
   int64_t steal_orders = 0;
+
+  // Big-task decomposition activity, summed over workers (PR 6 counters
+  // split.count / split.children; max depth from the split.depth histogram).
+  int64_t splits = 0;
+  int64_t split_children = 0;
+  int64_t split_depth_max = 0;
 
   // Wire totals from the hub.
   int64_t batches_sent = 0;
@@ -313,6 +345,13 @@ struct JobStats {
   /// when enable_span_tracing); span_events_total counts all recorded.
   std::vector<obs::SpanEvent> spans;
   int64_t span_events_total = 0;
+  /// Post-run phase-attribution profile (only when enable_phase_profile):
+  /// per-worker / per-comper compute vs. wait decomposition plus straggler
+  /// table; also serialized as the report's "phases" section.
+  obs::PhaseProfile phases;
+  /// Bound status-server port for this run (0 when the server was off or
+  /// failed to bind); resolves the -1 ephemeral knob to the real port.
+  int status_port = 0;
 
   // ---- derived health indicators ----
   /// Fraction of VertexCache lookups served from Γ-table, [0,1]; -1 when no
@@ -400,6 +439,15 @@ inline std::string JobStats::Summary() const {
                 static_cast<long long>(max_peak_mem_bytes),
                 static_cast<long long>(records_output));
   s += line;
+  std::snprintf(line, sizeof(line),
+                "splits: %lld (%lld children, max depth %lld); live at exit: "
+                "%lld\n",
+                static_cast<long long>(splits),
+                static_cast<long long>(split_children),
+                static_cast<long long>(split_depth_max),
+                static_cast<long long>(tasks_live_at_exit));
+  s += line;
+  if (!phases.empty()) s += phases.HumanTable();
   return s;
 }
 

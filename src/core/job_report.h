@@ -51,12 +51,22 @@ inline obs::JobReport MakeJobReport(const std::string& job_name,
   report.ints["drained_messages"] = stats.drained_messages;
   report.ints["span_events_total"] = stats.span_events_total;
   report.ints["trace_events_total"] = stats.trace_events_total;
+  report.ints["splits"] = stats.splits;
+  report.ints["split_children"] = stats.split_children;
+  report.ints["split_depth_max"] = stats.split_depth_max;
+  report.ints["tasks_live_at_exit"] = stats.tasks_live_at_exit;
+  report.ints["status_port"] = stats.status_port;
 
   // -- derived health ratios --
   std::map<std::string, double> cluster;
   cluster["cache_hit_rate"] = stats.CacheHitRate();
   cluster["steal_efficiency"] = stats.StealEfficiency();
   cluster["comper_utilization"] = stats.ComperUtilization();
+  if (stats.splits > 0) {
+    // Average fan-out of a split: children produced per split decision.
+    cluster["split_fanout"] = static_cast<double>(stats.split_children) /
+                              static_cast<double>(stats.splits);
+  }
   report.derived.emplace_back("cluster", std::move(cluster));
   // Per-worker health ratios from each worker's own registry snapshot:
   // cache hit rate, plus bucket-lock contention per cache op (how often the
@@ -78,6 +88,7 @@ inline obs::JobReport MakeJobReport(const std::string& job_name,
 
   report.metrics = stats.metrics;
   report.series = stats.timeseries;
+  report.phases = stats.phases;
   return report;
 }
 

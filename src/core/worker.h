@@ -24,6 +24,7 @@
 #include "core/response_cache.h"
 #include "core/vertex_cache.h"
 #include "net/comm_hub.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span_trace.h"
 #include "storage/async_spill.h"
@@ -83,6 +84,7 @@ class Worker {
     split_count_ = metrics_.GetCounter("split.count");
     split_children_ = metrics_.GetCounter("split.children");
     split_depth_us_ = metrics_.GetHistogram("split.depth");
+    phase_steal_us_ = metrics_.GetCounter("phase.steal_us");
     if (config_.spill_async) {
       spill_io_ = std::make_unique<AsyncSpillIo>(&l_file_);
       // Disk timings land in the same histograms the synchronous path
@@ -219,6 +221,17 @@ class Worker {
       user_->BindRuntime(this);
       compute_us_ = worker_->metrics_.GetHistogram(
           "comper.compute_iter_us", "comper=" + std::to_string(index));
+      if (worker_->config_.enable_phase_profile) {
+        const std::string label = "comper=" + std::to_string(index);
+        phase_compute_ = worker_->metrics_.GetCounter("phase.compute_us",
+                                                      label);
+        phase_pull_wait_ =
+            worker_->metrics_.GetCounter("phase.pull_wait_us", label);
+        phase_queue_wait_ =
+            worker_->metrics_.GetCounter("phase.queue_wait_us", label);
+        phase_spill_ = worker_->metrics_.GetCounter("phase.spill_us", label);
+        phase_loop_ = worker_->metrics_.GetCounter("phase.loop_us", label);
+      }
     }
 
     // ---- Comper<>::Runtime ----
@@ -256,8 +269,20 @@ class Worker {
     /// Mining-thread body: each round runs push() then (gates permitting)
     /// pop() (paper §V-B "Algorithm of a Comper").
     void Loop() {
+      const bool phases = phase_loop_ != nullptr;
+      Timer loop_timer;
+      Timer wait_timer;
       while (!worker_->stop_compers_.load(std::memory_order_acquire)) {
-        worker_->MaybePark();
+        if (phases && worker_->pause_.load(std::memory_order_acquire)) {
+          // Checkpoint park: accounted as queue-wait (nothing runnable by
+          // decree, not for lack of work, but it is still non-compute wall
+          // time of this comper).
+          wait_timer.Restart();
+          worker_->MaybePark();
+          phase_queue_wait_->Add(wait_timer.ElapsedMicros());
+        } else {
+          worker_->MaybePark();
+        }
         rounds_.fetch_add(1, std::memory_order_relaxed);
         bool did = Push();
         if (CanPop()) did = Pop() || did;
@@ -265,9 +290,20 @@ class Worker {
           // A round that processed nothing = CPU idle time, the quantity
           // G-thinker's design minimizes (paper §I). Reported per job.
           idle_rounds_.fetch_add(1, std::memory_order_relaxed);
-          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          if (phases) {
+            // Idle with tasks parked in T_task = waiting on remote pulls;
+            // idle with nothing in flight = starved queue (imbalance/drain).
+            wait_timer.Restart();
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            (t_size_.load(std::memory_order_relaxed) > 0 ? phase_pull_wait_
+                                                         : phase_queue_wait_)
+                ->Add(wait_timer.ElapsedMicros());
+          } else {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+          }
         }
       }
+      if (phases) phase_loop_->Add(loop_timer.ElapsedMicros());
       worker_->cache_.FlushCounter(&counter_);
       // Tells the comm thread's shutdown drain that this mining thread can
       // no longer originate vertex requests or donations.
@@ -389,6 +425,7 @@ class Worker {
       while (q_.size() < target) {
         if (worker_->config_.refill_spawn_first && SpawnBatch()) continue;
         if (auto file = worker_->l_file_.TryPopFront()) {
+          Timer spill_timer;
           std::vector<std::string> records;
           GT_CHECK_OK(worker_->SpillFetch(file->path, &records));
           GT_CHECK_EQ(static_cast<int64_t>(records.size()), file->records)
@@ -412,6 +449,11 @@ class Worker {
           worker_->refill_spill_tasks_->Add(
               static_cast<int64_t>(records.size()));
           worker_->Trace(index_, TaskEvent::kLoadedBatch);
+          if (phase_spill_ != nullptr) {
+            phase_spill_->Add(spill_timer.ElapsedMicros());
+          }
+          worker_->Flight(obs::FlightKind::kSpillLoad, index_,
+                          static_cast<int64_t>(records.size()));
           continue;
         }
         if (worker_->config_.refill_spawn_first) break;
@@ -434,6 +476,8 @@ class Worker {
         user_->TaskSpawn(worker_->local_.at(v));  // UDF; calls AddTask
       }
       worker_->refill_spawn_tasks_->Add(static_cast<int64_t>(to_spawn.size()));
+      worker_->Flight(obs::FlightKind::kSpawnBatch, index_,
+                      static_cast<int64_t>(to_spawn.size()));
       return true;
     }
 
@@ -445,6 +489,7 @@ class Worker {
       const size_t cap =
           batch * worker_->config_.task_queue_capacity_batches;
       if (q_.size() >= cap) {
+        Timer spill_timer;
         std::vector<std::string> records(batch);
         for (size_t i = 0; i < batch; ++i) {
           std::unique_ptr<TaskT> victim = std::move(q_.back());
@@ -461,6 +506,11 @@ class Worker {
         worker_->tasks_spilled_.fetch_add(static_cast<int64_t>(batch),
                                           std::memory_order_relaxed);
         worker_->Trace(index_, TaskEvent::kSpilledBatch);
+        if (phase_spill_ != nullptr) {
+          phase_spill_->Add(spill_timer.ElapsedMicros());
+        }
+        worker_->Flight(obs::FlightKind::kSpillWrite, index_,
+                        static_cast<int64_t>(batch));
       }
       q_.push_back(std::move(task));
       q_size_.store(q_.size(), std::memory_order_release);
@@ -552,6 +602,7 @@ class Worker {
       const bool more = user_->Compute(task.get(), frontier);
       const int64_t compute_us = compute_timer.ElapsedMicros();
       compute_us_->Record(compute_us);
+      if (phase_compute_ != nullptr) phase_compute_->Add(compute_us);
       worker_->Trace(index_, TaskEvent::kExecuted);
       if (worker_->spans_ != nullptr) {
         // Stamp the slice at its start so the viewer draws [start, start+dur].
@@ -594,6 +645,9 @@ class Worker {
           static_cast<int64_t>(split_scratch_.size()));
       // Split() bumps the generation; parent and children now share it.
       worker_->split_depth_us_->Record(parent->split_depth());
+      worker_->Flight(obs::FlightKind::kSplit, index_,
+                      static_cast<int64_t>(split_scratch_.size()),
+                      static_cast<int64_t>(parent->split_depth()));
       if (worker_->spans_ != nullptr) {
         worker_->Span(parent->span_id(), index_, obs::SpanPhase::kSplit);
       }
@@ -646,6 +700,16 @@ class Worker {
     std::atomic<int64_t> idle_rounds_{0};
     std::atomic<int64_t> rounds_{0};
     obs::Histogram* compute_us_ = nullptr;  // owned by worker_->metrics_
+    // Phase-attribution counters (obs/phase_profile.h); null when
+    // enable_phase_profile is off. Disjoint by construction: every loop
+    // microsecond lands in at most one of compute/pull_wait/queue_wait/
+    // spill, and phase.loop_us (recorded once at exit) is the total their
+    // sum is reconciled against.
+    obs::Counter* phase_compute_ = nullptr;
+    obs::Counter* phase_pull_wait_ = nullptr;
+    obs::Counter* phase_queue_wait_ = nullptr;
+    obs::Counter* phase_spill_ = nullptr;
+    obs::Counter* phase_loop_ = nullptr;
   };
 
   // =======================================================================
@@ -759,6 +823,14 @@ class Worker {
     e.comper = static_cast<int16_t>(comper);
     e.phase = phase;
     spans_->Record(e);
+  }
+
+  /// Flight-recorder event (no-op until the cluster wires a recorder).
+  /// Hub-clock timestamps so flight events interleave correctly with spans.
+  void Flight(obs::FlightKind kind, int comper, int64_t a = 0, int64_t b = 0) {
+    if (flight_ != nullptr) {
+      flight_->Record(kind, id_, comper, a, b, hub_->NowUs());
+    }
   }
 
   /// Globally-unique span identity: worker in the high 16 bits, a local
@@ -905,10 +977,12 @@ class Worker {
   /// of evaporating in a dropped inbox (the old behavior on the
   /// time_budget_s timeout path).
   void DrainAndReport() {
+    Flight(obs::FlightKind::kDrain, -1, /*phase=*/0);  // quiescing compers
     while (compers_running_.load(std::memory_order_acquire) > 0) {
       PumpOneDrainMessage();  // keep the wire moving while compers wind down
     }
     FlushAllRequests();
+    Flight(obs::FlightKind::kDrain, -1, /*phase=*/1);  // barrier sent
     MessageBatch barrier;
     barrier.src_worker = id_;
     barrier.dst_worker = master_id_;
@@ -933,6 +1007,7 @@ class Worker {
         break;
       }
     }
+    Flight(obs::FlightKind::kDrain, -1, /*phase=*/deadline_hit ? 3 : 2);
     if (deadline_hit) {
       // Pathological peer (should not happen): empty what we can reach so
       // the loss is *accounted* — tasks in abandoned batches move to the
@@ -961,6 +1036,7 @@ class Worker {
       }
     }
     if (!output_dir_.empty()) FinalFlushOutput();
+    Flight(obs::FlightKind::kDrain, -1, /*phase=*/4);  // final report
     SendProgress(/*final_report=*/true);
     final_sent_.store(true, std::memory_order_release);
   }
@@ -1037,6 +1113,7 @@ class Worker {
           l_file_.PushBack(path, count);
           stolen_batches_.fetch_add(1, std::memory_order_relaxed);
           Trace(-1, TaskEvent::kStolenBatch);
+          Flight(obs::FlightKind::kStealReceive, -1, count, mb.src_worker);
         }
         break;
       }
@@ -1044,7 +1121,13 @@ class Worker {
         int32_t dst = -1;
         int64_t order_t_us = 0;
         GT_CHECK_OK(DecodeStealOrder(mb.payload, &dst, &order_t_us));
+        // Donation packing happens on the comm thread; its cost shows up as
+        // the worker row's steal phase, not in any comper's loop.
+        Timer steal_timer;
         DonateTasks(dst, order_t_us);
+        if (config_.enable_phase_profile) {
+          phase_steal_us_->Add(steal_timer.ElapsedMicros());
+        }
         break;
       }
       case MsgType::kAggregatorSync: {
@@ -1067,6 +1150,7 @@ class Worker {
         break;
       }
       case MsgType::kTerminate: {
+        Flight(obs::FlightKind::kTerminate, -1);
         stop_compers_.store(true, std::memory_order_release);
         break;
       }
@@ -1124,6 +1208,8 @@ class Worker {
     tasks_donated_.fetch_add(static_cast<int64_t>(records.size()),
                              std::memory_order_relaxed);
     live_tasks_.fetch_sub(static_cast<int64_t>(records.size()));
+    Flight(obs::FlightKind::kStealDonate, -1,
+           static_cast<int64_t>(records.size()), dst);
   }
 
   /// Steal-aware donation splitting (comm thread): a donation record whose
@@ -1159,6 +1245,9 @@ class Worker {
       split_count_->Add(1);
       split_children_->Add(static_cast<int64_t>(children.size()));
       split_depth_us_->Record(task->split_depth());
+      Flight(obs::FlightKind::kSplit, -1,
+             static_cast<int64_t>(children.size()),
+             static_cast<int64_t>(task->split_depth()));
       Serializer parent_ser;
       task->Serialize(parent_ser);
       keep.push_back(parent_ser.Release());
@@ -1231,6 +1320,10 @@ class Worker {
     report.ledger.dropped = tasks_dropped_.load(std::memory_order_relaxed);
     report.tasks_live = live_tasks_.load();
     report.tasks_on_disk = l_file_.TotalRecords();
+    // Ledger delta at progress cadence: a crash dump shows the conservation
+    // trajectory (expected vs observed live) right up to the violation.
+    Flight(obs::FlightKind::kLedger, -1, report.ledger.ExpectedLive(),
+           report.tasks_live);
     report.drained_messages =
         drained_messages_.load(std::memory_order_relaxed);
     {
@@ -1299,6 +1392,7 @@ class Worker {
     const std::string key = "ckpt/" + std::to_string(epoch) + "/worker_" +
                             std::to_string(id_);
     GT_CHECK_OK(checkpoint_dfs_->Put(key, ser.Release()));
+    Flight(obs::FlightKind::kCheckpoint, -1, static_cast<int64_t>(epoch));
     // Cut the aggregator delta for the ack while the compers are still
     // parked: everything committed so far is pre-snapshot by quiescence.
     // Releasing first opened a race where a resumed comper finished a task
@@ -1342,6 +1436,12 @@ class Worker {
   /// Wires the DFS used for checkpoints (set by the cluster before Start).
   void SetCheckpointDfs(MiniDfs* dfs) { checkpoint_dfs_ = dfs; }
 
+  /// Wires the job's flight recorder (set by the cluster before Start; the
+  /// recorder must outlive the worker's threads).
+  void SetFlightRecorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
   /// Enables Comper::Output, writing record batches under `dir`.
   void SetOutputDir(std::string dir) { output_dir_ = std::move(dir); }
 
@@ -1368,6 +1468,50 @@ class Worker {
   }
   int64_t SampleSpillQueueDepth() const {
     return spill_io_ != nullptr ? spill_io_->QueueDepth() : 0;
+  }
+
+  /// Point-in-time progress of this worker for the live status server.
+  /// Every field is one (or a few) relaxed atomic reads — safe to call from
+  /// the serving thread at any moment during the run.
+  struct LiveStatus {
+    int64_t live_tasks = 0;
+    int64_t queue_depth = 0;
+    int64_t disk_tasks = 0;
+    int64_t spill_queue_depth = 0;
+    int64_t cache_size = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_requests = 0;
+    int64_t comper_idle_rounds = 0;
+    int64_t comper_rounds = 0;
+    int64_t tasks_spawned = 0;
+    int64_t tasks_finished = 0;
+    int64_t spilled_batches = 0;
+    int64_t stolen_batches = 0;
+    int64_t splits = 0;
+    int64_t peak_mem_bytes = 0;
+  };
+
+  LiveStatus SampleLiveStatus() const {
+    LiveStatus s;
+    s.live_tasks = SampleLiveTasks();
+    s.queue_depth = SampleQueueDepth();
+    s.disk_tasks = SampleDiskTasks();
+    s.spill_queue_depth = SampleSpillQueueDepth();
+    s.cache_size = SampleCacheSize();
+    s.cache_hits = cache_.stats().hits.load(std::memory_order_relaxed);
+    s.cache_requests =
+        cache_.stats().requests.load(std::memory_order_relaxed);
+    for (const auto& engine : engines_) {
+      s.comper_idle_rounds += engine->IdleRounds();
+      s.comper_rounds += engine->Rounds();
+    }
+    s.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    s.tasks_finished = tasks_finished_.load(std::memory_order_relaxed);
+    s.spilled_batches = spilled_batches_.load(std::memory_order_relaxed);
+    s.stolen_batches = stolen_batches_.load(std::memory_order_relaxed);
+    s.splits = split_count_->value();
+    s.peak_mem_bytes = mem_.peak();
+    return s;
   }
 
   /// Folds the cache's internal counters (kept as plain atomics on the hot
@@ -1487,6 +1631,10 @@ class Worker {
   obs::Counter* split_count_ = nullptr;
   obs::Counter* split_children_ = nullptr;
   obs::Histogram* split_depth_us_ = nullptr;  // records generation, not time
+  /// Comm-thread donation-packing time (worker row of the phase profile).
+  obs::Counter* phase_steal_us_ = nullptr;
+  /// Job flight recorder (owned by the cluster); null until wired.
+  obs::FlightRecorder* flight_ = nullptr;
 
   // output collection
   static constexpr size_t kOutputFlushRecords = 4096;

@@ -10,6 +10,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/phase_profile.h"
 #include "obs/sampler.h"
 #include "obs/span_trace.h"
 #include "util/status.h"
@@ -34,6 +35,9 @@ struct JobReport {
   /// metric name.
   std::vector<std::pair<std::string, std::map<std::string, double>>> derived;
   std::vector<TimeSeries> series;
+  /// Per-worker/per-comper wall-time attribution + straggler table; omitted
+  /// from the JSON when empty (phase profiling disabled).
+  PhaseProfile phases;
 
   std::string ToJson() const {
     JsonWriter w;
@@ -65,6 +69,11 @@ struct JobReport {
       w.EndObject();
     }
     w.EndObject();
+
+    if (!phases.empty()) {
+      w.Key("phases");
+      phases.WriteJson(&w);
+    }
 
     w.Key("metrics");
     w.BeginArray();
@@ -123,7 +132,8 @@ struct JobReport {
     out->doubles.clear();
     out->strings.clear();
     for (const auto& [key, value] : root.object) {
-      if (key == "derived" || key == "metrics" || key == "timeseries") {
+      if (key == "derived" || key == "metrics" || key == "timeseries" ||
+          key == "phases") {
         continue;
       }
       if (key == "job") {

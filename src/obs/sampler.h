@@ -8,6 +8,18 @@
 
 namespace gthinker::obs {
 
+/// Gauge names the cluster's sampler thread probes per worker, in probe
+/// order. This is the single source of truth for the sampled set: the
+/// cluster indexes its series buffers by position here, and tests derive
+/// the expected `timeseries` count (workers x this) from its size instead
+/// of hardcoding it.
+inline constexpr const char* kWorkerSampledGauges[] = {
+    "cache_size",  "live_tasks",  "queue_depth",
+    "disk_tasks",  "inbox_depth", "spill_queue_depth",
+};
+inline constexpr size_t kNumWorkerSampledGauges =
+    sizeof(kWorkerSampledGauges) / sizeof(kWorkerSampledGauges[0]);
+
 /// One sampled time-series: (t_us, value) points for a named gauge of one
 /// worker (worker -1 = cluster/hub scope).
 struct TimeSeries {

@@ -1,0 +1,103 @@
+#ifndef GTHINKER_OBS_STATUS_SERVER_H_
+#define GTHINKER_OBS_STATUS_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/http_server.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "util/status.h"
+
+namespace gthinker::obs {
+
+/// Live introspection endpoint for a running job, composed over the generic
+/// net::HttpServer:
+///   GET /metrics      Prometheus text exposition of all live registries
+///   GET /status.json  job progress snapshot (built by the cluster)
+///   GET /healthz      "ok" liveness probe
+///   GET /             tiny plain-text index of the above
+///
+/// The cluster owns the server for the duration of Cluster::Run and supplies
+/// the two snapshot callbacks; both must stay callable until Stop returns.
+/// Port semantics follow the `status_port` knob: > 0 binds that port, -1
+/// asks the kernel for an ephemeral one (tests; discover it via port() or
+/// Current()). 0 means "off" and is handled by the caller, not here.
+class StatusServer {
+ public:
+  using MetricsFn = std::function<std::vector<MetricsSnapshot>()>;
+  using StatusJsonFn = std::function<std::string()>;
+
+  StatusServer(MetricsFn metrics_fn, StatusJsonFn status_fn)
+      : metrics_fn_(std::move(metrics_fn)), status_fn_(std::move(status_fn)) {
+    server_.Route("/metrics", [this] {
+      net::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = RenderPrometheus(metrics_fn_());
+      return resp;
+    });
+    server_.Route("/status.json", [this] {
+      net::HttpResponse resp;
+      resp.content_type = "application/json";
+      resp.body = status_fn_();
+      return resp;
+    });
+    server_.Route("/healthz", [] {
+      net::HttpResponse resp;
+      resp.body = "ok\n";
+      return resp;
+    });
+    server_.Route("/", [] {
+      net::HttpResponse resp;
+      resp.body = "gthinker status server\n/metrics\n/status.json\n/healthz\n";
+      return resp;
+    });
+  }
+
+  ~StatusServer() { Stop(); }
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  Status Start(int status_port) {
+    const int port = status_port < 0 ? 0 : status_port;
+    GT_RETURN_IF_ERROR(server_.Start(port));
+    CurrentSlot().store(this, std::memory_order_release);
+    return Status::Ok();
+  }
+
+  void Stop() {
+    StatusServer* self = this;
+    CurrentSlot().compare_exchange_strong(self, nullptr,
+                                          std::memory_order_acq_rel);
+    server_.Stop();
+  }
+
+  /// The bound port, valid after a successful Start (resolves ephemeral -1).
+  int port() const { return server_.port(); }
+
+  /// The most recently started live server in this process (nullptr when
+  /// none) — lets tests and embedding code discover an ephemeral port
+  /// without plumbing it through job results. With concurrent jobs the last
+  /// Start wins; each job still owns its own server instance.
+  static StatusServer* Current() {
+    return CurrentSlot().load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::atomic<StatusServer*>& CurrentSlot() {
+    static std::atomic<StatusServer*> current{nullptr};
+    return current;
+  }
+
+  MetricsFn metrics_fn_;
+  StatusJsonFn status_fn_;
+  net::HttpServer server_;
+};
+
+}  // namespace gthinker::obs
+
+#endif  // GTHINKER_OBS_STATUS_SERVER_H_

@@ -11,6 +11,8 @@ namespace gthinker {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<FatalHook> g_fatal_hook{nullptr};
+std::atomic<bool> g_fatal_hook_fired{false};
 std::mutex g_log_mutex;
 
 const char* LevelTag(LogLevel level) {
@@ -39,6 +41,10 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetFatalHook(FatalHook hook) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -59,6 +65,12 @@ LogMessage::~LogMessage() {
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
+    // One shot: a fatal raised while the hook itself runs must not recurse.
+    if (!g_fatal_hook_fired.exchange(true, std::memory_order_acq_rel)) {
+      if (FatalHook hook = g_fatal_hook.load(std::memory_order_acquire)) {
+        hook(line.c_str());
+      }
+    }
     std::abort();
   }
 }

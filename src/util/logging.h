@@ -19,6 +19,13 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Called with the formatted log line just before a kFatal message aborts
+/// the process; gives subsystems (e.g. the flight recorder) one chance to
+/// dump diagnostic state. The hook runs at most once per process — nested
+/// fatals inside the hook skip straight to abort. nullptr clears it.
+using FatalHook = void (*)(const char* message);
+void SetFatalHook(FatalHook hook);
+
 namespace internal_logging {
 
 /// Stream-style log line collector. Emits (thread-safely) on destruction;

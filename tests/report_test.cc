@@ -77,8 +77,10 @@ TEST(JobReportE2E, ObservedRunProducesFullReportAndTrace) {
 
   // ---- sampled time-series ----
   ASSERT_FALSE(result.stats.timeseries.empty());
-  // 6 series per worker (incl. the spill.queue_depth writer-backlog gauge).
-  EXPECT_EQ(result.stats.timeseries.size(), 12u);
+  // One series per sampled gauge per worker; the expected count is derived
+  // from the sampler's own gauge list, not hardcoded.
+  const size_t expected_series = 2 * obs::kNumWorkerSampledGauges;
+  EXPECT_EQ(result.stats.timeseries.size(), expected_series);
   bool any_points = false;
   for (const obs::TimeSeries& ts : result.stats.timeseries) {
     if (!ts.points.empty()) any_points = true;
@@ -125,7 +127,25 @@ TEST(JobReportE2E, ObservedRunProducesFullReportAndTrace) {
   ASSERT_TRUE(root.Find("metrics")->IsArray());
   EXPECT_EQ(root.Find("metrics")->array.size(), 3u);
   ASSERT_TRUE(root.Find("timeseries")->IsArray());
-  EXPECT_EQ(root.Find("timeseries")->array.size(), 12u);
+  EXPECT_EQ(root.Find("timeseries")->array.size(), expected_series);
+
+  // ---- phase-attribution profile (on by default) ----
+  ASSERT_FALSE(result.stats.phases.empty());
+  EXPECT_EQ(result.stats.phases.per_worker.size(), 2u);
+  EXPECT_EQ(result.stats.phases.per_comper.size(), 4u);  // 2 workers x 2
+  EXPECT_NE(summary.find("phase profile"), std::string::npos) << summary;
+  const obs::JsonValue* phases = root.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->Find("per_comper")->IsArray());
+  EXPECT_EQ(phases->Find("per_comper")->array.size(), 4u);
+  // Span tracing was on, so the straggler table has compute-heavy tasks.
+  EXPECT_FALSE(result.stats.phases.stragglers.empty());
+
+  // ---- split/lineage roll-up surfaces in the report scalars ----
+  EXPECT_NE(root.Find("splits"), nullptr);
+  EXPECT_NE(root.Find("split_children"), nullptr);
+  EXPECT_NE(root.Find("split_depth_max"), nullptr);
+  EXPECT_EQ(root.Find("tasks_live_at_exit")->number, 0.0);
 
   // ---- Chrome trace artifact ----
   const std::string trace_text = ReadFile(trace_path);

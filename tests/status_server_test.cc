@@ -1,0 +1,251 @@
+// Live-introspection tests: the status server must serve lint-clean
+// Prometheus text and parseable JSON progress while a real job is running,
+// and the generic HTTP layer must get the protocol basics right.
+
+#include "obs/status_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"  // TrimToGreater
+#include "core/cluster.h"
+#include "graph/generator.h"
+#include "net/http_server.h"
+#include "obs/json.h"
+#include "obs/prometheus.h"
+
+namespace gthinker {
+namespace {
+
+struct HttpReply {
+  int status = -1;
+  std::string body;
+};
+
+// Minimal blocking HTTP/1.0 client, enough to scrape a local endpoint.
+HttpReply HttpGet(int port, const std::string& path) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.0 ", 0) == 0 && raw.size() > 12) {
+    reply.status = std::atoi(raw.c_str() + 9);
+  }
+  const size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) reply.body = raw.substr(split + 4);
+  return reply;
+}
+
+TEST(HttpServer, ServesRoutesAndProtocolErrors) {
+  net::HttpServer server;
+  server.Route("/hello", [] {
+    net::HttpResponse resp;
+    resp.body = "hi";
+    return resp;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  EXPECT_EQ(HttpGet(server.port(), "/hello").status, 200);
+  EXPECT_EQ(HttpGet(server.port(), "/hello").body, "hi");
+  // Query strings are stripped before route matching.
+  EXPECT_EQ(HttpGet(server.port(), "/hello?x=1").status, 200);
+  EXPECT_EQ(HttpGet(server.port(), "/nope").status, 404);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(StatusServer, ServesMetricsStatusAndHealth) {
+  obs::MetricsRegistry registry("worker0");
+  registry.GetCounter("tasks.spawned")->Add(42);
+  registry.GetHistogram("task.wait_us")->Record(100);
+  registry.GetHistogram("task.wait_us")->Record(3000);
+
+  obs::StatusServer server(
+      [&] {
+        std::vector<obs::MetricsSnapshot> snaps;
+        snaps.push_back(registry.Snapshot());
+        return snaps;
+      },
+      [] { return std::string("{\"job\":\"unit\",\"tasks\":{\"live\":3}}"); });
+  ASSERT_TRUE(server.Start(-1).ok());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(obs::StatusServer::Current(), &server);
+
+  const HttpReply health = HttpGet(port, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpReply metrics = HttpGet(port, "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("gthinker_tasks_spawned_total"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("_bucket{"), std::string::npos) << metrics.body;
+  EXPECT_NE(metrics.body.find("le=\"+Inf\""), std::string::npos);
+  const Status lint = obs::PrometheusLint(metrics.body);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << metrics.body;
+
+  const HttpReply status = HttpGet(port, "/status.json");
+  ASSERT_EQ(status.status, 200);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(status.body, &root).ok()) << status.body;
+  EXPECT_EQ(root.Find("job")->string, "unit");
+
+  server.Stop();
+  EXPECT_EQ(obs::StatusServer::Current(), nullptr);
+}
+
+// The acceptance-criterion path: scrape /metrics and /status.json from a
+// job that is actually running, then lint/parse what came back.
+TEST(StatusServerE2E, ScrapesLiveJob) {
+  static Graph g = Generator::PowerLaw(700, 12.0, 2.3, 4203);
+
+  std::atomic<bool> job_done{false};
+  std::string metrics_body;
+  std::string status_body;
+  std::atomic<int> scrapes{0};
+
+  // Scraper thread: discover the ephemeral port via Current(), then keep
+  // scraping until the job finishes so at least one scrape lands mid-run.
+  std::thread scraper([&] {
+    while (!job_done.load(std::memory_order_acquire)) {
+      obs::StatusServer* server = obs::StatusServer::Current();
+      if (server == nullptr) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const int port = server->port();
+      const HttpReply metrics = HttpGet(port, "/metrics");
+      const HttpReply status = HttpGet(port, "/status.json");
+      if (metrics.status == 200 && status.status == 200) {
+        metrics_body = metrics.body;
+        status_body = status.body;
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  Job<MaxCliqueComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 2;
+  job.config.status_port = -1;  // ephemeral; discovered via Current()
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<MaxCliqueComper>(400); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<MaxCliqueComper>::Run(job);
+  job_done.store(true, std::memory_order_release);
+  scraper.join();
+
+  ASSERT_FALSE(result.result.empty());
+  EXPECT_GT(result.stats.status_port, 0);
+  ASSERT_GT(scrapes.load(), 0) << "job finished before any scrape landed";
+
+  // The scraped Prometheus text passes the lint and carries per-scope series.
+  const Status lint = obs::PrometheusLint(metrics_body);
+  EXPECT_TRUE(lint.ok()) << lint.ToString();
+  EXPECT_NE(metrics_body.find("scope=\"worker0\""), std::string::npos);
+  EXPECT_NE(metrics_body.find("scope=\"hub\""), std::string::npos);
+  EXPECT_NE(metrics_body.find("scope=\"job\""), std::string::npos);
+
+  // The progress JSON parses with the in-repo parser and has the headline
+  // sections.
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonParse(status_body, &root).ok()) << status_body;
+  EXPECT_EQ(root.Find("job")->string, "gthinker");
+  EXPECT_EQ(root.Find("num_workers")->number, 2.0);
+  ASSERT_NE(root.Find("tasks"), nullptr);
+  ASSERT_NE(root.Find("cache"), nullptr);
+  ASSERT_NE(root.Find("activity"), nullptr);
+  ASSERT_TRUE(root.Find("workers")->IsArray());
+  EXPECT_EQ(root.Find("workers")->array.size(), 2u);
+
+  // The server is torn down with the run; the port no longer answers.
+  EXPECT_EQ(obs::StatusServer::Current(), nullptr);
+}
+
+TEST(StatusServer, OffByDefault) {
+  static Graph g = Generator::ErdosRenyi(80, 300, 991);
+  Job<TriangleComper> job;
+  job.config.num_workers = 2;
+  job.config.compers_per_worker = 1;
+  job.graph = &g;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  auto result = Cluster<TriangleComper>::Run(job);
+  EXPECT_EQ(result.stats.status_port, 0);
+}
+
+TEST(Prometheus, RenderAndLintCoverMetricShapes) {
+  obs::MetricsRegistry registry("worker1");
+  registry.GetCounter("cache.hits")->Add(7);
+  registry.GetCounter("phase.compute_us", "comper=1")->Add(1234);
+  registry.GetGauge("live_tasks")->Set(5);
+  registry.GetHistogram("comper.compute_iter_us")->Record(0);
+  registry.GetHistogram("comper.compute_iter_us")->Record(17);
+
+  std::vector<obs::MetricsSnapshot> snaps;
+  snaps.push_back(registry.Snapshot());
+  const std::string body = obs::RenderPrometheus(snaps);
+
+  // Names are sanitized and prefixed; labels carry scope + registry labels.
+  EXPECT_NE(body.find("gthinker_cache_hits_total{scope=\"worker1\"} 7"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("comper=\"1\""), std::string::npos) << body;
+  EXPECT_NE(body.find("gthinker_live_tasks{scope=\"worker1\"} 5"),
+            std::string::npos)
+      << body;
+  // Histograms render the cumulative triplet.
+  EXPECT_NE(body.find("gthinker_comper_compute_iter_us_sum"),
+            std::string::npos);
+  EXPECT_NE(body.find("gthinker_comper_compute_iter_us_count"),
+            std::string::npos);
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+  const Status lint = obs::PrometheusLint(body);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << body;
+
+  // The lint actually rejects malformed text.
+  EXPECT_FALSE(obs::PrometheusLint("not{a=metric\n").ok());
+}
+
+}  // namespace
+}  // namespace gthinker
