@@ -47,8 +47,8 @@ int main() {
   for (size_t bundle : {1, 4, 16, 64}) {
     JobConfig config = DefaultConfig();
     config.time_budget_s = kBudgetS;
-    config.net.latency_us = 100;
-    config.net.bandwidth_mbps = 1000.0;
+    config.comm.net.latency_us = 100;
+    config.comm.net.bandwidth_mbps = 1000.0;
     RunOutcome o = RunBundled(d.graph, config, bundle);
     if (bundle == 1) reference = o.value;
     std::printf("%-10zu %-24s %10lld %12lld %14llu%s\n", bundle,

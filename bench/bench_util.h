@@ -113,8 +113,8 @@ struct BenchJson {
     config_ints["compers_per_worker"] = config.compers_per_worker;
     config_ints["cache_capacity"] = config.cache_capacity;
     config_ints["task_batch_size"] = config.task_batch_size;
-    config_ints["net_latency_us"] = config.net.latency_us;
-    config_doubles["net_bandwidth_mbps"] = config.net.bandwidth_mbps;
+    config_ints["net_latency_us"] = config.comm.net.latency_us;
+    config_doubles["net_bandwidth_mbps"] = config.comm.net.bandwidth_mbps;
   }
 
   std::string ToJson() const {

@@ -17,13 +17,19 @@
 // naive per-destination batching vs the PullCoalescer, reporting the
 // kVertexRequest byte reduction from in-flight dedup.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -35,6 +41,7 @@
 #include "net/comm_hub.h"
 #include "net/message.h"
 #include "net/payload.h"
+#include "net/transport_tcp.h"
 #include "util/logging.h"
 #include "util/serializer.h"
 #include "util/timer.h"
@@ -72,9 +79,12 @@ std::unordered_map<VertexId, VertexT> MakeLocalTable(int hot, int degree) {
 }
 
 /// One requester + one responder thread ping-ponging `rounds` pull batches.
-PullResult RunPullRoundTrips(bool pooled, int rounds, int batch, int hot,
-                             int degree) {
-  CommHub hub(2);
+/// `req_hub` / `resp_hub` are each side's CommHub — the same object for the
+/// in-process backend, two socket-connected ones for the tcp-loopback row.
+PullResult RunPullRoundTrips(CommHub* req_hub, CommHub* resp_hub, bool pooled,
+                             int rounds, int batch, int hot, int degree) {
+  CommHub& hub = *req_hub;
+  CommHub& rhub = *resp_hub;
   const auto table = MakeLocalTable(hot, degree);
   PullResult result;
 
@@ -84,7 +94,7 @@ PullResult RunPullRoundTrips(bool pooled, int rounds, int batch, int hot,
     std::vector<VertexId> ids;
     for (int r = 0; r < rounds; ++r) {
       MessageBatch mb;
-      while (!hub.Receive(kResponder, 1'000'000, &mb)) {
+      while (!rhub.Receive(kResponder, 1'000'000, &mb)) {
       }
       GT_CHECK_OK(DecodeVertexRequest(mb.payload, &ids));
       MessageBatch resp;
@@ -108,8 +118,8 @@ PullResult RunPullRoundTrips(bool pooled, int rounds, int batch, int hot,
         }
         resp.payload = Payload(ser.Release());
       }
-      hub.Send(std::move(resp));
-      hub.MarkProcessed(MsgType::kVertexRequest);
+      rhub.Send(std::move(resp));
+      rhub.MarkProcessed(MsgType::kVertexRequest);
     }
     result.cache_hits = cache.hits();
   });
@@ -171,6 +181,50 @@ PullResult RunPullRoundTrips(bool pooled, int rounds, int batch, int hot,
   result.elapsed_s = wall.ElapsedSeconds();
   responder.join();
   return result;
+}
+
+/// Two socket-connected CommHubs on 127.0.0.1 for the tcp-loopback row:
+/// rank 0 hosts the requester endpoint, rank 1 the responder. Ports are
+/// reserved by binding ephemeral listeners first (both held open until both
+/// ports are known), and the two Start() calls handshake concurrently.
+std::pair<std::unique_ptr<CommHub>, std::unique_ptr<CommHub>> MakeTcpPair() {
+  int ports[2];
+  int fds[2];
+  for (int i = 0; i < 2; ++i) {
+    fds[i] = ::socket(AF_INET, SOCK_STREAM, 0);
+    GT_CHECK_GE(fds[i], 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    GT_CHECK_EQ(
+        ::bind(fds[i], reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    GT_CHECK_EQ(
+        ::getsockname(fds[i], reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    ports[i] = ntohs(addr.sin_port);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+  std::vector<std::string> hosts = {"127.0.0.1:" + std::to_string(ports[0]),
+                                    "127.0.0.1:" + std::to_string(ports[1])};
+  std::unique_ptr<CommHub> hubs[2];
+  for (int r = 0; r < 2; ++r) {
+    net::TcpTransportOptions opts;
+    opts.rank = r;
+    opts.num_workers = 2;
+    opts.hosts = hosts;
+    hubs[r] = std::make_unique<CommHub>(
+        3, std::make_unique<net::TcpTransport>(opts));
+  }
+  Status st[2];
+  std::thread t0([&] { st[0] = hubs[0]->Start(); });
+  std::thread t1([&] { st[1] = hubs[1]->Start(); });
+  t0.join();
+  t1.join();
+  GT_CHECK_OK(st[0]);
+  GT_CHECK_OK(st[1]);
+  return {std::move(hubs[0]), std::move(hubs[1])};
 }
 
 struct DedupResult {
@@ -253,12 +307,16 @@ int Main(int argc, char** argv) {
 
   double legacy_rps = 0.0, pooled_rps = 0.0;
   uint64_t checksums[2] = {0, 0};
+  auto run_inproc = [&](bool pooled) {
+    CommHub hub(2);
+    return RunPullRoundTrips(&hub, &hub, pooled, rounds, batch, hot, degree);
+  };
   for (const bool pooled : {false, true}) {
     // Best-of-3: the ping-pong is short enough that one scheduler hiccup
     // (a migrated thread, a late cv wakeup) can swamp a single run.
-    PullResult r = RunPullRoundTrips(pooled, rounds, batch, hot, degree);
+    PullResult r = run_inproc(pooled);
     for (int rep = 1; rep < 3; ++rep) {
-      PullResult again = RunPullRoundTrips(pooled, rounds, batch, hot, degree);
+      PullResult again = run_inproc(pooled);
       if (again.elapsed_s < r.elapsed_s) r = again;
     }
     const double rps = rounds / r.elapsed_s;
@@ -283,6 +341,37 @@ int Main(int argc, char** argv) {
   const double speedup = pooled_rps / legacy_rps;
   std::printf("pooled/legacy speedup: %.2fx\n\n", speedup);
   json.AddRow("pull_roundtrip/speedup")->numbers["speedup"] = speedup;
+
+  // tcp-loopback row: the same pooled ping-pong, but across two CommHubs
+  // joined by TcpTransport — real frames (header + CRC), socket syscalls,
+  // and the IO thread in the path. Puts a number on what the in-process
+  // backend's shared-memory shortcut is worth.
+  {
+    auto [req_hub, resp_hub] = MakeTcpPair();
+    PullResult r = RunPullRoundTrips(req_hub.get(), resp_hub.get(),
+                                     /*pooled=*/true, rounds, batch, hot,
+                                     degree);
+    for (int rep = 1; rep < 3; ++rep) {
+      PullResult again = RunPullRoundTrips(req_hub.get(), resp_hub.get(),
+                                           /*pooled=*/true, rounds, batch,
+                                           hot, degree);
+      if (again.elapsed_s < r.elapsed_s) r = again;
+    }
+    GT_CHECK_EQ(r.checksum, checksums[1]);  // the wire must not alter bytes
+    const double rps = rounds / r.elapsed_s;
+    const double mbps = r.response_bytes / 1048576.0 / r.elapsed_s;
+    std::printf("%-8s %8.3f s %12.0f %12.1f %12" PRId64 "   (checksum %" PRIu64
+                ")\n",
+                "tcp", r.elapsed_s, rps, mbps, r.cache_hits, r.checksum);
+    std::printf("tcp/inproc pooled ratio: %.2fx\n\n", pooled_rps / rps);
+    auto* row = json.AddRow("pull_roundtrip/tcp");
+    row->numbers["elapsed_s"] = r.elapsed_s;
+    row->numbers["roundtrips_per_s"] = rps;
+    row->numbers["response_mb_per_s"] = mbps;
+    row->numbers["request_bytes"] = static_cast<double>(r.request_bytes);
+    row->numbers["response_bytes"] = static_cast<double>(r.response_bytes);
+    row->numbers["cache_hits"] = static_cast<double>(r.cache_hits);
+  }
 
   std::printf("request dedup: %d demands, flush window %" PRId64 " ids\n",
               demands, max_ids);

@@ -38,8 +38,8 @@ int main() {
     config.compers_per_worker = 2;
     config.time_budget_s = kBudgetS;
     // GigE-like wire so evicted/re-pulled vertices actually cost something.
-    config.net.latency_us = 100;
-    config.net.bandwidth_mbps = 1000.0;
+    config.comm.net.latency_us = 100;
+    config.comm.net.bandwidth_mbps = 1000.0;
     RunOutcome gt = RunGthinkerMcf(d.graph, config);
 
     std::printf("%-8d %-24s %-24s %12.0f %12.2f\n", workers,

@@ -21,8 +21,8 @@ int main() {
     config.cache_capacity = c_cache;
     config.time_budget_s = kBudgetS;
     // GigE-like wire so evicted/re-pulled vertices actually cost something.
-    config.net.latency_us = 100;
-    config.net.bandwidth_mbps = 1000.0;
+    config.comm.net.latency_us = 100;
+    config.comm.net.bandwidth_mbps = 1000.0;
     RunOutcome gt = RunGthinkerMcf(d.graph, config);
     std::printf("%-12lld %-24s %14lld %14lld %14lld\n",
                 static_cast<long long>(c_cache),

@@ -24,8 +24,8 @@ int main() {
     config.cache_overflow_alpha = alpha;
     config.time_budget_s = kBudgetS;
     // GigE-like wire so evicted/re-pulled vertices actually cost something.
-    config.net.latency_us = 100;
-    config.net.bandwidth_mbps = 1000.0;
+    config.comm.net.latency_us = 100;
+    config.comm.net.bandwidth_mbps = 1000.0;
     RunOutcome gt = RunGthinkerMcf(d.graph, config);
     std::printf("%-10.3f %-24s %14lld\n", alpha,
                 FormatCell(gt, kBudgetS).c_str(),

@@ -102,9 +102,9 @@ int main(int argc, char** argv) {
   config.num_workers = std::atoi(FlagOr(flags, "workers", "4").c_str());
   config.compers_per_worker =
       std::atoi(FlagOr(flags, "compers", "2").c_str());
-  config.net.latency_us =
+  config.comm.net.latency_us =
       std::atoll(FlagOr(flags, "latency-us", "0").c_str());
-  config.net.bandwidth_mbps =
+  config.comm.net.bandwidth_mbps =
       std::atof(FlagOr(flags, "bandwidth-mbps", "0").c_str());
   const bool verify = flags.count("verify") > 0;
 

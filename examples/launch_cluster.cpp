@@ -1,0 +1,225 @@
+// Multi-process launcher for the TCP transport: one worker rank per OS
+// process over localhost sockets, master on rank 0.
+//
+// Driver mode (default) — forks N ranks, runs the same job in-process as a
+// reference, and verifies the answers are bit-identical:
+//
+//   ./launch_cluster [tc|mc] --procs 2 [--vertices n] [--edges m] [--seed s]
+//                    [--compers c] [--tau t] [--flight-dump-dir d]
+//
+// exits 0 when the TCP-cluster answer matches the in-process answer, 2 on a
+// mismatch, 1 on any rank failure. The fork happens before any thread is
+// created, so every rank shares the driver's graph copy-on-write and reads
+// the generated hostfile through CommConfig::LoadHostfile().
+//
+// Per-rank mode — for running ranks by hand (or across machines):
+//
+//   ./launch_cluster [tc|mc] --rank R --hostfile hosts.txt [graph flags...]
+//
+// Every rank must be given the same graph flags; the cluster size is the
+// number of hostfile lines.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/maxclique_app.h"
+#include "apps/triangle_app.h"
+#include "core/cluster.h"
+#include "graph/generator.h"
+#include "storage/mini_dfs.h"
+
+using namespace gthinker;
+
+namespace {
+
+// Reserves `n` distinct ephemeral localhost ports. All sockets stay open
+// until every port is known, so the kernel cannot hand out duplicates.
+std::vector<int> PickFreePorts(int n) {
+  std::vector<int> fds, ports;
+  for (int i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    GT_CHECK_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    GT_CHECK_EQ(
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    GT_CHECK_EQ(
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    fds.push_back(fd);
+    ports.push_back(ntohs(addr.sin_port));
+  }
+  for (int fd : fds) ::close(fd);
+  return ports;
+}
+
+// Runs the selected app and reduces the answer to one comparable number:
+// the triangle count, or the maximum-clique size. rank < 0 = in-process.
+uint64_t RunApp(const std::string& app, const JobConfig& config,
+                const Graph& graph, size_t tau, int rank) {
+  if (app == "mc") {
+    Job<MaxCliqueComper> job;
+    job.config = config;
+    job.graph = &graph;
+    job.comper_factory = [tau] {
+      return std::make_unique<MaxCliqueComper>(tau);
+    };
+    job.trimmer = TrimToGreater;
+    if (rank < 0) return Cluster<MaxCliqueComper>::Run(job).result.size();
+    return Cluster<MaxCliqueComper>::RunDistributed(job, rank).result.size();
+  }
+  GT_CHECK(app == "tc") << "unknown app '" << app << "' (want tc or mc)";
+  Job<TriangleComper> job;
+  job.config = config;
+  job.graph = &graph;
+  job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
+  job.trimmer = TrimToGreater;
+  if (rank < 0) return Cluster<TriangleComper>::Run(job).result;
+  return Cluster<TriangleComper>::RunDistributed(job, rank).result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app = "mc";
+  std::string hostfile;
+  std::string flight_dump_dir;
+  int rank = -1;
+  int procs = 2;
+  int compers = 2;
+  int vertices = 300;
+  int64_t edges = 6000;
+  uint64_t seed = 7;
+  size_t tau = 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rank") == 0 && i + 1 < argc) {
+      rank = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hostfile") == 0 && i + 1 < argc) {
+      hostfile = argv[++i];
+    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--compers") == 0 && i + 1 < argc) {
+      compers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--vertices") == 0 && i + 1 < argc) {
+      vertices = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--edges") == 0 && i + 1 < argc) {
+      edges = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--tau") == 0 && i + 1 < argc) {
+      tau = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--flight-dump-dir") == 0 &&
+               i + 1 < argc) {
+      flight_dump_dir = argv[++i];
+    } else if (argv[i][0] != '-') {
+      app = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  // Same seed on every rank: each process regenerates the identical graph
+  // and keeps only its hash-owned slice.
+  Graph graph = Generator::ErdosRenyi(vertices, edges, seed);
+
+  JobConfig config;
+  config.compers_per_worker = compers;
+  config.flight_dump_dir = flight_dump_dir;
+  config.time_budget_s = 120.0;  // a hung rank must not hang the harness
+
+  if (rank >= 0) {
+    // ---- per-rank mode ----
+    GT_CHECK(!hostfile.empty()) << "--rank needs --hostfile";
+    config.comm.transport = CommConfig::Transport::kTcp;
+    config.comm.hostfile = hostfile;
+    GT_CHECK_OK(config.comm.LoadHostfile());
+    config.num_workers = static_cast<int>(config.comm.hosts.size());
+    const uint64_t value = RunApp(app, config, graph, tau, rank);
+    std::printf("rank %d/%d %s done: %llu\n", rank, config.num_workers,
+                app.c_str(), static_cast<unsigned long long>(value));
+    return 0;
+  }
+
+  // ---- driver mode ----
+  GT_CHECK_GE(procs, 1);
+  config.num_workers = procs;
+
+  const std::string dir = MakeTempDir("launch");
+  const std::string hostfile_path = dir + "/hosts";
+  const std::string result_path = dir + "/rank0_result";
+  {
+    std::ofstream out(hostfile_path);
+    out << "# generated by launch_cluster --procs " << procs << "\n";
+    for (int port : PickFreePorts(procs)) {
+      out << "127.0.0.1:" << port << "\n";
+    }
+  }
+
+  JobConfig dist_config = config;
+  dist_config.comm.transport = CommConfig::Transport::kTcp;
+  dist_config.comm.hostfile = hostfile_path;
+
+  // Fork before any thread exists; each rank runs the whole job lifecycle
+  // and exits without returning through main (no shared-stdio double
+  // flush). Rank 0 persists the authoritative answer for the driver.
+  std::vector<pid_t> pids;
+  for (int r = 0; r < procs; ++r) {
+    const pid_t pid = ::fork();
+    GT_CHECK_GE(pid, 0);
+    if (pid == 0) {
+      const uint64_t value = RunApp(app, dist_config, graph, tau, r);
+      if (r == 0) {
+        std::ofstream out(result_path);
+        out << value << "\n";
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      ::_exit(0);
+    }
+    pids.push_back(pid);
+  }
+
+  // Reference answer, computed in-process while the ranks run.
+  const uint64_t expected = RunApp(app, config, graph, tau, -1);
+
+  bool ranks_ok = true;
+  for (int r = 0; r < procs; ++r) {
+    int status = 0;
+    GT_CHECK_EQ(::waitpid(pids[r], &status, 0), pids[r]);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "rank %d failed (status 0x%x)\n", r, status);
+      ranks_ok = false;
+    }
+  }
+  if (!ranks_ok) return 1;
+
+  uint64_t got = 0;
+  {
+    std::ifstream in(result_path);
+    if (!(in >> got)) {
+      std::fprintf(stderr, "rank 0 left no result at %s\n",
+                   result_path.c_str());
+      return 1;
+    }
+  }
+  RemoveTree(dir);
+
+  std::printf("%s over %d tcp processes: %llu, in-process: %llu -- %s\n",
+              app.c_str(), procs, static_cast<unsigned long long>(got),
+              static_cast<unsigned long long>(expected),
+              got == expected ? "MATCH" : "MISMATCH");
+  return got == expected ? 0 : 2;
+}

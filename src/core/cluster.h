@@ -20,6 +20,7 @@
 #include "graph/graph.h"
 #include "graph/loader.h"
 #include "net/comm_hub.h"
+#include "net/transport_tcp.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/phase_profile.h"
@@ -136,7 +137,8 @@ class Cluster {
 
     const int num_workers = config.num_workers;
     const int master_id = num_workers;
-    CommHub hub(num_workers + 1, config.net);
+    CommHub hub(num_workers + 1, config.comm.net);
+    GT_CHECK_OK(hub.Start());
 
     // Flight recorder: always-on bounded ring of recent structural events
     // (capacity knob `flight_recorder_events`; 0 disables). Declared before
@@ -264,6 +266,8 @@ class Cluster {
           w.Double(wall.ElapsedSeconds());
           w.Key("num_workers");
           w.Int(num_workers);
+          w.Key("transport");
+          w.String(hub.TransportName());
           int64_t live = 0, pending = 0, disk = 0, cache_entries = 0;
           int64_t hits = 0, requests = 0;
           int64_t spawned = 0, finished = 0, spilled = 0, stolen = 0;
@@ -412,7 +416,7 @@ class Cluster {
 
     while (!terminate) {
       MessageBatch mb;
-      if (hub.Receive(master_id, config.comm_poll_us, &mb)) {
+      if (hub.Receive(master_id, config.comm.poll_us, &mb)) {
         switch (mb.type) {
           case MsgType::kProgressReport: {
             ProgressReport report;
@@ -706,6 +710,287 @@ class Cluster {
     return out;
   }
 
+  /// One-rank-per-process execution over the TCP transport (paper §V-A run
+  /// on real processes instead of threads). Every process calls this with
+  /// the same Job — graph included; each rank keeps only its hash-owned
+  /// slice — and its own `rank` in [0, num_workers). Rank 0 additionally
+  /// hosts the master endpoint and plays the master role. The returned
+  /// aggregate is authoritative on rank 0 only (final drained deltas only
+  /// ever reach the master); other ranks return ComperT::AggZero() plus
+  /// their local worker stats.
+  static RunResult<ComperT> RunDistributed(const Job<ComperT>& job,
+                                           int rank) {
+    JobConfig config = job.config;
+    config.comm.transport = CommConfig::Transport::kTcp;
+    GT_CHECK_OK(config.comm.LoadHostfile());
+    GT_CHECK_OK(config.Validate());
+    SetKernelBitsetMaxVertices(config.kernel_bitset_max_vertices);
+    GT_CHECK(job.comper_factory != nullptr);
+    GT_CHECK(job.graph != nullptr)
+        << "RunDistributed loads from an in-memory graph";
+    GT_CHECK(job.resume_epoch < 0)
+        << "checkpoint restore is in-process only (see JobConfig::Validate)";
+
+    const int num_workers = config.num_workers;
+    GT_CHECK(rank >= 0 && rank < num_workers)
+        << "rank " << rank << " outside [0, " << num_workers << ")";
+    const int master_id = num_workers;
+
+    std::string spill_root = config.spill_root;
+    const bool own_spill_root = spill_root.empty();
+    if (own_spill_root) spill_root = MakeTempDir("spill");
+
+    net::TcpTransportOptions topts;
+    topts.rank = rank;
+    topts.num_workers = num_workers;
+    topts.hosts = config.comm.hosts;
+    topts.send_buffer_max_bytes = config.comm.tcp_send_buffer_max_bytes;
+    topts.connect_timeout_ms = config.comm.tcp_connect_timeout_ms;
+    topts.backoff_initial_ms = config.comm.tcp_backoff_initial_ms;
+    topts.backoff_max_ms = config.comm.tcp_backoff_max_ms;
+    CommHub hub(num_workers + 1,
+                std::make_unique<net::TcpTransport>(std::move(topts)));
+    GT_CHECK_OK(hub.Start());
+
+    obs::FlightRecorder::SetDumpDir(config.flight_dump_dir);
+    obs::FlightRecorder::InstallCrashHandlers();
+    obs::FlightRecorder flight(config.flight_recorder_events);
+
+    const std::string spill_dir = spill_root + "/w" + std::to_string(rank);
+    {
+      std::error_code ec;
+      std::filesystem::create_directories(spill_dir, ec);
+      GT_CHECK(!ec);
+    }
+    auto worker = std::make_unique<WorkerT>(rank, config, &hub,
+                                            job.comper_factory, job.trimmer,
+                                            spill_dir);
+    worker->SetFlightRecorder(&flight);
+    if (!job.output_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(job.output_dir, ec);
+      GT_CHECK(!ec);
+      worker->SetOutputDir(job.output_dir);
+    }
+
+    LoadInputRank(job, rank, worker.get());
+    worker->Start();
+
+    RunResult<ComperT> out;
+    JobStats& stats = out.stats;
+    AggT global = ComperT::AggZero();
+    Timer wall;
+
+    if (rank == 0) {
+      // ------------------- master loop (lean variant) -------------------
+      // Same termination protocol as Run(): two consecutive stable global
+      // snapshots, all idle, data flow balanced, task ledger conserved.
+      // No checkpoints (Validate rejects them under tcp — quiesce needs a
+      // cluster-global typed InFlightCount), no sampler / status server.
+      std::vector<ProgressReport> latest(num_workers);
+      std::vector<bool> fresh(num_workers, false);
+      struct Snapshot {
+        bool valid = false;
+        bool all_idle = false;
+        bool balanced = false;
+        bool conserved = false;
+        std::vector<int64_t> sent, processed;
+      };
+      Snapshot prev;
+      bool terminate = false;
+
+      auto broadcast = [&](MsgType type, const Payload& payload) {
+        for (int w = 0; w < num_workers; ++w) {
+          MessageBatch mb;
+          mb.src_worker = master_id;
+          mb.dst_worker = w;
+          mb.type = type;
+          mb.payload = payload;
+          hub.Send(std::move(mb));
+        }
+      };
+      auto encode_global = [&]() {
+        Serializer ser;
+        Codec<AggT>::Encode(ser, global);
+        return TakePayload(ser);
+      };
+
+      while (!terminate) {
+        MessageBatch mb;
+        if (hub.Receive(master_id, config.comm.poll_us, &mb)) {
+          GT_CHECK(mb.type == MsgType::kProgressReport)
+              << "distributed master: unexpected message type "
+              << static_cast<int>(mb.type);
+          ProgressReport report;
+          GT_CHECK_OK(report.Decode(mb.payload));
+          MergeInto(&global, report.agg_delta);
+          latest[report.worker_id] = report;
+          fresh[report.worker_id] = true;
+          hub.MarkProcessed(mb.type);
+        }
+
+        if (std::all_of(fresh.begin(), fresh.end(),
+                        [](bool b) { return b; })) {
+          Snapshot snap;
+          snap.valid = true;
+          snap.all_idle = true;
+          int64_t sent = 0, processed = 0;
+          TaskLedger sum;
+          int64_t live = 0;
+          for (int w = 0; w < num_workers; ++w) {
+            snap.all_idle = snap.all_idle && latest[w].idle != 0;
+            sent += latest[w].data_sent;
+            processed += latest[w].data_processed;
+            snap.sent.push_back(latest[w].data_sent);
+            snap.processed.push_back(latest[w].data_processed);
+            sum.Accumulate(latest[w].ledger);
+            live += latest[w].tasks_live;
+          }
+          snap.balanced = (sent == processed);
+          snap.conserved = (sum.ExpectedLive() == live);
+
+          broadcast(MsgType::kAggregatorSync, encode_global());
+
+          if (snap.all_idle && snap.balanced && snap.conserved &&
+              prev.valid && prev.all_idle && prev.balanced &&
+              prev.conserved && prev.sent == snap.sent &&
+              prev.processed == snap.processed) {
+            terminate = true;
+          } else if (config.enable_stealing && !snap.all_idle) {
+            PlanSteals(latest, config, master_id, &hub);
+          }
+          prev = std::move(snap);
+          std::fill(fresh.begin(), fresh.end(), false);
+        }
+
+        if (!terminate && config.time_budget_s > 0.0 &&
+            wall.ElapsedSeconds() > config.time_budget_s) {
+          stats.timed_out = true;
+          terminate = true;
+          flight.Record(obs::FlightKind::kTimeout, /*worker=*/-1,
+                        /*comper=*/-1,
+                        static_cast<int64_t>(wall.ElapsedSeconds()));
+          obs::FlightRecorder::WriteCrashDump("timeout");
+        }
+      }
+
+      broadcast(MsgType::kTerminate, "");
+
+      // Two-phase drain, as in Run(). After the release broadcast the
+      // master originates nothing further, so its endpoint announces drain
+      // too — on tcp that is what lets the transport start its cluster-wide
+      // FLUSH marker rounds.
+      std::vector<ProgressReport> final_reports(num_workers);
+      std::vector<bool> final_seen(num_workers, false);
+      std::vector<bool> barrier_seen(num_workers, false);
+      int barriers = 0;
+      int finals = 0;
+      while (finals < num_workers) {
+        MessageBatch mb;
+        if (!hub.Receive(master_id, /*timeout_us=*/10'000, &mb)) continue;
+        if (mb.type == MsgType::kProgressReport) {
+          ProgressReport report;
+          GT_CHECK_OK(report.Decode(mb.payload));
+          MergeInto(&global, report.agg_delta);
+          if (report.final_report != 0 && !final_seen[report.worker_id]) {
+            final_seen[report.worker_id] = true;
+            final_reports[report.worker_id] = report;
+            ++finals;
+          }
+        } else if (mb.type == MsgType::kDrainBarrier) {
+          int32_t worker_id = -1;
+          GT_CHECK_OK(DecodeDrainBarrier(mb.payload, &worker_id));
+          if (!barrier_seen[worker_id]) {
+            barrier_seen[worker_id] = true;
+            if (++barriers == num_workers) {
+              broadcast(MsgType::kDrainBarrier, "");
+              hub.BeginDrain(master_id);
+            }
+          }
+        } else {
+          LOG_FATAL << "distributed master: unexpected drain-phase type "
+                    << static_cast<int>(mb.type);
+        }
+        hub.MarkProcessed(mb.type);
+      }
+      worker->Join();
+
+      stats.elapsed_s = wall.ElapsedSeconds();
+      for (int w = 0; w < num_workers; ++w) {
+        const ProgressReport& r = final_reports[w];
+        stats.tasks_spawned += r.tasks_spawned;
+        stats.task_iterations += r.task_iterations;
+        stats.tasks_finished += r.tasks_finished;
+        stats.spilled_batches += r.spilled_batches;
+        stats.stolen_batches += r.stolen_batches;
+        stats.vertex_requests += r.vertex_requests;
+        stats.cache_hits += r.cache_hits;
+        stats.cache_requests += r.cache_requests;
+        stats.cache_evictions += r.cache_evictions;
+        stats.comper_idle_rounds += r.comper_idle_rounds;
+        stats.comper_rounds += r.comper_rounds;
+        stats.ledger.Accumulate(r.ledger);
+        stats.tasks_live_at_exit += r.tasks_live;
+        stats.drained_messages += r.drained_messages;
+      }
+      stats.steal_orders = hub.SentCount(MsgType::kStealOrder);
+
+      // The same conservation verdict Run() enforces; the summed ledger now
+      // spans OS processes, so it additionally certifies that no task
+      // batch was lost or duplicated crossing the sockets.
+      stats.tasks_lost =
+          stats.ledger.ExpectedLive() - stats.tasks_live_at_exit;
+      GT_CHECK_EQ(stats.tasks_lost, 0)
+          << "task-conservation violation across processes: spawned="
+          << stats.ledger.spawned << " restored=" << stats.ledger.restored
+          << " received=" << stats.ledger.received
+          << " finished=" << stats.ledger.finished
+          << " donated=" << stats.ledger.donated
+          << " dropped=" << stats.ledger.dropped
+          << " live_at_exit=" << stats.tasks_live_at_exit;
+      if (!stats.timed_out && stats.ledger.dropped == 0) {
+        GT_CHECK_EQ(stats.tasks_live_at_exit, 0)
+            << "clean termination left live tasks behind";
+      }
+    } else {
+      // Non-zero ranks: the worker follows the master's broadcasts; the
+      // comm thread exits once the drain proved the wire empty.
+      worker->Join();
+      stats.elapsed_s = wall.ElapsedSeconds();
+      const auto s = worker->SampleLiveStatus();
+      stats.tasks_spawned = s.tasks_spawned;
+      stats.tasks_finished = s.tasks_finished;
+      stats.spilled_batches = s.spilled_batches;
+      stats.stolen_batches = s.stolen_batches;
+    }
+
+    // Every rank certifies its own transport drained: both FLUSH rounds
+    // completed, send queues flushed, inboxes empty, nothing unprocessed.
+    if (!stats.timed_out) {
+      Timer drain_wait;
+      while (hub.InFlightCount() != 0 && drain_wait.ElapsedSeconds() < 30.0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      GT_CHECK_EQ(hub.InFlightCount(), 0)
+          << "rank " << rank << ": shutdown left undrained transport state";
+    }
+
+    stats.batches_sent = hub.TotalBatchesSent();
+    stats.bytes_sent = hub.TotalBytesSent();
+    worker->FinalizeObs();
+    stats.metrics.push_back(worker->MetricsSnapshot());
+    stats.metrics.push_back(hub.MetricsSnapshot());
+    stats.peak_mem_bytes.push_back(worker->PeakMemBytes());
+    stats.max_peak_mem_bytes = worker->PeakMemBytes();
+    stats.records_output = worker->RecordsOutput();
+
+    worker.reset();
+    if (own_spill_root) RemoveTree(spill_root);
+
+    out.result = std::move(global);
+    return out;
+  }
+
  private:
   static void MergeInto(AggT* target, const std::string& blob) {
     AggT delta{};
@@ -751,6 +1036,24 @@ class Cluster {
       }
     }
     for (auto& worker : *workers) worker->FinalizeLoad();
+  }
+
+  /// Distributed variant of LoadInput: every process walks the same shared
+  /// graph but materializes only the slice its rank hash-owns, so per-rank
+  /// memory stays O(|V|/p) for the vertex table (the read-only input graph
+  /// itself is shared copy-on-write when the launcher forks).
+  static void LoadInputRank(const Job<ComperT>& job, int rank,
+                            WorkerT* worker) {
+    const int num_workers = job.config.num_workers;
+    const Graph& g = *job.graph;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (WorkerT::OwnerOf(v, num_workers) != rank) continue;
+      VertexT vertex;
+      vertex.id = v;
+      BuildVertexValue(g, job.labels, v, &vertex.value);
+      worker->AddLocalVertex(std::move(vertex));
+    }
+    worker->FinalizeLoad();
   }
 
   static Status ParseDfsLine(const std::string& line,

@@ -3,11 +3,45 @@
 
 #include <cstdint>
 #include <type_traits>
+#include <utility>
 
 #include "util/serializer.h"
 #include "util/status.h"
 
 namespace gthinker {
+
+namespace codec_internal {
+
+// Detectors for the retired pre-Codec ADL customization point
+// (SerializeValue / DeserializeValue / ValueBytes). Lookup is pure ADL: no
+// overload is declared before this header, so only overloads living in the
+// value type's own namespace are found. Types that still provide them keep
+// working through Codec<T> for one release (the shipped shims in
+// core/vertex.h are [[deprecated]]); new types must specialize Codec<T>.
+template <typename T, typename = void>
+struct HasLegacyEncode : std::false_type {};
+template <typename T>
+struct HasLegacyEncode<
+    T, std::void_t<decltype(SerializeValue(std::declval<Serializer&>(),
+                                           std::declval<const T&>()))>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasLegacyDecode : std::false_type {};
+template <typename T>
+struct HasLegacyDecode<
+    T, std::void_t<decltype(DeserializeValue(std::declval<Deserializer&>(),
+                                             std::declval<T*>()))>>
+    : std::true_type {};
+
+template <typename T, typename = void>
+struct HasLegacyBytes : std::false_type {};
+template <typename T>
+struct HasLegacyBytes<
+    T, std::void_t<decltype(ValueBytes(std::declval<const T&>()))>>
+    : std::true_type {};
+
+}  // namespace codec_internal
 
 /// The single serialization customization point for everything that crosses
 /// the wire or the disk by value: vertex values, task contexts, and
@@ -23,37 +57,42 @@ namespace gthinker {
 ///
 /// Framework code calls Codec<T>::Encode/Decode/Bytes uniformly (see
 /// core/worker.h, core/task.h, core/subgraph.h, core/vertex_cache.h).
-///
-/// Migration note (docs/API.md): the pre-Codec customization point was three
-/// ADL free-function overloads — SerializeValue / DeserializeValue /
-/// ValueBytes. The primary template below delegates to those, so a type that
-/// only provides the legacy overloads still works through Codec<T> unchanged;
-/// and the shipped types keep thin legacy shims (core/vertex.h) so old call
-/// sites still compile. New types should specialize Codec<T> directly.
+/// Arithmetic and enum types are built in. A type providing only the retired
+/// ADL overloads still routes through them (deprecation grace period,
+/// docs/API.md); anything else is a compile error naming this header.
 template <typename T>
 struct Codec {
   static void Encode(Serializer& ser, const T& v) {
     if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
       ser.Write(v);
+    } else if constexpr (codec_internal::HasLegacyEncode<T>::value) {
+      SerializeValue(ser, v);  // deprecated ADL path; removed next release
     } else {
-      SerializeValue(ser, v);  // legacy ADL overload
+      static_assert(codec_internal::HasLegacyEncode<T>::value,
+                    "no serialization for T: specialize gthinker::Codec<T> "
+                    "(core/codec.h)");
     }
   }
 
   static Status Decode(Deserializer& des, T* v) {
     if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
       return des.Read(v);
+    } else if constexpr (codec_internal::HasLegacyDecode<T>::value) {
+      return DeserializeValue(des, v);  // deprecated ADL path
     } else {
-      return DeserializeValue(des, v);  // legacy ADL overload
+      static_assert(codec_internal::HasLegacyDecode<T>::value,
+                    "no deserialization for T: specialize gthinker::Codec<T> "
+                    "(core/codec.h)");
     }
   }
 
   static int64_t Bytes(const T& v) {
-    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      return static_cast<int64_t>(sizeof(T));
+    if constexpr (codec_internal::HasLegacyBytes<T>::value) {
+      return ValueBytes(v);  // deprecated ADL path
     } else {
-      return ValueBytes(v);  // legacy ADL overload (template fallback:
-                             // sizeof — see core/vertex.h)
+      // Struct-shell default (absorbed from the old core/vertex.h template
+      // fallback): right for flat types; heap-owning types should specialize.
+      return static_cast<int64_t>(sizeof(T));
     }
   }
 };

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,71 @@
 #include "util/status.h"
 
 namespace gthinker {
+
+/// Communication knobs, grouped under JobConfig::comm (DESIGN.md "Transport
+/// layer"): which Transport backend moves batches, batching/flush policy for
+/// the pull path, and the backend-specific tuning.
+struct CommConfig {
+  enum class Transport {
+    kInProc,  // per-endpoint in-memory mailboxes; supports simulated latency
+    kTcp,     // framed sockets, one process per rank (Cluster::RunDistributed)
+  };
+  Transport transport = Transport::kInProc;
+
+  /// transport=tcp: file with one "host:port" line per rank (rank = line
+  /// number; '#' comments and blank lines ignored). Ignored when `hosts` is
+  /// already populated.
+  std::string hostfile;
+  /// Parsed hostfile (or set programmatically); size must equal num_workers.
+  std::vector<std::string> hosts;
+
+  /// Vertex IDs per request batch appended to the sending module.
+  int request_batch_size = 256;
+  /// Byte budget per open request batch: the pull coalescer flushes a
+  /// destination when its encoded kVertexRequest (u64 count + 4 bytes/ID)
+  /// reaches this, even below request_batch_size — keeps request payloads
+  /// inside one pooled slab class and bounds latency under wide fan-out.
+  int64_t request_flush_bytes = 2048;
+  /// Byte cap for the responder-side Γ-sharing cache (memoized serialized
+  /// vertex records; core/response_cache.h). 0 disables memoization; on
+  /// overflow the cache resets wholesale and rebuilds from the hot set.
+  int64_t response_cache_bytes = 4 << 20;
+  /// Receive-wait slice while request batches are open (the comm thread
+  /// otherwise waits event-driven up to the progress cadence).
+  int64_t poll_us = 200;
+  /// Simulated interconnect for transport=inproc (0/0 = instantaneous);
+  /// rejected under tcp, where the wire is real.
+  NetConfig net;
+
+  // ---- tcp backend tuning (net/transport_tcp.h) ----
+  /// Per-peer buffered-send cap; Send() blocks (backpressure) above it.
+  int64_t tcp_send_buffer_max_bytes = 4 << 20;
+  /// Start() fails if the full-mesh handshake is not done within this.
+  int64_t tcp_connect_timeout_ms = 10'000;
+  /// Reconnect backoff window on transient socket errors.
+  int64_t tcp_backoff_initial_ms = 50;
+  int64_t tcp_backoff_max_ms = 1'000;
+
+  /// Fills `hosts` from `hostfile` (no-op when hosts is already set).
+  Status LoadHostfile() {
+    if (!hosts.empty() || hostfile.empty()) return Status::Ok();
+    std::ifstream in(hostfile);
+    if (!in) return Status::IoError("cannot open hostfile: " + hostfile);
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.empty() || line[0] == '#') continue;
+      hosts.push_back(line);
+    }
+    if (hosts.empty()) {
+      return Status::InvalidArgument("hostfile has no host entries: " +
+                                     hostfile);
+    }
+    return Status::Ok();
+  }
+};
 
 /// All framework knobs, with the paper's defaults (§V, §VI "System
 /// Parameters"). Capacities are scaled-down consistent with the laptop-scale
@@ -75,22 +141,8 @@ struct JobConfig {
   /// two and ships the halves (with their pulled Γ) instead of one monster.
   int64_t task_split_steal_weight = 0;
 
-  // ---- communication ----
-  /// Vertex IDs per request batch appended to the sending module.
-  int request_batch_size = 256;
-  /// Byte budget per open request batch: the pull coalescer flushes a
-  /// destination when its encoded kVertexRequest (u64 count + 4 bytes/ID)
-  /// reaches this, even below request_batch_size — keeps request payloads
-  /// inside one pooled slab class and bounds latency under wide fan-out.
-  int64_t request_flush_bytes = 2048;
-  /// Byte cap for the responder-side Γ-sharing cache (memoized serialized
-  /// vertex records; core/response_cache.h). 0 disables memoization; on
-  /// overflow the cache resets wholesale and rebuilds from the hot set.
-  int64_t response_cache_bytes = 4 << 20;
-  /// Comm-thread poll / flush period.
-  int64_t comm_poll_us = 200;
-  /// Simulated interconnect (0/0 = instantaneous in-process delivery).
-  NetConfig net;
+  // ---- communication (grouped; see CommConfig above) ----
+  CommConfig comm;
 
   // ---- compute kernels (apps/kernels.h dense/sparse switch) ----
   /// Largest compact-graph vertex count for which the serial mining kernels
@@ -224,25 +276,57 @@ struct JobConfig {
       return Status::InvalidArgument(
           "task_split_fanout must be >= 2 when task_split_enabled");
     }
-    if (request_batch_size <= 0) {
+    if (comm.request_batch_size <= 0) {
       return Status::InvalidArgument("request_batch_size must be positive");
     }
-    if (request_flush_bytes < 16) {
+    if (comm.request_flush_bytes < 16) {
       // Must fit at least the u64 count header plus one VertexId.
       return Status::InvalidArgument("request_flush_bytes must be >= 16");
     }
-    if (response_cache_bytes < 0) {
+    if (comm.response_cache_bytes < 0) {
       return Status::InvalidArgument("response_cache_bytes must be >= 0");
     }
-    if (comm_poll_us <= 0) {
-      return Status::InvalidArgument("comm_poll_us must be positive");
+    if (comm.poll_us <= 0) {
+      return Status::InvalidArgument("comm poll_us must be positive");
     }
     if (kernel_bitset_max_vertices < 0) {
       return Status::InvalidArgument(
           "kernel_bitset_max_vertices must be >= 0");
     }
-    if (net.latency_us < 0 || net.bandwidth_mbps < 0.0) {
+    if (comm.net.latency_us < 0 || comm.net.bandwidth_mbps < 0.0) {
       return Status::InvalidArgument("net parameters must be non-negative");
+    }
+    if (comm.transport == CommConfig::Transport::kTcp) {
+      if (comm.hosts.empty() && comm.hostfile.empty()) {
+        return Status::InvalidArgument(
+            "transport=tcp requires a hostfile (or comm.hosts)");
+      }
+      if (!comm.hosts.empty() &&
+          static_cast<int>(comm.hosts.size()) != num_workers) {
+        return Status::InvalidArgument(
+            "comm.hosts size must equal num_workers");
+      }
+      if (comm.net.latency_us != 0 || comm.net.bandwidth_mbps != 0.0) {
+        return Status::InvalidArgument(
+            "simulated-latency knobs (net.*) are an in-process transport "
+            "feature; the tcp wire is real");
+      }
+      if (checkpoint_interval_us != 0) {
+        return Status::InvalidArgument(
+            "checkpointing is not supported under transport=tcp (the "
+            "quiesce relies on cluster-global in-flight counts)");
+      }
+      if (comm.tcp_send_buffer_max_bytes < 4096) {
+        return Status::InvalidArgument(
+            "tcp_send_buffer_max_bytes must be >= 4096");
+      }
+      if (comm.tcp_connect_timeout_ms <= 0 ||
+          comm.tcp_backoff_initial_ms <= 0 ||
+          comm.tcp_backoff_max_ms < comm.tcp_backoff_initial_ms) {
+        return Status::InvalidArgument(
+            "tcp timeout/backoff knobs must be positive, with "
+            "tcp_backoff_max_ms >= tcp_backoff_initial_ms");
+      }
     }
     if (progress_interval_us <= 0) {
       return Status::InvalidArgument("progress_interval_us must be positive");

@@ -25,8 +25,8 @@ inline obs::JobReport MakeJobReport(const std::string& job_name,
   report.ints["compers_per_worker"] = config.compers_per_worker;
   report.ints["cache_capacity"] = config.cache_capacity;
   report.ints["task_batch_size"] = config.task_batch_size;
-  report.ints["net_latency_us"] = config.net.latency_us;
-  report.doubles["net_bandwidth_mbps"] = config.net.bandwidth_mbps;
+  report.ints["net_latency_us"] = config.comm.net.latency_us;
+  report.doubles["net_bandwidth_mbps"] = config.comm.net.bandwidth_mbps;
 
   // -- run outcome --
   report.doubles["elapsed_s"] = stats.elapsed_s;

@@ -50,6 +50,7 @@ class PullCoalescer {
       return false;
     }
     buf.ids.push_back(id);
+    open_ids_.fetch_add(1, std::memory_order_relaxed);
     if (static_cast<int64_t>(buf.ids.size()) >= max_ids_ ||
         EncodedBytes(buf.ids.size()) >= flush_bytes_) {
       TakeLocked(buf, batch);
@@ -73,6 +74,14 @@ class PullCoalescer {
   /// IDs dropped because an identical request was already in flight.
   int64_t deduped() const { return deduped_.load(std::memory_order_relaxed); }
 
+  /// True while any destination has an open (sub-threshold) batch. Lets the
+  /// comm thread wait event-driven when idle but keep the short flush
+  /// cadence while pulls are buffered. Racy by design: a concurrent Add may
+  /// land just after a false reading and waits at most one receive timeout.
+  bool HasPending() const {
+    return open_ids_.load(std::memory_order_relaxed) > 0;
+  }
+
   /// Encoded size of a request batch (EncodeVertexRequest framing).
   static int64_t EncodedBytes(size_t num_ids) {
     return static_cast<int64_t>(sizeof(uint64_t) +
@@ -87,6 +96,8 @@ class PullCoalescer {
   };
 
   void TakeLocked(Buffer& buf, std::vector<VertexId>* batch) {
+    open_ids_.fetch_sub(static_cast<int64_t>(buf.ids.size()),
+                        std::memory_order_relaxed);
     batch->clear();
     batch->swap(buf.ids);
     buf.pending.clear();
@@ -96,6 +107,7 @@ class PullCoalescer {
   const int64_t max_ids_;
   const int64_t flush_bytes_;
   std::atomic<int64_t> deduped_{0};
+  std::atomic<int64_t> open_ids_{0};  // IDs across all open windows
 };
 
 }  // namespace gthinker

@@ -20,8 +20,8 @@ namespace gthinker {
 ///
 /// ContextT serializes through Codec<ContextT> (core/codec.h): specialize it
 /// for the context type (Bytes is optional — CodecBase defaults to sizeof).
-/// Types that only provide the legacy SerializeValue/DeserializeValue/
-/// ValueBytes ADL overloads still work via Codec's fallback.
+/// The legacy SerializeValue/DeserializeValue/ValueBytes ADL overloads are
+/// deprecated (one-release grace via Codec's detected fallback, then gone).
 template <typename VertexValueT, typename ContextT>
 class Task {
  public:

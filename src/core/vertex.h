@@ -90,69 +90,39 @@ struct Codec<Vertex<ValueT>> {
 };
 
 // ---------------------------------------------------------------------------
-// Legacy serialization-trait shims. The three ADL free functions
-// (SerializeValue / DeserializeValue / ValueBytes) were the pre-Codec
-// customization point; these one-liners keep existing call sites and
-// user-defined overload sets compiling. They call the Codec specializations
-// explicitly (never back through the primary template), so there is no
-// mutual-recursion hazard with Codec's legacy-delegation fallback.
+// Deprecated legacy serialization-trait shims (last release before removal).
+// The three ADL free functions (SerializeValue / DeserializeValue /
+// ValueBytes) were the pre-Codec customization point. Every framework and
+// in-tree call site now goes through Codec<T>; only these two shipped value
+// types keep shims so out-of-tree code gets a deprecation warning instead of
+// a hard break. The arithmetic, Vertex<V>, and generic-template overloads —
+// all shadowed by Codec's own fast path and sizeof fallback — are gone.
 // ---------------------------------------------------------------------------
 
+[[deprecated("use Codec<AdjList>::Encode (core/codec.h)")]]
 inline void SerializeValue(Serializer& ser, const AdjList& v) {
   Codec<AdjList>::Encode(ser, v);
 }
+[[deprecated("use Codec<AdjList>::Decode (core/codec.h)")]]
 inline Status DeserializeValue(Deserializer& des, AdjList* v) {
   return Codec<AdjList>::Decode(des, v);
 }
+[[deprecated("use Codec<AdjList>::Bytes (core/codec.h)")]]
+inline int64_t ValueBytes(const AdjList& v) {
+  return Codec<AdjList>::Bytes(v);
+}
 
+[[deprecated("use Codec<LabeledAdj>::Encode (core/codec.h)")]]
 inline void SerializeValue(Serializer& ser, const LabeledAdj& v) {
   Codec<LabeledAdj>::Encode(ser, v);
 }
+[[deprecated("use Codec<LabeledAdj>::Decode (core/codec.h)")]]
 inline Status DeserializeValue(Deserializer& des, LabeledAdj* v) {
   return Codec<LabeledAdj>::Decode(des, v);
 }
-
-inline void SerializeValue(Serializer& ser, uint64_t v) { ser.Write(v); }
-inline Status DeserializeValue(Deserializer& des, uint64_t* v) {
-  return des.Read(v);
-}
-
-inline void SerializeValue(Serializer& ser, uint32_t v) { ser.Write(v); }
-inline Status DeserializeValue(Deserializer& des, uint32_t* v) {
-  return des.Read(v);
-}
-
-template <typename ValueT>
-void SerializeValue(Serializer& ser, const Vertex<ValueT>& v) {
-  Codec<Vertex<ValueT>>::Encode(ser, v);
-}
-template <typename ValueT>
-Status DeserializeValue(Deserializer& des, Vertex<ValueT>* v) {
-  return Codec<Vertex<ValueT>>::Decode(des, v);
-}
-
-// ---------------------------------------------------------------------------
-// Legacy memory-estimate trait (MemTracker accounting; DESIGN.md §1).
-// ---------------------------------------------------------------------------
-
-/// Fallback for value/context types without a dedicated overload or Codec
-/// Bytes: the struct shell only. Types owning heap data should specialize
-/// Codec<T>::Bytes (non-template overloads win over this template).
-template <typename T>
-int64_t ValueBytes(const T&) {
-  return static_cast<int64_t>(sizeof(T));
-}
-
-inline int64_t ValueBytes(const AdjList& v) { return Codec<AdjList>::Bytes(v); }
+[[deprecated("use Codec<LabeledAdj>::Bytes (core/codec.h)")]]
 inline int64_t ValueBytes(const LabeledAdj& v) {
   return Codec<LabeledAdj>::Bytes(v);
-}
-inline int64_t ValueBytes(uint64_t) { return sizeof(uint64_t); }
-inline int64_t ValueBytes(uint32_t) { return sizeof(uint32_t); }
-
-template <typename ValueT>
-int64_t ValueBytes(const Vertex<ValueT>& v) {
-  return Codec<Vertex<ValueT>>::Bytes(v);
 }
 
 }  // namespace gthinker

@@ -31,6 +31,7 @@
 #include "storage/file_list.h"
 #include "storage/mini_dfs.h"
 #include "storage/spill_file.h"
+#include "util/concurrent_queue.h"
 #include "util/logging.h"
 #include "util/mem_tracker.h"
 #include "util/timer.h"
@@ -64,9 +65,9 @@ class Worker {
         cache_(config.cache_num_buckets, config.cache_capacity,
                config.cache_overflow_alpha, config.cache_counter_delta,
                &mem_, config.cache_use_z_table, config.cache_spinlock),
-        coalescer_(config.num_workers, config.request_batch_size,
-                   config.request_flush_bytes),
-        resp_cache_(config.response_cache_bytes),
+        coalescer_(config.num_workers, config.comm.request_batch_size,
+                   config.comm.request_flush_bytes),
+        resp_cache_(config.comm.response_cache_bytes),
         metrics_("worker" + std::to_string(worker_id)) {
     master_id_ = config_.num_workers;  // master mailbox index
     if (config_.enable_tracing) trace_ = std::make_unique<TraceRing>();
@@ -929,11 +930,28 @@ class Worker {
   // Communication thread.
   // ---------------------------------------------------------------------
 
+  /// Upper bound on one idle receive wait. Receive is event-driven — the
+  /// transport's readiness signal (the mailbox condition variable
+  /// in-process; the poll(2) IO thread feeding it under tcp) wakes this
+  /// thread the moment a batch lands — so the timeout exists only to bound
+  /// housekeeping latency: a comper may open a request window right after
+  /// HasPending() read false, and the progress cadence must be met.
+  static constexpr int64_t kMaxCommIdleWaitUs = 1000;
+
   void CommLoop() {
     Timer progress_timer;
     while (true) {
+      int64_t wait_us = std::min<int64_t>(
+          config_.progress_interval_us - progress_timer.ElapsedMicros(),
+          kMaxCommIdleWaitUs);
+      if (wait_us < 1) wait_us = 1;
+      if (coalescer_.HasPending()) {
+        // Open request batches flush on the short comm cadence so
+        // sub-threshold pulls are not delayed by an idle-length wait.
+        wait_us = std::min(wait_us, config_.comm.poll_us);
+      }
       MessageBatch mb;
-      if (hub_->Receive(id_, config_.comm_poll_us, &mb)) {
+      if (hub_->Receive(id_, wait_us, &mb)) {
         HandleMessage(mb);
         hub_->MarkProcessed(mb.type);
       }
@@ -953,7 +971,7 @@ class Worker {
   /// the drain tally. Used only after kTerminate was observed.
   bool PumpOneDrainMessage() {
     MessageBatch mb;
-    if (!hub_->Receive(id_, config_.comm_poll_us, &mb)) return false;
+    if (!hub_->Receive(id_, config_.comm.poll_us, &mb)) return false;
     drained_messages_.fetch_add(1, std::memory_order_relaxed);
     HandleMessage(mb);
     hub_->MarkProcessed(mb.type);
@@ -999,6 +1017,11 @@ class Worker {
         break;
       }
     }
+    // The release means every endpoint is quiesced: this worker will
+    // originate nothing further (only answer what still arrives). Socket
+    // backends use the announcement to run their cluster-wide drain-marker
+    // protocol; in-process it is a no-op.
+    hub_->BeginDrain(id_);
     while (!deadline_hit) {
       if (PumpOneDrainMessage()) continue;
       if (hub_->InFlightCount() == 0) break;
@@ -1019,7 +1042,7 @@ class Worker {
       Timer grace_timer;
       MessageBatch mb;
       while (grace_timer.ElapsedMicros() <= config_.drain_timeout_us) {
-        if (!hub_->Receive(id_, config_.comm_poll_us, &mb)) {
+        if (!hub_->Receive(id_, config_.comm.poll_us, &mb)) {
           if (hub_->InFlightCount() == 0) break;
           continue;
         }
@@ -1099,9 +1122,12 @@ class Worker {
         GT_CHECK_OK(DecodeTaskBatch(mb.payload, &records, &order_t_us));
         if (!records.empty()) {
           // Full steal round-trip: master's order -> donor -> this arrival.
-          // Valid across workers because all timestamps are hub-clock.
+          // Valid across workers in-process because all timestamps share one
+          // hub clock; across processes (tcp) the epochs differ, so a
+          // nonsensical (negative) delta is discarded rather than recorded.
           if (order_t_us > 0) {
-            steal_rtt_us_->Record(hub_->NowUs() - order_t_us);
+            const int64_t rtt_us = hub_->NowUs() - order_t_us;
+            if (rtt_us >= 0) steal_rtt_us_->Record(rtt_us);
           }
           // Count the tasks as live *before* banking the batch so there is
           // no instant at which they are invisible to the idle check.

@@ -1,8 +1,9 @@
 #include "net/comm_hub.h"
 
 #include <chrono>
-#include <thread>
+#include <utility>
 
+#include "net/transport_inproc.h"
 #include "util/logging.h"
 
 namespace gthinker {
@@ -18,46 +19,30 @@ int64_t SteadyNowUs() {
 }  // namespace
 
 CommHub::CommHub(int num_workers, NetConfig config)
-    : num_workers_(num_workers),
-      config_(config),
-      links_(static_cast<size_t>(num_workers) * num_workers),
-      epoch_us_(SteadyNowUs()) {
+    : num_workers_(num_workers), config_(config), epoch_us_(SteadyNowUs()) {
   GT_CHECK_GT(num_workers, 0);
-  mailboxes_.reserve(num_workers);
-  for (int i = 0; i < num_workers; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-  }
+  // Shared epoch: the transport stamps delivery times on the same clock the
+  // hub measures with, so delivery_us histograms stay meaningful.
+  transport_ = std::make_unique<net::InProcTransport>(num_workers, config,
+                                                      epoch_us_);
 }
+
+CommHub::CommHub(int num_endpoints, std::unique_ptr<net::Transport> transport)
+    : num_workers_(num_endpoints),
+      config_(),
+      epoch_us_(SteadyNowUs()),
+      transport_(std::move(transport)) {
+  GT_CHECK_GT(num_endpoints, 0);
+  GT_CHECK(transport_ != nullptr);
+}
+
+CommHub::~CommHub() { transport_->Stop(); }
 
 int64_t CommHub::NowUs() const { return SteadyNowUs() - epoch_us_; }
 
 void CommHub::Send(MessageBatch batch) {
   GT_CHECK_GE(batch.dst_worker, 0);
   GT_CHECK_LT(batch.dst_worker, num_workers_);
-  const int64_t now = NowUs();
-  int64_t deliver_at = now;
-  // Local (same-worker) traffic bypasses the simulated wire, matching a real
-  // deployment where intra-machine data never leaves the process.
-  if (batch.src_worker != batch.dst_worker && batch.src_worker >= 0) {
-    int64_t tx_us = 0;
-    if (config_.bandwidth_mbps > 0.0) {
-      tx_us = static_cast<int64_t>(batch.payload.size() * 8.0 /
-                                   config_.bandwidth_mbps);
-    }
-    // Serialize on the (src,dst) link: the batch starts transmitting when
-    // the link frees up, occupies it for tx_us, then takes latency to land.
-    Link& link = LinkFor(batch.src_worker, batch.dst_worker);
-    int64_t free_at = link.free_at_us.load(std::memory_order_relaxed);
-    int64_t start, done;
-    do {
-      start = std::max(now, free_at);
-      done = start + tx_us;
-    } while (!link.free_at_us.compare_exchange_weak(
-        free_at, done, std::memory_order_relaxed));
-    deliver_at = done + config_.latency_us;
-  }
-  batch.deliver_at_us = deliver_at;
-  batch.sent_at_us = now;
   bytes_sent_.fetch_add(static_cast<int64_t>(batch.payload.size()),
                         std::memory_order_acq_rel);
   batches_sent_.fetch_add(1, std::memory_order_acq_rel);
@@ -65,24 +50,35 @@ void CommHub::Send(MessageBatch batch) {
   sent_by_type_[t].fetch_add(1, std::memory_order_acq_rel);
   bytes_by_type_[t].fetch_add(static_cast<int64_t>(batch.payload.size()),
                               std::memory_order_relaxed);
-  mailboxes_[batch.dst_worker]->Push(std::move(batch));
+  transport_->Send(std::move(batch));
 }
 
 void CommHub::MarkProcessed(MsgType type) {
   processed_by_type_[static_cast<int>(type)].fetch_add(
       1, std::memory_order_acq_rel);
+  unprocessed_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 int64_t CommHub::InFlightCount() const {
-  int64_t in_flight = 0;
-  for (int t = 0; t < kNumMsgTypes; ++t) {
-    // Read processed before sent: a concurrent handler then reads as still
-    // in flight (conservative), never as already done.
-    const int64_t processed =
-        processed_by_type_[t].load(std::memory_order_acquire);
-    in_flight += sent_by_type_[t].load(std::memory_order_acquire) - processed;
+  if (transport_->CountsGlobally()) {
+    int64_t in_flight = 0;
+    for (int t = 0; t < kNumMsgTypes; ++t) {
+      // Read processed before sent: a concurrent handler then reads as still
+      // in flight (conservative), never as already done.
+      const int64_t processed =
+          processed_by_type_[t].load(std::memory_order_acquire);
+      in_flight +=
+          sent_by_type_[t].load(std::memory_order_acquire) - processed;
+    }
+    return in_flight;
   }
-  return in_flight;
+  // A socket backend can only prove *local* quiescence directly: batches we
+  // received but have not finished handling, plus everything the transport
+  // still holds or awaits (send buffers, inbox backlog, peers' outstanding
+  // drain markers). Polling this also advances the transport's drain
+  // protocol once the process goes locally quiet.
+  const int64_t unprocessed = unprocessed_.load(std::memory_order_acquire);
+  return unprocessed + transport_->DrainPending(unprocessed);
 }
 
 int64_t CommHub::InFlightCount(MsgType type) const {
@@ -95,16 +91,10 @@ int64_t CommHub::InFlightCount(MsgType type) const {
 bool CommHub::Receive(int worker, int64_t timeout_us, MessageBatch* out) {
   GT_CHECK_GE(worker, 0);
   GT_CHECK_LT(worker, num_workers_);
-  auto popped =
-      mailboxes_[worker]->PopFor(std::chrono::microseconds(timeout_us));
-  if (!popped.has_value()) return false;
-  // Honor the simulated wire time: since each link is FIFO and delivery
-  // times are monotone per link, sleeping here preserves per-link order.
-  const int64_t wait = popped->deliver_at_us - NowUs();
-  if (wait > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(wait));
-  }
-  *out = std::move(*popped);
+  if (!transport_->Receive(worker, timeout_us, out)) return false;
+  // Count as unprocessed *before* anything else can observe the pop, so
+  // InFlightCount never dips to zero between delivery and handling.
+  unprocessed_.fetch_add(1, std::memory_order_acq_rel);
   batches_delivered_.fetch_add(1, std::memory_order_acq_rel);
   const int t = static_cast<int>(out->type);
   delivered_by_type_[t].fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +128,7 @@ obs::MetricsSnapshot CommHub::MetricsSnapshot() const {
       snap.histograms.push_back(std::move(h));
     }
   }
+  transport_->AppendMetrics(&snap);
   return snap;
 }
 

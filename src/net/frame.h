@@ -1,0 +1,132 @@
+#ifndef GTHINKER_NET_FRAME_H_
+#define GTHINKER_NET_FRAME_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace gthinker::net {
+
+// ---------------------------------------------------------------------------
+// Versioned wire format for socket transports (DESIGN.md "Transport layer").
+//
+// Every byte on a TCP link is a sequence of frames:
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//        0     4  magic        0x47544E46 ("GTNF", little-endian u32)
+//        4     2  version      protocol version (kProtocolVersion)
+//        6     1  kind         FrameKind (HELLO / DATA / FLUSH)
+//        7     1  msg_type     DATA: MsgType of the carried batch
+//                              FLUSH: drain round (1 or 2); HELLO: 0
+//        8     4  src          DATA: source endpoint; HELLO/FLUSH: source
+//                              process rank (i32)
+//       12     4  dst          DATA: destination endpoint; else 0 (i32)
+//       16     4  payload_len  bytes of payload following the header (u32)
+//       20     4  crc32        CRC-32 of the payload bytes (0 when empty)
+//   ------  ----
+//       24        header size; payload_len payload bytes follow
+//
+// The version is negotiated at handshake: both sides open with a HELLO frame
+// and a mismatch is a clean, reported failure — never a garbage decode of an
+// incompatible stream. DATA payloads are the Codec<T>-encoded MessageBatch
+// bodies; the per-frame CRC catches wire corruption before any decoder runs.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kFrameMagic = 0x47544E46;  // "GTNF"
+inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 24;
+/// Sanity cap on a single frame's payload; anything larger is treated as a
+/// corrupt stream (a real batch never approaches this).
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+enum class FrameKind : uint8_t {
+  kHello = 1,  // handshake: version + sender rank; first frame both ways
+  kData = 2,   // one MessageBatch
+  kFlush = 3,  // drain marker (msg_type carries the round, 1 or 2)
+};
+
+struct FrameHeader {
+  uint32_t magic = kFrameMagic;
+  uint16_t version = kProtocolVersion;
+  FrameKind kind = FrameKind::kData;
+  uint8_t msg_type = 0;
+  int32_t src = -1;
+  int32_t dst = -1;
+  uint32_t payload_len = 0;
+  uint32_t crc32 = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+/// Chainable: pass the previous return value as `seed` to continue a
+/// computation over scattered fragments.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Serializes a header into exactly kFrameHeaderSize bytes at `out`.
+/// Little-endian fixed-width, matching the Serializer convention.
+inline void EncodeFrameHeader(const FrameHeader& h, char* out) {
+  auto put = [&out](const auto& v) {
+    std::memcpy(out, &v, sizeof(v));
+    out += sizeof(v);
+  };
+  put(h.magic);
+  put(h.version);
+  put(static_cast<uint8_t>(h.kind));
+  put(h.msg_type);
+  put(h.src);
+  put(h.dst);
+  put(h.payload_len);
+  put(h.crc32);
+}
+
+/// Parses a header from `data` (must hold >= kFrameHeaderSize bytes).
+/// Returns false on a bad magic, unknown kind, or oversized payload — the
+/// stream is corrupt and the connection must be dropped, since framing can
+/// never be recovered once the byte position is untrusted. A version
+/// mismatch parses successfully (the caller reports it as such).
+inline bool DecodeFrameHeader(const char* data, FrameHeader* h) {
+  const char* p = data;
+  auto get = [&p](auto* v) {
+    std::memcpy(v, p, sizeof(*v));
+    p += sizeof(*v);
+  };
+  uint8_t kind = 0;
+  get(&h->magic);
+  get(&h->version);
+  get(&kind);
+  get(&h->msg_type);
+  get(&h->src);
+  get(&h->dst);
+  get(&h->payload_len);
+  get(&h->crc32);
+  if (h->magic != kFrameMagic) return false;
+  if (kind < static_cast<uint8_t>(FrameKind::kHello) ||
+      kind > static_cast<uint8_t>(FrameKind::kFlush)) {
+    return false;
+  }
+  h->kind = static_cast<FrameKind>(kind);
+  return h->payload_len <= kMaxFramePayload;
+}
+
+}  // namespace gthinker::net
+
+#endif  // GTHINKER_NET_FRAME_H_

@@ -1,0 +1,87 @@
+#ifndef GTHINKER_NET_TRANSPORT_H_
+#define GTHINKER_NET_TRANSPORT_H_
+
+#include <cstdint>
+
+#include "net/message.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace gthinker::net {
+
+/// The pluggable byte-moving backend under CommHub (DESIGN.md "Transport
+/// layer"). CommHub stays the single routing/accounting surface the engine
+/// talks to; a Transport only moves MessageBatches between *endpoints* and
+/// answers questions about what it still holds.
+///
+/// Endpoint model: endpoints 0..num_workers-1 are the workers and endpoint
+/// num_workers is the master. A transport instance serves one process, which
+/// hosts one or more *local* endpoints (all of them for the in-process
+/// backend; one worker rank — plus the master on rank 0 — for TCP).
+///
+/// Contract (enforced by tests/transport_conformance_test.cc):
+///   - FIFO per (src, dst): batches between one ordered pair are delivered
+///     in send order.
+///   - Send() never drops a batch while the transport is running; it may
+///     block (backpressure) but must eventually accept.
+///   - Receive() returns batches for a *local* endpoint only.
+///   - Drain: once every local endpoint has called BeginDrain() and the
+///     cluster-wide drain protocol completes, DrainPending() reaches 0 and
+///     stays 0 — at which point no batch is buffered, in a socket, or still
+///     able to arrive.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Short backend name for metrics/status output ("inproc", "tcp").
+  virtual const char* name() const = 0;
+
+  /// Establishes connections / handshakes. Must be called (and succeed)
+  /// before the first Send. Trivial for the in-process backend.
+  virtual Status Start() = 0;
+
+  /// Flushes what it can and tears down. Idempotent.
+  virtual void Stop() = 0;
+
+  /// Queues `batch` for delivery to batch.dst_worker. Called concurrently
+  /// from many threads. May block under backpressure.
+  virtual void Send(MessageBatch batch) = 0;
+
+  /// Pops the next batch addressed to local endpoint `endpoint`, waiting up
+  /// to `timeout_us` real microseconds. Returns false on timeout.
+  virtual bool Receive(int endpoint, int64_t timeout_us, MessageBatch* out) = 0;
+
+  /// Current backlog of `endpoint`'s inbox (sampled gauge). Remote
+  /// endpoints report 0 — a process cannot see a peer's queues.
+  virtual int64_t InboxDepth(int endpoint) const = 0;
+
+  /// True when this backend's senders and receivers share one process, so
+  /// CommHub's global sent/processed counters alone prove wire quiescence
+  /// (the in-process case). When false, CommHub derives InFlightCount from
+  /// DrainPending() instead.
+  virtual bool CountsGlobally() const = 0;
+
+  /// Announces that local endpoint `endpoint` has entered the shutdown
+  /// drain: it will originate no further spontaneous traffic (only replies
+  /// to batches still arriving). Idempotent per endpoint. Once all local
+  /// endpoints have begun draining, a socket transport emits its
+  /// cluster-wide drain markers.
+  virtual void BeginDrain(int endpoint) = 0;
+
+  /// Wire-resident work this process still knows about or awaits: frames
+  /// buffered for send, inbox backlog, and outstanding drain markers from
+  /// peers. `unprocessed` is the host's count of batches received but not
+  /// yet fully handled; a socket transport uses it to decide when this
+  /// process can promise it will send no further replies (advancing the
+  /// drain protocol as a side effect). Returns 0 for a CountsGlobally()
+  /// backend.
+  virtual int64_t DrainPending(int64_t unprocessed) = 0;
+
+  /// Appends backend counters/gauges (per-peer send/flush/backpressure for
+  /// sockets) to the hub's snapshot.
+  virtual void AppendMetrics(obs::MetricsSnapshot* snap) const = 0;
+};
+
+}  // namespace gthinker::net
+
+#endif  // GTHINKER_NET_TRANSPORT_H_

@@ -1,0 +1,80 @@
+#include "net/transport_inproc.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace gthinker::net {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+InProcTransport::InProcTransport(int num_endpoints, NetConfig config,
+                                 int64_t epoch_us)
+    : num_endpoints_(num_endpoints),
+      config_(config),
+      epoch_us_(epoch_us),
+      links_(static_cast<size_t>(num_endpoints) * num_endpoints) {
+  GT_CHECK_GT(num_endpoints, 0);
+  mailboxes_.reserve(num_endpoints);
+  for (int i = 0; i < num_endpoints; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+int64_t InProcTransport::NowUs() const { return SteadyNowUs() - epoch_us_; }
+
+void InProcTransport::Send(MessageBatch batch) {
+  const int64_t now = NowUs();
+  int64_t deliver_at = now;
+  // Local (same-endpoint) traffic bypasses the simulated wire, matching a
+  // real deployment where intra-machine data never leaves the process.
+  if (batch.src_worker != batch.dst_worker && batch.src_worker >= 0) {
+    int64_t tx_us = 0;
+    if (config_.bandwidth_mbps > 0.0) {
+      tx_us = static_cast<int64_t>(batch.payload.size() * 8.0 /
+                                   config_.bandwidth_mbps);
+    }
+    // Serialize on the (src,dst) link: the batch starts transmitting when
+    // the link frees up, occupies it for tx_us, then takes latency to land.
+    Link& link = LinkFor(batch.src_worker, batch.dst_worker);
+    int64_t free_at = link.free_at_us.load(std::memory_order_relaxed);
+    int64_t start, done;
+    do {
+      start = std::max(now, free_at);
+      done = start + tx_us;
+    } while (!link.free_at_us.compare_exchange_weak(
+        free_at, done, std::memory_order_relaxed));
+    deliver_at = done + config_.latency_us;
+  }
+  batch.deliver_at_us = deliver_at;
+  batch.sent_at_us = now;
+  const int dst = batch.dst_worker;
+  mailboxes_[dst]->Push(std::move(batch));
+}
+
+bool InProcTransport::Receive(int endpoint, int64_t timeout_us,
+                              MessageBatch* out) {
+  auto popped =
+      mailboxes_[endpoint]->PopFor(std::chrono::microseconds(timeout_us));
+  if (!popped.has_value()) return false;
+  // Honor the simulated wire time: since each link is FIFO and delivery
+  // times are monotone per link, sleeping here preserves per-link order.
+  const int64_t wait = popped->deliver_at_us - NowUs();
+  if (wait > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(wait));
+  }
+  *out = std::move(*popped);
+  return true;
+}
+
+}  // namespace gthinker::net

@@ -1,0 +1,754 @@
+#include "net/transport_tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gthinker::net {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Splits "host:port"; returns false on a malformed entry.
+bool SplitHostPort(const std::string& entry, std::string* host, int* port) {
+  const size_t colon = entry.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= entry.size()) return false;
+  *host = entry.substr(0, colon);
+  char* end = nullptr;
+  const long p = std::strtol(entry.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p < 0 || p > 65535) return false;
+  *port = static_cast<int>(p);
+  return true;
+}
+
+constexpr int kIoPollMs = 50;      // fallback poll cadence (stop flag, backoff)
+constexpr int64_t kStopFlushMs = 5000;  // bounded best-effort flush in Stop()
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)),
+      num_endpoints_(options_.num_workers + 1),
+      peers_(static_cast<size_t>(options_.num_workers)) {
+  GT_CHECK_GT(options_.num_workers, 0);
+  GT_CHECK_GE(options_.rank, 0);
+  GT_CHECK_LT(options_.rank, options_.num_workers);
+  GT_CHECK_EQ(static_cast<int>(options_.hosts.size()), options_.num_workers);
+  local_endpoints_.push_back(options_.rank);
+  if (options_.rank == 0) local_endpoints_.push_back(options_.num_workers);
+  inboxes_.resize(num_endpoints_);
+  for (int e : local_endpoints_) {
+    inboxes_[e] = std::make_unique<ConcurrentQueue<MessageBatch>>();
+  }
+}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+Status TcpTransport::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::Aborted("tcp transport already running");
+  }
+  std::string host;
+  int port = 0;
+  if (!SplitHostPort(options_.hosts[options_.rank], &host, &port)) {
+    return Status::InvalidArgument("bad hostfile entry: " +
+                                   options_.hosts[options_.rank]);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind :" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, options_.num_workers + 8) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + err);
+  }
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("pipe: " + err);
+  }
+  SetNonBlocking(pipefd[0]);
+  SetNonBlocking(pipefd[1]);
+  SetNonBlocking(fd);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  running_ = true;
+  stop_ = false;
+  io_thread_ = std::thread(&TcpTransport::IoLoop, this);
+
+  // Block until the full mesh has exchanged HELLOs (or a sticky error /
+  // timeout). Peers that are slow to start are covered by reconnect backoff.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.connect_timeout_ms);
+  cv_start_.wait_until(lock, deadline, [&] {
+    return !start_error_.ok() || AllHelloLocked();
+  });
+  if (!start_error_.ok()) {
+    const Status err = start_error_;
+    lock.unlock();
+    Stop();
+    return err;
+  }
+  if (!AllHelloLocked()) {
+    lock.unlock();
+    Stop();
+    return Status::IoError("tcp transport: handshake timeout after " +
+                           std::to_string(options_.connect_timeout_ms) + "ms");
+  }
+  return Status::Ok();
+}
+
+void TcpTransport::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    // Best-effort flush: the engine's drain barrier normally leaves the send
+    // queues empty; the bound only matters on error paths.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(kStopFlushMs);
+    cv_send_.wait_until(lock, deadline, [&] {
+      for (const Peer& p : peers_) {
+        if (!p.sendq.empty()) return false;
+      }
+      return true;
+    });
+    stop_ = true;
+  }
+  Wake();
+  cv_send_.notify_all();
+  if (io_thread_.joinable()) io_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Peer& p : peers_) {
+    if (p.fd >= 0) ::close(p.fd);
+    p.fd = -1;
+  }
+  for (Pending& c : pending_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  pending_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  listen_fd_ = wake_r_ = wake_w_ = -1;
+  running_ = false;
+}
+
+void TcpTransport::Wake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wake_w_ >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+  }
+}
+
+std::string TcpTransport::EncodeDataFrame(const MessageBatch& batch) const {
+  FrameHeader h;
+  h.kind = FrameKind::kData;
+  h.msg_type = static_cast<uint8_t>(batch.type);
+  h.src = batch.src_worker;
+  h.dst = batch.dst_worker;
+  h.payload_len = static_cast<uint32_t>(batch.payload.size());
+  uint32_t crc = 0;
+  for (const Payload::Fragment& f : batch.payload.fragments()) {
+    crc = Crc32(f.data, f.len, crc);
+  }
+  h.crc32 = crc;
+  std::string out;
+  out.reserve(kFrameHeaderSize + batch.payload.size());
+  out.resize(kFrameHeaderSize);
+  EncodeFrameHeader(h, out.data());
+  for (const Payload::Fragment& f : batch.payload.fragments()) {
+    out.append(f.data, f.len);
+  }
+  return out;
+}
+
+std::string TcpTransport::EncodeControlFrame(FrameKind kind,
+                                             uint8_t msg_type) const {
+  FrameHeader h;
+  h.kind = kind;
+  h.msg_type = msg_type;
+  h.src = options_.rank;
+  h.dst = 0;
+  std::string out;
+  out.resize(kFrameHeaderSize);
+  EncodeFrameHeader(h, out.data());
+  return out;
+}
+
+void TcpTransport::Send(MessageBatch batch) {
+  const int dst_rank = EndpointRank(batch.dst_worker);
+  GT_CHECK_GE(batch.dst_worker, 0);
+  GT_CHECK_LT(batch.dst_worker, num_endpoints_);
+  if (dst_rank == options_.rank) {
+    // Intra-process traffic (worker 0 <-> master on rank 0) never touches a
+    // socket. No wire stamp: cross-endpoint latency histograms are an
+    // in-process-backend feature.
+    batch.deliver_at_us = 0;
+    batch.sent_at_us = 0;
+    inboxes_[batch.dst_worker]->Push(std::move(batch));
+    return;
+  }
+  std::string frame = EncodeDataFrame(batch);
+  bool wake = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    GT_CHECK(running_);
+    Peer& peer = peers_[dst_rank];
+    if (peer.queued_bytes >= options_.send_buffer_max_bytes) {
+      ++peer.backpressure_waits;
+      cv_send_.wait(lock, [&] {
+        return stop_ ||
+               peer.queued_bytes < options_.send_buffer_max_bytes;
+      });
+      if (stop_) return;  // teardown: the batch is abandoned with the run
+    }
+    EnqueueLocked(dst_rank, std::move(frame));
+    wake = true;
+  }
+  if (wake) Wake();
+}
+
+bool TcpTransport::Receive(int endpoint, int64_t timeout_us,
+                           MessageBatch* out) {
+  GT_CHECK(IsLocalEndpoint(endpoint));
+  auto popped =
+      inboxes_[endpoint]->PopFor(std::chrono::microseconds(timeout_us));
+  if (!popped.has_value()) return false;
+  *out = std::move(*popped);
+  return true;
+}
+
+int64_t TcpTransport::InboxDepth(int endpoint) const {
+  if (!IsLocalEndpoint(endpoint)) return 0;
+  return static_cast<int64_t>(inboxes_[endpoint]->Size());
+}
+
+void TcpTransport::BeginDrain(int endpoint) {
+  GT_CHECK(IsLocalEndpoint(endpoint));
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < local_endpoints_.size(); ++i) {
+      if (local_endpoints_[i] == endpoint) drained_endpoints_ |= 1 << i;
+    }
+    const int all = (1 << local_endpoints_.size()) - 1;
+    if (drained_endpoints_ == all && !flush1_sent_) {
+      // Every local endpoint has gone quiet: per-connection FIFO puts this
+      // round-1 marker after all of our requests and donations.
+      EnqueueFlushLocked(1);
+      flush1_sent_ = true;
+      wake = true;
+    }
+  }
+  if (wake) Wake();
+}
+
+int64_t TcpTransport::DrainPending(int64_t unprocessed) {
+  int64_t pending = 0;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t inbox = 0;
+    for (int e : local_endpoints_) {
+      inbox += static_cast<int64_t>(inboxes_[e]->Size());
+    }
+    pending += inbox;
+    bool all_flush1 = true;
+    for (int q = 0; q < options_.num_workers; ++q) {
+      if (q == options_.rank) continue;
+      const Peer& p = peers_[q];
+      pending += static_cast<int64_t>(p.sendq.size());
+      if (!p.flush1_rx) {
+        all_flush1 = false;
+        ++pending;
+      }
+      if (!p.flush2_rx) ++pending;
+    }
+    if (!flush1_sent_) {
+      ++pending;  // some local endpoint is still active
+    } else if (!flush2_sent_ && all_flush1 && inbox == 0 && unprocessed == 0) {
+      // Locally quiet and every peer's pre-barrier traffic has been handled
+      // (their round-1 markers arrived after it, FIFO): promise no further
+      // sends. Handling anything that still arrives (responses to our own
+      // pre-barrier requests) never sends, so the promise holds.
+      EnqueueFlushLocked(2);
+      flush2_sent_ = true;
+      wake = true;
+      pending += static_cast<int64_t>(options_.num_workers - 1);
+    }
+    if (!flush2_sent_) ++pending;
+  }
+  if (wake) Wake();
+  return pending;
+}
+
+void TcpTransport::EnqueueLocked(int q, std::string frame, bool front) {
+  Peer& peer = peers_[q];
+  peer.queued_bytes += static_cast<int64_t>(frame.size());
+  if (front) {
+    GT_CHECK_EQ(static_cast<int64_t>(peer.front_off), 0);
+    peer.sendq.push_front(std::move(frame));
+  } else {
+    peer.sendq.push_back(std::move(frame));
+  }
+}
+
+void TcpTransport::EnqueueFlushLocked(uint8_t round) {
+  for (int q = 0; q < options_.num_workers; ++q) {
+    if (q == options_.rank) continue;
+    EnqueueLocked(q, EncodeControlFrame(FrameKind::kFlush, round));
+  }
+}
+
+bool TcpTransport::AllHelloLocked() const {
+  for (int q = 0; q < options_.num_workers; ++q) {
+    if (q == options_.rank) continue;
+    if (!peers_[q].hello_ok) return false;
+  }
+  return true;
+}
+
+Status TcpTransport::ConnectLocked(int q) {
+  std::string host;
+  int port = 0;
+  if (!SplitHostPort(options_.hosts[q], &host, &port)) {
+    return Status::InvalidArgument("bad hostfile entry: " + options_.hosts[q]);
+  }
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IoError("getaddrinfo " + host);
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  Peer& peer = peers_[q];
+  if (rc == 0) {
+    peer.fd = fd;
+    peer.connecting = false;
+    peer.front_off = 0;
+    EnqueueLocked(q, EncodeControlFrame(FrameKind::kHello, 0), /*front=*/true);
+  } else if (errno == EINPROGRESS) {
+    peer.fd = fd;
+    peer.connecting = true;
+  } else {
+    ::close(fd);
+    return Status::IoError("connect " + options_.hosts[q] + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void TcpTransport::DropPeerLocked(int q, bool reconnect) {
+  Peer& peer = peers_[q];
+  if (peer.fd >= 0) ::close(peer.fd);
+  peer.fd = -1;
+  peer.connecting = false;
+  peer.hello_ok = false;
+  peer.rxbuf.clear();
+  peer.rx_off = 0;
+  // Resend from the last frame boundary: frames are only popped once fully
+  // written, so resetting the partial-write offset is lossless (the receiver
+  // may see a truncated frame tail from the dead connection; it resyncs on
+  // the fresh connection's HELLO).
+  peer.front_off = 0;
+  if (reconnect) {
+    ++peer.reconnects;
+    peer.backoff_ms = peer.backoff_ms == 0
+                          ? options_.backoff_initial_ms
+                          : std::min(peer.backoff_ms * 2,
+                                     options_.backoff_max_ms);
+    peer.reconnect_at_ms = SteadyNowMs() + peer.backoff_ms;
+  }
+}
+
+bool TcpTransport::WritePeerLocked(int q) {
+  Peer& peer = peers_[q];
+  while (!peer.sendq.empty()) {
+    const std::string& frame = peer.sendq.front();
+    const ssize_t n =
+        ::send(peer.fd, frame.data() + peer.front_off,
+               frame.size() - peer.front_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;
+      }
+      return false;
+    }
+    peer.front_off += static_cast<size_t>(n);
+    peer.bytes_sent += n;
+    if (peer.front_off == frame.size()) {
+      peer.queued_bytes -= static_cast<int64_t>(frame.size());
+      ++peer.frames_sent;
+      peer.sendq.pop_front();
+      peer.front_off = 0;
+      if (peer.sendq.empty()) ++peer.flushes;
+      cv_send_.notify_all();
+    }
+  }
+  return true;
+}
+
+bool TcpTransport::HandleFrameLocked(int conn_rank, const FrameHeader& h,
+                                     const char* payload) {
+  switch (h.kind) {
+    case FrameKind::kHello:
+      // Version was already vetted by the caller. On the dialing side this
+      // is the acceptor's reply completing the handshake; accepted
+      // connections were attached to their peer slot before parsing.
+      if (conn_rank >= 0) {
+        peers_[conn_rank].hello_ok = true;
+        cv_start_.notify_all();
+      }
+      return true;
+    case FrameKind::kFlush: {
+      if (conn_rank < 0) return false;
+      Peer& peer = peers_[conn_rank];
+      if (h.msg_type == 1) {
+        peer.flush1_rx = true;
+      } else if (h.msg_type == 2) {
+        peer.flush2_rx = true;
+      } else {
+        return false;
+      }
+      return true;
+    }
+    case FrameKind::kData: {
+      if (h.msg_type >= kNumMsgTypes) return false;
+      if (!IsLocalEndpoint(h.dst)) {
+        ++frames_dropped_;
+        return true;  // misrouted, but the stream itself is intact
+      }
+      MessageBatch batch;
+      batch.src_worker = h.src;
+      batch.dst_worker = h.dst;
+      batch.type = static_cast<MsgType>(h.msg_type);
+      batch.payload = Payload::CopyOf(payload, h.payload_len);
+      // No cross-process clock: remote batches deliver immediately and are
+      // excluded from the delivery-latency histograms (sent_at_us == 0).
+      batch.deliver_at_us = 0;
+      batch.sent_at_us = 0;
+      inboxes_[h.dst]->Push(std::move(batch));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TcpTransport::ParseFramesLocked(int q, std::string* buf, size_t* off) {
+  while (buf->size() - *off >= kFrameHeaderSize) {
+    FrameHeader h;
+    if (!DecodeFrameHeader(buf->data() + *off, &h)) {
+      ++frames_corrupt_;
+      return false;
+    }
+    if (h.version != kProtocolVersion) {
+      if (q >= 0 && q < options_.rank) {
+        // We initiated this connection: a version mismatch is a
+        // configuration error, reported as a clean Start() failure.
+        if (start_error_.ok()) {
+          start_error_ = Status::InvalidArgument(
+              "protocol version mismatch: peer rank " + std::to_string(q) +
+              " speaks v" + std::to_string(h.version) + ", this build v" +
+              std::to_string(kProtocolVersion));
+        }
+        cv_start_.notify_all();
+      } else {
+        // Accepted side: reject the stray/incompatible connection without
+        // taking the job down.
+        ++hello_rejected_;
+      }
+      return false;
+    }
+    if (buf->size() - *off - kFrameHeaderSize < h.payload_len) break;
+    const char* payload = buf->data() + *off + kFrameHeaderSize;
+    if (h.payload_len > 0 && Crc32(payload, h.payload_len) != h.crc32) {
+      ++frames_corrupt_;
+      return false;
+    }
+    if (!HandleFrameLocked(q, h, payload)) {
+      ++frames_corrupt_;
+      return false;
+    }
+    if (q >= 0) ++peers_[q].frames_received;
+    *off += kFrameHeaderSize + h.payload_len;
+  }
+  if (*off > 0) {
+    buf->erase(0, *off);
+    *off = 0;
+  }
+  return true;
+}
+
+bool TcpTransport::ReadPeerLocked(int q) {
+  Peer& peer = peers_[q];
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      peer.bytes_received += n;
+      peer.rxbuf.append(buf, static_cast<size_t>(n));
+      if (!ParseFramesLocked(q, &peer.rxbuf, &peer.rx_off)) return false;
+      if (static_cast<size_t>(n) < sizeof(buf)) return true;
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return true;
+    return false;
+  }
+}
+
+void TcpTransport::IoLoop() {
+  std::vector<pollfd> pfds;
+  // owners[i]: -1 listen, -2 wake pipe, q >= 0 peer rank, -(3+i) pending_[i]
+  std::vector<int> owners;
+  while (true) {
+    pfds.clear();
+    owners.clear();
+    int timeout_ms = kIoPollMs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) break;
+      const int64_t now_ms = SteadyNowMs();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      owners.push_back(-1);
+      pfds.push_back({wake_r_, POLLIN, 0});
+      owners.push_back(-2);
+      for (int q = 0; q < options_.num_workers; ++q) {
+        if (q == options_.rank) continue;
+        Peer& peer = peers_[q];
+        if (peer.fd < 0) {
+          // Only the lower rank dials; the higher rank waits for an accept.
+          if (q < options_.rank) {
+            if (now_ms >= peer.reconnect_at_ms) {
+              const Status s = ConnectLocked(q);
+              if (!s.ok()) DropPeerLocked(q, /*reconnect=*/true);
+            } else {
+              timeout_ms = std::min<int64_t>(
+                  timeout_ms, std::max<int64_t>(1, peer.reconnect_at_ms -
+                                                       now_ms));
+            }
+          }
+        }
+        if (peer.fd >= 0) {
+          short events = POLLIN;
+          if (peer.connecting || !peer.sendq.empty()) events |= POLLOUT;
+          pfds.push_back({peer.fd, events, 0});
+          owners.push_back(q);
+        }
+      }
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        pfds.push_back({pending_[i].fd, POLLIN, 0});
+        owners.push_back(-3 - static_cast<int>(i));
+      }
+    }
+    const int ready =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) break;
+    std::vector<int> dead_pending;
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      const int owner = owners[i];
+      if (owner == -2) {
+        char drain[256];
+        while (::read(wake_r_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (owner == -1) {
+        while (true) {
+          const int conn = ::accept(listen_fd_, nullptr, nullptr);
+          if (conn < 0) break;
+          SetNonBlocking(conn);
+          SetNoDelay(conn);
+          pending_.push_back(Pending{conn, std::string()});
+        }
+        continue;
+      }
+      if (owner <= -3) {
+        // Accepted connection awaiting its HELLO.
+        const size_t idx = static_cast<size_t>(-3 - owner);
+        Pending& c = pending_[idx];
+        char buf[4096];
+        bool drop = false;
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          c.rxbuf.append(buf, static_cast<size_t>(n));
+          if (c.rxbuf.size() >= kFrameHeaderSize) {
+            FrameHeader h;
+            if (!DecodeFrameHeader(c.rxbuf.data(), &h) ||
+                h.kind != FrameKind::kHello ||
+                h.version != kProtocolVersion || h.src <= options_.rank ||
+                h.src >= options_.num_workers) {
+              ++hello_rejected_;
+              drop = true;
+            } else {
+              // Adopt: this connection becomes the live link to rank h.src.
+              Peer& peer = peers_[h.src];
+              if (peer.fd >= 0) ::close(peer.fd);  // replaced by reconnect
+              peer.fd = c.fd;
+              peer.connecting = false;
+              peer.hello_ok = true;
+              peer.front_off = 0;
+              peer.rxbuf = c.rxbuf.substr(kFrameHeaderSize);
+              peer.rx_off = 0;
+              EnqueueLocked(h.src, EncodeControlFrame(FrameKind::kHello, 0),
+                            /*front=*/true);
+              cv_start_.notify_all();
+              if (!ParseFramesLocked(h.src, &peer.rxbuf, &peer.rx_off) ||
+                  !WritePeerLocked(h.src)) {
+                DropPeerLocked(h.src, /*reconnect=*/false);
+              }
+              c.fd = -1;  // ownership transferred
+              dead_pending.push_back(static_cast<int>(idx));
+              continue;
+            }
+          }
+        } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                              errno != EINTR)) {
+          drop = true;
+        }
+        if (drop) {
+          ::close(c.fd);
+          c.fd = -1;
+          dead_pending.push_back(static_cast<int>(idx));
+        }
+        continue;
+      }
+      // Peer socket.
+      const int q = owner;
+      Peer& peer = peers_[q];
+      if (peer.fd != pfds[i].fd) continue;  // replaced meanwhile
+      if (peer.connecting && (pfds[i].revents & (POLLOUT | POLLERR | POLLHUP))) {
+        int err = 0;
+        socklen_t elen = sizeof(err);
+        ::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &elen);
+        if (err != 0) {
+          DropPeerLocked(q, /*reconnect=*/true);
+          continue;
+        }
+        peer.connecting = false;
+        EnqueueLocked(q, EncodeControlFrame(FrameKind::kHello, 0),
+                      /*front=*/true);
+      }
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Read out anything still buffered before declaring the link dead.
+        ReadPeerLocked(q);
+        if (peer.fd >= 0) DropPeerLocked(q, q < options_.rank);
+        continue;
+      }
+      if ((pfds[i].revents & POLLIN) && !ReadPeerLocked(q)) {
+        const bool fatal = !start_error_.ok();
+        DropPeerLocked(q, /*reconnect=*/q < options_.rank && !fatal);
+        continue;
+      }
+      if (!peer.connecting && !peer.sendq.empty() && !WritePeerLocked(q)) {
+        DropPeerLocked(q, q < options_.rank);
+        continue;
+      }
+    }
+    // Compact pending_ (indices collected descending-safe via sort).
+    std::sort(dead_pending.begin(), dead_pending.end());
+    for (auto it = dead_pending.rbegin(); it != dead_pending.rend(); ++it) {
+      pending_.erase(pending_.begin() + *it);
+    }
+  }
+  cv_send_.notify_all();
+  cv_start_.notify_all();
+}
+
+void TcpTransport::AppendMetrics(obs::MetricsSnapshot* snap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snap->counters.emplace_back("transport.frames_corrupt", frames_corrupt_);
+  snap->counters.emplace_back("transport.hello_rejected", hello_rejected_);
+  snap->counters.emplace_back("transport.frames_dropped", frames_dropped_);
+  for (int q = 0; q < options_.num_workers; ++q) {
+    if (q == options_.rank) continue;
+    const Peer& p = peers_[q];
+    const std::string label = "{peer=" + std::to_string(q) + "}";
+    snap->counters.emplace_back("transport.frames_sent" + label,
+                                p.frames_sent);
+    snap->counters.emplace_back("transport.bytes_sent" + label, p.bytes_sent);
+    snap->counters.emplace_back("transport.frames_received" + label,
+                                p.frames_received);
+    snap->counters.emplace_back("transport.bytes_received" + label,
+                                p.bytes_received);
+    snap->counters.emplace_back("transport.send_flushes" + label, p.flushes);
+    snap->counters.emplace_back("transport.backpressure_waits" + label,
+                                p.backpressure_waits);
+    snap->counters.emplace_back("transport.reconnects" + label, p.reconnects);
+    snap->gauges.emplace_back("transport.send_queue_bytes" + label,
+                              p.queued_bytes);
+  }
+}
+
+}  // namespace gthinker::net

@@ -1,0 +1,162 @@
+#ifndef GTHINKER_NET_TRANSPORT_TCP_H_
+#define GTHINKER_NET_TRANSPORT_TCP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/message.h"
+#include "net/transport.h"
+#include "util/concurrent_queue.h"
+
+namespace gthinker::net {
+
+struct TcpTransportOptions {
+  /// This process's rank; ranks map 1:1 to hostfile lines.
+  int rank = 0;
+  /// Cluster worker count. Endpoints are 0..num_workers-1 (one worker per
+  /// rank) plus num_workers (the master, hosted on rank 0).
+  int num_workers = 1;
+  /// "host:port" per rank, hostfile order; size must equal num_workers.
+  std::vector<std::string> hosts;
+  /// Per-peer buffered-send cap; Send() blocks (backpressure) above it.
+  int64_t send_buffer_max_bytes = 4 << 20;
+  /// Start() fails if the full-mesh handshake is not done within this.
+  int64_t connect_timeout_ms = 10'000;
+  /// Reconnect backoff window on transient socket errors.
+  int64_t backoff_initial_ms = 50;
+  int64_t backoff_max_ms = 1'000;
+};
+
+/// Socket backend: each process hosts one worker rank (rank 0 also hosts the
+/// master endpoint) and keeps one bidirectional TCP connection per peer rank
+/// (rank r connects to every q < r and accepts from every q > r; a HELLO
+/// frame negotiates the protocol version both ways). One IO thread drives
+/// poll(2) over the listen socket, a self-pipe wakeup, and every peer fd:
+/// nonblocking writes drain per-peer buffered send queues of encoded frames
+/// (net/frame.h), reads reassemble frames and push decoded batches onto the
+/// local endpoints' inboxes. Send() applies backpressure above
+/// send_buffer_max_bytes; transient connection errors reconnect with
+/// exponential backoff and resend from the last frame boundary.
+///
+/// In-flight accounting across sockets (DESIGN.md "Transport layer"): a
+/// process cannot see its peers' counters, so quiescence is certified by a
+/// two-round FLUSH marker protocol. Round 1 is emitted once every local
+/// endpoint called BeginDrain() — per-connection FIFO guarantees all of this
+/// process's requests and donations precede it. Round 2 is emitted once
+/// round-1 markers arrived from all peers and the process is locally quiet
+/// (inboxes empty, nothing unprocessed) — at that point no pre-barrier
+/// request of ours is still unanswered anywhere, and since handling a
+/// response never sends, nothing can arrive after a peer's round-2 marker.
+/// DrainPending() returns 0 only once both rounds completed, all send queues
+/// flushed, and the inboxes are empty.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options);
+  ~TcpTransport() override;
+
+  const char* name() const override { return "tcp"; }
+  Status Start() override;
+  void Stop() override;
+  void Send(MessageBatch batch) override;
+  bool Receive(int endpoint, int64_t timeout_us, MessageBatch* out) override;
+  int64_t InboxDepth(int endpoint) const override;
+  bool CountsGlobally() const override { return false; }
+  void BeginDrain(int endpoint) override;
+  int64_t DrainPending(int64_t unprocessed) override;
+  void AppendMetrics(obs::MetricsSnapshot* snap) const override;
+
+  /// The listen port actually bound (resolves a ":0" hostfile entry).
+  int port() const { return port_; }
+  int rank() const { return options_.rank; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool connecting = false;  // nonblocking connect() awaiting POLLOUT
+    bool hello_ok = false;    // valid HELLO received on the live connection
+    std::deque<std::string> sendq;  // encoded frames, FIFO
+    size_t front_off = 0;           // bytes of sendq.front() already written
+    int64_t queued_bytes = 0;
+    std::string rxbuf;
+    size_t rx_off = 0;  // parsed prefix of rxbuf
+    int64_t backoff_ms = 0;
+    int64_t reconnect_at_ms = 0;  // steady-clock ms of next connect attempt
+    bool flush1_rx = false;       // drain markers received from this peer
+    bool flush2_rx = false;
+    // per-peer wire metrics
+    int64_t frames_sent = 0;
+    int64_t bytes_sent = 0;
+    int64_t frames_received = 0;
+    int64_t bytes_received = 0;
+    int64_t flushes = 0;  // send queue drained to empty
+    int64_t backpressure_waits = 0;
+    int64_t reconnects = 0;
+  };
+
+  /// An accepted connection whose peer rank is unknown until its HELLO.
+  struct Pending {
+    int fd = -1;
+    std::string rxbuf;
+  };
+
+  int EndpointRank(int endpoint) const {
+    return endpoint == options_.num_workers ? 0 : endpoint;
+  }
+  bool IsLocalEndpoint(int endpoint) const {
+    return endpoint >= 0 && endpoint <= options_.num_workers &&
+           EndpointRank(endpoint) == options_.rank;
+  }
+
+  void IoLoop();
+  void Wake();
+  Status ConnectLocked(int q);                // begins a nonblocking connect
+  bool WritePeerLocked(int q);                // false = connection died
+  bool ReadPeerLocked(int q);                 // false = connection died
+  void DropPeerLocked(int q, bool reconnect);
+  void EnqueueLocked(int q, std::string frame, bool front = false);
+  void EnqueueFlushLocked(uint8_t round);
+  /// Parses complete frames out of `buf`/`off`; false = corrupt stream.
+  bool ParseFramesLocked(int q, std::string* buf, size_t* off);
+  bool HandleFrameLocked(int conn_rank, const FrameHeader& h,
+                         const char* payload);
+  std::string EncodeDataFrame(const MessageBatch& batch) const;
+  std::string EncodeControlFrame(FrameKind kind, uint8_t msg_type) const;
+  bool AllHelloLocked() const;
+
+  const TcpTransportOptions options_;
+  const int num_endpoints_;
+  std::vector<int> local_endpoints_;
+  std::vector<std::unique_ptr<ConcurrentQueue<MessageBatch>>> inboxes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_send_;   // backpressure + stop-flush waiters
+  std::condition_variable cv_start_;  // handshake completion
+  std::vector<Peer> peers_;           // indexed by rank; self slot unused
+  std::vector<Pending> pending_;
+  Status start_error_;        // sticky fatal from the IO thread (bad version)
+  bool running_ = false;
+  bool stop_ = false;
+  int drained_endpoints_ = 0;  // bitmask over local_endpoints_ order
+  bool flush1_sent_ = false;
+  bool flush2_sent_ = false;
+  int64_t frames_corrupt_ = 0;
+  int64_t hello_rejected_ = 0;
+  int64_t frames_dropped_ = 0;  // DATA for a non-local endpoint
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  int port_ = 0;
+  std::thread io_thread_;
+};
+
+}  // namespace gthinker::net
+
+#endif  // GTHINKER_NET_TRANSPORT_TCP_H_

@@ -53,8 +53,8 @@ TEST(Checkpoint, ResumeProducesSameAnswer) {
     job.config.time_budget_s = 0.08;
     // Throttle the wire hard (and shrink the cache so vertices get re-pulled)
     // so the budget strikes mid-flight.
-    job.config.net.latency_us = 300;
-    job.config.net.bandwidth_mbps = 2.0;
+    job.config.comm.net.latency_us = 300;
+    job.config.comm.net.bandwidth_mbps = 2.0;
     job.config.cache_capacity = 128;
     job.config.cache_num_buckets = 32;
     job.graph = &g;
@@ -116,8 +116,8 @@ TEST(Checkpoint, CheckpointUnderActiveStealingLosesNoTasks) {
     job.config.task_batch_size = 8;  // small batches => frequent donations
     job.config.inflight_task_cap = 64;
     job.config.time_budget_s = 0.08;
-    job.config.net.latency_us = 300;
-    job.config.net.bandwidth_mbps = 2.0;
+    job.config.comm.net.latency_us = 300;
+    job.config.comm.net.bandwidth_mbps = 2.0;
     job.config.cache_capacity = 128;
     job.config.cache_num_buckets = 32;
     job.graph = &g;

@@ -31,7 +31,7 @@ JobConfig RandomConfig(uint64_t seed) {
   config.cache_num_buckets = 1 + static_cast<int>(rng.Uniform(512));
   config.cache_overflow_alpha = 0.01 + rng.NextDouble() * 2.0;
   config.cache_counter_delta = 1 + static_cast<int>(rng.Uniform(20));
-  config.request_batch_size = 1 + static_cast<int>(rng.Uniform(300));
+  config.comm.request_batch_size = 1 + static_cast<int>(rng.Uniform(300));
   config.enable_stealing = rng.Bernoulli(0.5);
   config.refill_spawn_first = rng.Bernoulli(0.3);
   // Exercise both kernel paths: bitset disabled, a tiny threshold that
@@ -40,8 +40,8 @@ JobConfig RandomConfig(uint64_t seed) {
   config.kernel_bitset_max_vertices =
       kernel_modes[rng.Uniform(3)];
   if (rng.Bernoulli(0.4)) {
-    config.net.latency_us = static_cast<int64_t>(rng.Uniform(300));
-    config.net.bandwidth_mbps = 50.0 + rng.NextDouble() * 2000.0;
+    config.comm.net.latency_us = static_cast<int64_t>(rng.Uniform(300));
+    config.comm.net.bandwidth_mbps = 50.0 + rng.NextDouble() * 2000.0;
   }
   return config;
 }

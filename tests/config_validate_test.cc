@@ -55,16 +55,16 @@ TEST(ConfigValidate, RejectsBadTaskParameters) {
   c.inflight_task_cap = c.task_batch_size - 1;
   EXPECT_FALSE(c.Validate().ok());
   c = JobConfig{};
-  c.request_batch_size = 0;
+  c.comm.request_batch_size = 0;
   EXPECT_FALSE(c.Validate().ok());
 }
 
 TEST(ConfigValidate, RejectsNegativeBudgetsAndWire) {
   JobConfig c;
-  c.net.latency_us = -1;
+  c.comm.net.latency_us = -1;
   EXPECT_FALSE(c.Validate().ok());
   c = JobConfig{};
-  c.net.bandwidth_mbps = -5.0;
+  c.comm.net.bandwidth_mbps = -5.0;
   EXPECT_FALSE(c.Validate().ok());
   c = JobConfig{};
   c.time_budget_s = -1.0;
@@ -76,19 +76,19 @@ TEST(ConfigValidate, RejectsNegativeBudgetsAndWire) {
 
 TEST(ConfigValidate, RejectsBadCommunicationKnobs) {
   JobConfig c;
-  c.request_flush_bytes = 15;  // cannot hold the count header plus one ID
+  c.comm.request_flush_bytes = 15;  // cannot hold the count header plus one ID
   EXPECT_TRUE(c.Validate().IsInvalidArgument());
   c = JobConfig{};
-  c.request_flush_bytes = 16;
+  c.comm.request_flush_bytes = 16;
   EXPECT_TRUE(c.Validate().ok());
   c = JobConfig{};
-  c.response_cache_bytes = -1;
+  c.comm.response_cache_bytes = -1;
   EXPECT_TRUE(c.Validate().IsInvalidArgument());
   c = JobConfig{};
-  c.response_cache_bytes = 0;  // 0 legitimately disables memoization
+  c.comm.response_cache_bytes = 0;  // 0 legitimately disables memoization
   EXPECT_TRUE(c.Validate().ok());
   c = JobConfig{};
-  c.comm_poll_us = 0;
+  c.comm.poll_us = 0;
   EXPECT_TRUE(c.Validate().IsInvalidArgument());
 }
 

@@ -213,8 +213,8 @@ TEST(Integration, SimulatedLatencyStillCorrect) {
   Job<TriangleComper> job;
   job.config.num_workers = 2;
   job.config.compers_per_worker = 2;
-  job.config.net.latency_us = 500;
-  job.config.net.bandwidth_mbps = 100.0;
+  job.config.comm.net.latency_us = 500;
+  job.config.comm.net.bandwidth_mbps = 100.0;
   job.graph = &g;
   job.comper_factory = [] { return std::make_unique<TriangleComper>(); };
   job.trimmer = TrimToGreater;

@@ -309,8 +309,8 @@ TEST(SplitTermination, TimeoutExitStaysAccountedWithSplittingArmed) {
   job.config.task_time_budget_us = 200;
   job.config.task_split_max_candidates = 16;
   job.config.task_split_steal_weight = 8;
-  job.config.net.latency_us = 300;
-  job.config.net.bandwidth_mbps = 2.0;
+  job.config.comm.net.latency_us = 300;
+  job.config.comm.net.bandwidth_mbps = 2.0;
   job.config.cache_capacity = 256;
   job.config.cache_num_buckets = 32;
   job.graph = &g;

@@ -88,8 +88,8 @@ TEST(Termination, TimeoutShutdownDrainsInFlightWork) {
   job.config.compers_per_worker = 1;
   job.config.enable_stealing = true;
   job.config.time_budget_s = 0.06;
-  job.config.net.latency_us = 300;
-  job.config.net.bandwidth_mbps = 2.0;
+  job.config.comm.net.latency_us = 300;
+  job.config.comm.net.bandwidth_mbps = 2.0;
   job.config.cache_capacity = 128;
   job.config.cache_num_buckets = 32;
   job.graph = &g;
