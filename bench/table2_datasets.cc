@@ -3,18 +3,61 @@
 // real dataset; the relative density/skew ordering mirrors the originals).
 // Also emits the same rows as JSON (default table2_datasets.json, override
 // with --json <path>) so tooling never scrapes the printed table.
+//
+// With --layout, also reports the layout pass's static pull-volume model per
+// dataset: est_pull_bytes under the original numbering vs. after hub-last
+// (degree-ascending) renumbering. The estimate is
+// sum_v sum_{u in G_>(v)} |G_>(u)| * 4 bytes — each root-v task pulls its
+// larger-ID neighbors, paying each pulled row's own trimmed size — which the
+// renumbering minimizes by making every trimmed row small (degeneracy-style
+// orientation: a hub's G_> list only keeps its higher-degree peers).
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "graph/generator.h"
+#include "graph/layout.h"
 
 using namespace gthinker;
+
+namespace {
+
+// Static pull-volume model (bytes) for a graph under a renumbering: with the
+// G_> trim, task(v) pulls every neighbor with a larger new ID, and a pulled
+// vertex u ships its own larger-new-ID adjacency. Identity `layout` scores
+// the original numbering.
+double EstimatedPullBytes(const Graph& g, const VertexLayout& layout) {
+  const VertexId n = g.NumVertices();
+  // trimmed_deg[new_id] = |G_>(v)| in the renumbered graph.
+  std::vector<uint64_t> trimmed_deg(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId nv = layout.ToNew(v);
+    for (VertexId u : g.Neighbors(v)) {
+      if (layout.ToNew(u) > nv) ++trimmed_deg[nv];
+    }
+  }
+  double bytes = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId nv = layout.ToNew(v);
+    for (VertexId u : g.Neighbors(v)) {
+      const VertexId nu = layout.ToNew(u);
+      if (nu > nv) bytes += static_cast<double>(trimmed_deg[nu]);
+    }
+  }
+  return bytes * sizeof(VertexId);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const char* arg_path = bench::JsonPathArg(argc, argv);
   const char* json_path = arg_path != nullptr ? arg_path
                                               : "table2_datasets.json";
+  bool with_layout = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--layout") == 0) with_layout = true;
+  }
 
   bench::BenchJson out;
   out.bench = "table2_datasets";
@@ -33,6 +76,17 @@ int main(int argc, char** argv) {
     row->numbers["num_edges"] = static_cast<double>(d.graph.NumEdges());
     row->numbers["max_degree"] = static_cast<double>(d.graph.MaxDegree());
     row->numbers["avg_degree"] = d.graph.AvgDegree();
+    if (with_layout) {
+      const double orig = EstimatedPullBytes(
+          d.graph, VertexLayout::Identity(d.graph.NumVertices()));
+      const double hub = EstimatedPullBytes(
+          d.graph, VertexLayout::HubLast(d.graph));
+      std::printf("  layout: est pull bytes %.3g (original) -> %.3g "
+                  "(hub-last), %.2fx less\n",
+                  orig, hub, hub > 0 ? orig / hub : 0.0);
+      row->numbers["est_pull_bytes_original"] = orig;
+      row->numbers["est_pull_bytes_hublast"] = hub;
+    }
   }
   std::printf("\npaper originals for reference: Youtube 1.1M/3.0M, "
               "Skitter 1.7M/11.1M, Orkut 3.1M/117M, BTC 164.7M/772M, "

@@ -74,24 +74,39 @@ bool CompactLabeledGraph::HasEdge(int a, int b) const {
 
 CompactGraph CompactFromSubgraph(const Subgraph<Vertex<AdjList>>& g) {
   CompactGraph out;
-  std::unordered_map<VertexId, int> index;
-  index.reserve(g.NumVertices());
-  for (const auto& v : g.vertices()) {
-    index.emplace(v.id, static_cast<int>(out.ids.size()));
-    out.ids.push_back(v.id);
+  out.ids.reserve(g.NumVertices());
+  for (const auto& v : g.vertices()) out.ids.push_back(v.id);
+  // Sorted (id, index) pairs + binary search for the per-adjacency-entry
+  // membership probe: contiguous and cache-friendly where the old
+  // unordered_map hopped heap nodes — this probe dominates when a budgeted
+  // task rebuilds its compact form on every re-entry.
+  std::vector<std::pair<VertexId, int32_t>> index;
+  index.reserve(out.ids.size());
+  for (size_t k = 0; k < out.ids.size(); ++k) {
+    index.emplace_back(out.ids[k], static_cast<int32_t>(k));
   }
+  std::sort(index.begin(), index.end());
+  const auto find = [&index](VertexId u) -> int32_t {
+    auto it = std::lower_bound(
+        index.begin(), index.end(), u,
+        [](const std::pair<VertexId, int32_t>& p, VertexId x) {
+          return p.first < x;
+        });
+    return it != index.end() && it->first == u ? it->second : -1;
+  };
   std::vector<std::vector<int32_t>> rows(out.ids.size());
+  int32_t i = 0;
   for (const auto& v : g.vertices()) {
-    const int i = index.at(v.id);
     for (VertexId u : v.value) {
-      auto it = index.find(u);
-      if (it != index.end()) {
+      const int32_t j = find(u);
+      if (j >= 0) {
         // Symmetrize: task subgraphs often carry trimmed (Γ_>) lists, where
         // each edge appears in only one endpoint's list.
-        rows[i].push_back(it->second);
-        rows[it->second].push_back(i);
+        rows[i].push_back(j);
+        rows[j].push_back(i);
       }
     }
+    ++i;
   }
   for (auto& row : rows) {
     std::sort(row.begin(), row.end());

@@ -48,7 +48,16 @@ bool QuasiCliqueComper::Compute(TaskT* task, const Frontier& frontier) {
     }
     if (!task->pulls().empty()) return true;
   }
-  const CompactGraph cg = CompactFromSubgraph(task->subgraph());
+  // Compact form cached in the task scratch across budgeted re-entries;
+  // invalidated on a frontier merge (the subgraph just changed).
+  if (!frontier.empty()) task->set_scratch(nullptr);
+  auto cg_ptr = std::static_pointer_cast<CompactGraph>(task->scratch());
+  if (cg_ptr == nullptr) {
+    cg_ptr = std::make_shared<CompactGraph>(
+        CompactFromSubgraph(task->subgraph()));
+    task->set_scratch(cg_ptr);
+  }
+  const CompactGraph& cg = *cg_ptr;
   GT_CHECK_EQ(cg.ids[0], ctx.root);
   const uint64_t candidates = LargerIdVertices(cg, /*root=*/0);
   const uint64_t end = std::min(ctx.end, candidates);

@@ -80,6 +80,10 @@ bool SplitByCandidateRange(TaskT* task, int fanout,
   for (uint64_t i = 1; i < shards; ++i) {
     auto child = std::make_unique<TaskT>();
     child->subgraph() = task->subgraph();
+    // The child's subgraph is a copy of the parent's, so the parent's cached
+    // compact form (if any) is valid for the child too: share, don't rebuild.
+    // A child that is later serialized (spill/steal) drops it on Deserialize.
+    child->set_scratch(task->scratch());
     child->context().root = ctx.root;
     child->context().begin = shard_begin(i);
     child->context().end = i + 1 < shards ? shard_begin(i + 1) : parent_end;

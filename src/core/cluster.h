@@ -18,6 +18,7 @@
 #include "core/protocol.h"
 #include "core/worker.h"
 #include "graph/graph.h"
+#include "graph/layout.h"
 #include "graph/loader.h"
 #include "net/comm_hub.h"
 #include "net/transport_tcp.h"
@@ -105,6 +106,21 @@ struct RunResult {
   typename ComperT::AggT result;
 };
 
+/// Maps an app aggregate back to original vertex IDs after a hub-last
+/// layout renumbering (JobConfig::layout.reorder). The generic overload is
+/// a no-op: counts (triangles, k-cliques, maximal cliques, matches) are
+/// invariant under any vertex relabeling. Vertex-set aggregates — the
+/// maximum-clique and quasi-clique member lists — get each ID translated
+/// through the old<->new map and are re-sorted, so callers always see
+/// original input IDs regardless of the knob.
+template <typename T>
+inline void MapResultToOriginalIds(T* /*result*/, const VertexLayout&) {}
+inline void MapResultToOriginalIds(std::vector<VertexId>* result,
+                                   const VertexLayout& layout) {
+  for (VertexId& v : *result) v = layout.ToOld(v);
+  std::sort(result->begin(), result->end());
+}
+
 /// The job driver. Owns the hub and the N workers, plays the master role
 /// (paper §V-B): receives progress reports, synchronizes the aggregator,
 /// plans work stealing, coordinates checkpoints, and detects termination
@@ -118,18 +134,45 @@ class Cluster {
   using AggT = typename ComperT::AggT;
   using VertexT = typename TaskT::VertexT;
 
-  static RunResult<ComperT> Run(const Job<ComperT>& job) {
-    const JobConfig& config = job.config;
-    GT_CHECK_OK(config.Validate());
+  static RunResult<ComperT> Run(const Job<ComperT>& caller_job) {
+    // Local copy: the layout pass below may swap the input graph/labels for
+    // renumbered ones and derive config.layout.cache_segment_shift.
+    Job<ComperT> job = caller_job;
+    GT_CHECK_OK(job.config.Validate());
     // Kernels are free functions without a config handle; the dense/sparse
     // switch is process-global (apps/kernels.h).
-    SetKernelBitsetMaxVertices(config.kernel_bitset_max_vertices);
+    SetKernelBitsetMaxVertices(job.config.kernel_bitset_max_vertices);
     GT_CHECK(job.comper_factory != nullptr);
     GT_CHECK(job.graph != nullptr || job.dfs != nullptr)
         << "job needs an input graph";
-    if (config.checkpoint_interval_us > 0 || job.resume_epoch >= 0) {
+    if (job.config.checkpoint_interval_us > 0 || job.resume_epoch >= 0) {
       GT_CHECK(job.checkpoint_dfs != nullptr);
     }
+
+    // Hub-last layout (JobConfig::layout): renumber once before any worker
+    // exists. Everything downstream — OwnerOf placement, T_cache routing,
+    // the wire — speaks new IDs; the map is kept to translate the final
+    // aggregate back to original IDs.
+    VertexLayout layout;
+    Graph reordered_graph;
+    std::vector<Label> reordered_labels;
+    if (job.config.layout.reorder) {
+      GT_CHECK(job.graph != nullptr)
+          << "layout.reorder needs an in-memory input graph (DFS inputs "
+             "pre-apply a layout via GraphIo::LoadAdjacency / "
+             "WritePartitionedAdjacency overloads)";
+      layout = VertexLayout::HubLast(*job.graph);
+      reordered_graph = layout.Apply(*job.graph);
+      if (job.labels != nullptr) {
+        reordered_labels = layout.ApplyLabels(*job.labels);
+        job.labels = &reordered_labels;
+      }
+      job.graph = &reordered_graph;
+      job.config.layout.cache_segment_shift = DeriveCacheSegmentShift(
+          reordered_graph, job.config.layout.llc_segment_bytes,
+          job.config.cache_num_buckets);
+    }
+    const JobConfig& config = job.config;
 
     std::string spill_root = config.spill_root;
     const bool own_spill_root = spill_root.empty();
@@ -309,6 +352,10 @@ class Cluster {
                          ? 1.0 - static_cast<double>(s.comper_idle_rounds) /
                                      static_cast<double>(s.comper_rounds)
                          : 0.0);
+            w.Key("pinned_cpus");
+            w.BeginArray();
+            for (int cpu : s.pinned_cpus) w.Int(cpu);
+            w.EndArray();
             w.EndObject();
           }
           w.EndArray();
@@ -706,6 +753,7 @@ class Cluster {
       }
     }
 
+    if (!layout.empty()) MapResultToOriginalIds(&global, layout);
     out.result = std::move(global);
     return out;
   }
@@ -735,6 +783,27 @@ class Cluster {
     GT_CHECK(rank >= 0 && rank < num_workers)
         << "rank " << rank << " outside [0, " << num_workers << ")";
     const int master_id = num_workers;
+
+    // Hub-last layout (JobConfig::layout): HubLast is deterministic, so
+    // every rank computes the identical old<->new map from the shared input
+    // graph before keeping only its hash-owned slice. Rank 0 translates the
+    // authoritative aggregate back to original IDs at the end.
+    Job<ComperT> local_job = job;
+    VertexLayout layout;
+    Graph reordered_graph;
+    std::vector<Label> reordered_labels;
+    if (config.layout.reorder) {
+      layout = VertexLayout::HubLast(*job.graph);
+      reordered_graph = layout.Apply(*job.graph);
+      if (job.labels != nullptr) {
+        reordered_labels = layout.ApplyLabels(*job.labels);
+        local_job.labels = &reordered_labels;
+      }
+      local_job.graph = &reordered_graph;
+      config.layout.cache_segment_shift = DeriveCacheSegmentShift(
+          reordered_graph, config.layout.llc_segment_bytes,
+          config.cache_num_buckets);
+    }
 
     std::string spill_root = config.spill_root;
     const bool own_spill_root = spill_root.empty();
@@ -773,7 +842,7 @@ class Cluster {
       worker->SetOutputDir(job.output_dir);
     }
 
-    LoadInputRank(job, rank, worker.get());
+    LoadInputRank(local_job, rank, worker.get());
     worker->Start();
 
     RunResult<ComperT> out;
@@ -987,6 +1056,8 @@ class Cluster {
     worker.reset();
     if (own_spill_root) RemoveTree(spill_root);
 
+    // A no-op off rank 0 (non-master ranks return AggZero()).
+    if (!layout.empty()) MapResultToOriginalIds(&global, layout);
     out.result = std::move(global);
     return out;
   }

@@ -3,45 +3,11 @@
 
 #include <cstdint>
 #include <type_traits>
-#include <utility>
 
 #include "util/serializer.h"
 #include "util/status.h"
 
 namespace gthinker {
-
-namespace codec_internal {
-
-// Detectors for the retired pre-Codec ADL customization point
-// (SerializeValue / DeserializeValue / ValueBytes). Lookup is pure ADL: no
-// overload is declared before this header, so only overloads living in the
-// value type's own namespace are found. Types that still provide them keep
-// working through Codec<T> for one release (the shipped shims in
-// core/vertex.h are [[deprecated]]); new types must specialize Codec<T>.
-template <typename T, typename = void>
-struct HasLegacyEncode : std::false_type {};
-template <typename T>
-struct HasLegacyEncode<
-    T, std::void_t<decltype(SerializeValue(std::declval<Serializer&>(),
-                                           std::declval<const T&>()))>>
-    : std::true_type {};
-
-template <typename T, typename = void>
-struct HasLegacyDecode : std::false_type {};
-template <typename T>
-struct HasLegacyDecode<
-    T, std::void_t<decltype(DeserializeValue(std::declval<Deserializer&>(),
-                                             std::declval<T*>()))>>
-    : std::true_type {};
-
-template <typename T, typename = void>
-struct HasLegacyBytes : std::false_type {};
-template <typename T>
-struct HasLegacyBytes<
-    T, std::void_t<decltype(ValueBytes(std::declval<const T&>()))>>
-    : std::true_type {};
-
-}  // namespace codec_internal
 
 /// The single serialization customization point for everything that crosses
 /// the wire or the disk by value: vertex values, task contexts, and
@@ -57,43 +23,30 @@ struct HasLegacyBytes<
 ///
 /// Framework code calls Codec<T>::Encode/Decode/Bytes uniformly (see
 /// core/worker.h, core/task.h, core/subgraph.h, core/vertex_cache.h).
-/// Arithmetic and enum types are built in. A type providing only the retired
-/// ADL overloads still routes through them (deprecation grace period,
-/// docs/API.md); anything else is a compile error naming this header.
+/// Arithmetic and enum types are built in; anything else without a
+/// specialization is a compile error naming this header. (The pre-Codec
+/// SerializeValue/DeserializeValue/ValueBytes ADL overloads are retired;
+/// their grace-period fallback is gone.)
 template <typename T>
 struct Codec {
   static void Encode(Serializer& ser, const T& v) {
-    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      ser.Write(v);
-    } else if constexpr (codec_internal::HasLegacyEncode<T>::value) {
-      SerializeValue(ser, v);  // deprecated ADL path; removed next release
-    } else {
-      static_assert(codec_internal::HasLegacyEncode<T>::value,
-                    "no serialization for T: specialize gthinker::Codec<T> "
-                    "(core/codec.h)");
-    }
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                  "no serialization for T: specialize gthinker::Codec<T> "
+                  "(core/codec.h)");
+    ser.Write(v);
   }
 
   static Status Decode(Deserializer& des, T* v) {
-    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      return des.Read(v);
-    } else if constexpr (codec_internal::HasLegacyDecode<T>::value) {
-      return DeserializeValue(des, v);  // deprecated ADL path
-    } else {
-      static_assert(codec_internal::HasLegacyDecode<T>::value,
-                    "no deserialization for T: specialize gthinker::Codec<T> "
-                    "(core/codec.h)");
-    }
+    static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                  "no deserialization for T: specialize gthinker::Codec<T> "
+                  "(core/codec.h)");
+    return des.Read(v);
   }
 
-  static int64_t Bytes(const T& v) {
-    if constexpr (codec_internal::HasLegacyBytes<T>::value) {
-      return ValueBytes(v);  // deprecated ADL path
-    } else {
-      // Struct-shell default (absorbed from the old core/vertex.h template
-      // fallback): right for flat types; heap-owning types should specialize.
-      return static_cast<int64_t>(sizeof(T));
-    }
+  static int64_t Bytes(const T& /*v*/) {
+    // Struct-shell default: right for flat types; heap-owning types
+    // specialize Codec<T> and override.
+    return static_cast<int64_t>(sizeof(T));
   }
 };
 

@@ -141,6 +141,38 @@ struct JobConfig {
   /// two and ships the halves (with their pulled Γ) instead of one monster.
   int64_t task_split_steal_weight = 0;
 
+  // ---- graph layout & placement (DESIGN.md "Graph layout & placement") ----
+  struct LayoutConfig {
+    /// Hub-last (degree-ascending, ties by original ID ascending) vertex
+    /// renumbering, applied once at load time. Under the Γ_> orientation
+    /// this is the classic degeneracy ordering: every task's candidate set
+    /// is bounded by the core number instead of the max degree, and a hub's
+    /// trimmed row keeps only its higher-degree peers, so the
+    /// constantly-pulled rows are tiny and stay cache-resident. Hub rows
+    /// land contiguous at the highest IDs. App results are mapped back to
+    /// original IDs before they reach the caller; counts are bit-identical
+    /// with the knob on or off.
+    bool reorder = false;
+    /// Target bytes of cached adjacency data per renumbered-ID segment for
+    /// the VertexCache bucket router. With reorder on, consecutive new IDs
+    /// whose rows together span roughly this many bytes share one bucket
+    /// (route = Mix64(id >> shift) & mask), so a hot segment stays within
+    /// one bucket's lock and the LLC. Sized to a slice of the last-level
+    /// cache; default 2 MiB.
+    int64_t llc_segment_bytes = 2ll << 20;
+    /// Derived by Cluster::Run from llc_segment_bytes and the loaded
+    /// graph's average row size — not user-set (Validate rejects values
+    /// outside [0, 30]). 0 = plain per-ID Mix64 routing, bit-identical to
+    /// the unsegmented router.
+    int cache_segment_shift = 0;
+  };
+  LayoutConfig layout;
+  /// Pin comper threads to cores (pthread_setaffinity_np), assigning global
+  /// comper slots to CPUs in NUMA-node-major order so a worker's compers
+  /// share a node with the T_cache buckets they hammer. Per-comper pin
+  /// status lands in the obs registry (comper.pinned_cpu) and /status.json.
+  bool comper_pinning = false;
+
   // ---- communication (grouped; see CommConfig above) ----
   CommConfig comm;
 
@@ -275,6 +307,15 @@ struct JobConfig {
     if (task_split_enabled && task_split_fanout < 2) {
       return Status::InvalidArgument(
           "task_split_fanout must be >= 2 when task_split_enabled");
+    }
+    if (layout.llc_segment_bytes <= 0) {
+      return Status::InvalidArgument(
+          "layout.llc_segment_bytes must be positive");
+    }
+    if (layout.cache_segment_shift < 0 || layout.cache_segment_shift > 30) {
+      return Status::InvalidArgument(
+          "layout.cache_segment_shift out of [0, 30] (derived by "
+          "Cluster::Run; do not set by hand)");
     }
     if (comm.request_batch_size <= 0) {
       return Status::InvalidArgument("request_batch_size must be positive");

@@ -2,6 +2,7 @@
 #define GTHINKER_CORE_TASK_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -20,8 +21,8 @@ namespace gthinker {
 ///
 /// ContextT serializes through Codec<ContextT> (core/codec.h): specialize it
 /// for the context type (Bytes is optional — CodecBase defaults to sizeof).
-/// The legacy SerializeValue/DeserializeValue/ValueBytes ADL overloads are
-/// deprecated (one-release grace via Codec's detected fallback, then gone).
+/// Codec<T> is the only serialization customization point; the legacy
+/// SerializeValue/DeserializeValue/ValueBytes ADL overloads are gone.
 template <typename VertexValueT, typename ContextT>
 class Task {
  public:
@@ -74,6 +75,17 @@ class Task {
   uint64_t span_id() const { return span_id_; }
   void set_span_id(uint64_t id) { span_id_ = id; }
 
+  /// App-owned scratch cached across a task's budgeted re-entries (e.g. the
+  /// CompactGraph a split-armed app rebuilds each Compute call). Transient
+  /// like span_id_: NOT serialized, reset on Deserialize, and excluded from
+  /// MemoryBytes (so the paired Consume/Release accounting stays balanced
+  /// across spills) — its footprint is bounded by the already-tracked
+  /// subgraph. Apps must invalidate (set to nullptr) whenever the subgraph
+  /// changes, i.e. on a non-empty frontier merge. Split children may share
+  /// the parent's pointer: their subgraph is a copy of the parent's.
+  const std::shared_ptr<void>& scratch() const { return scratch_; }
+  void set_scratch(std::shared_ptr<void> s) { scratch_ = std::move(s); }
+
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(sizeof(*this)) + subgraph_.MemoryBytes() +
            Codec<ContextT>::Bytes(context_) +
@@ -89,6 +101,7 @@ class Task {
   }
 
   Status Deserialize(Deserializer& des) {
+    scratch_.reset();
     GT_RETURN_IF_ERROR(des.Read(&iteration_));
     GT_RETURN_IF_ERROR(des.Read(&split_depth_));
     GT_RETURN_IF_ERROR(des.ReadVector(&pulls_));
@@ -103,6 +116,7 @@ class Task {
   uint32_t iteration_ = 0;
   uint32_t split_depth_ = 0;
   uint64_t span_id_ = 0;
+  std::shared_ptr<void> scratch_;
 };
 
 }  // namespace gthinker

@@ -89,42 +89,6 @@ struct Codec<Vertex<ValueT>> {
   }
 };
 
-// ---------------------------------------------------------------------------
-// Deprecated legacy serialization-trait shims (last release before removal).
-// The three ADL free functions (SerializeValue / DeserializeValue /
-// ValueBytes) were the pre-Codec customization point. Every framework and
-// in-tree call site now goes through Codec<T>; only these two shipped value
-// types keep shims so out-of-tree code gets a deprecation warning instead of
-// a hard break. The arithmetic, Vertex<V>, and generic-template overloads —
-// all shadowed by Codec's own fast path and sizeof fallback — are gone.
-// ---------------------------------------------------------------------------
-
-[[deprecated("use Codec<AdjList>::Encode (core/codec.h)")]]
-inline void SerializeValue(Serializer& ser, const AdjList& v) {
-  Codec<AdjList>::Encode(ser, v);
-}
-[[deprecated("use Codec<AdjList>::Decode (core/codec.h)")]]
-inline Status DeserializeValue(Deserializer& des, AdjList* v) {
-  return Codec<AdjList>::Decode(des, v);
-}
-[[deprecated("use Codec<AdjList>::Bytes (core/codec.h)")]]
-inline int64_t ValueBytes(const AdjList& v) {
-  return Codec<AdjList>::Bytes(v);
-}
-
-[[deprecated("use Codec<LabeledAdj>::Encode (core/codec.h)")]]
-inline void SerializeValue(Serializer& ser, const LabeledAdj& v) {
-  Codec<LabeledAdj>::Encode(ser, v);
-}
-[[deprecated("use Codec<LabeledAdj>::Decode (core/codec.h)")]]
-inline Status DeserializeValue(Deserializer& des, LabeledAdj* v) {
-  return Codec<LabeledAdj>::Decode(des, v);
-}
-[[deprecated("use Codec<LabeledAdj>::Bytes (core/codec.h)")]]
-inline int64_t ValueBytes(const LabeledAdj& v) {
-  return Codec<LabeledAdj>::Bytes(v);
-}
-
 }  // namespace gthinker
 
 #endif  // GTHINKER_CORE_VERTEX_H_

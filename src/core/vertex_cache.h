@@ -103,18 +103,27 @@ class VertexCache {
   /// spinlock instead of std::mutex (JobConfig::cache_spinlock) — a win when
   /// critical sections are as short as OP1–OP3 and compers outnumber cores
   /// only modestly.
+  /// `segment_shift > 0` routes by renumbered-ID segment instead of per ID:
+  /// the router hashes `v >> segment_shift`, so 2^shift consecutive IDs (one
+  /// LLC-sized slice of a hub-last layout, JobConfig::layout) share one
+  /// bucket — one lock and one resident region for a hot segment. 0 keeps
+  /// the original per-ID Mix64 routing bit-identically.
   VertexCache(int num_buckets, int64_t capacity, double alpha,
               int counter_delta, MemTracker* mem = nullptr,
-              bool use_z_table = true, bool use_spinlock = false)
+              bool use_z_table = true, bool use_spinlock = false,
+              int segment_shift = 0)
       : buckets_(RoundUpPow2(num_buckets)),
         capacity_(capacity),
         alpha_(alpha),
         counter_delta_(counter_delta),
         use_z_table_(use_z_table),
         use_spinlock_(use_spinlock),
+        segment_shift_(segment_shift),
         mem_(mem) {
     GT_CHECK_GT(num_buckets, 0);
     GT_CHECK_GT(capacity, 0);
+    GT_CHECK_GE(segment_shift, 0);
+    GT_CHECK_LE(segment_shift, 30);
     // Power-of-two invariant: the router masks instead of dividing.
     GT_CHECK_EQ(buckets_.size() & (buckets_.size() - 1), 0u);
     bucket_mask_ = buckets_.size() - 1;
@@ -633,7 +642,9 @@ class VertexCache {
   Bucket& BucketFor(VertexId v) { return buckets_[BucketIndexFor(v)]; }
 
   size_t BucketIndexFor(VertexId v) const {
-    return Mix64(v) & bucket_mask_;
+    // segment_shift_ = 0 routes per ID; > 0 routes per renumbered-ID
+    // segment so a hot LLC-sized run of hub rows shares one bucket.
+    return Mix64(static_cast<uint64_t>(v) >> segment_shift_) & bucket_mask_;
   }
 
   /// Folds bucket index into one of kNumBucketGroups contiguous ranges
@@ -666,6 +677,7 @@ class VertexCache {
   const int counter_delta_;
   const bool use_z_table_;
   const bool use_spinlock_;
+  const int segment_shift_ = 0;
   MemTracker* mem_;
   std::atomic<int64_t> s_cache_{0};
   size_t next_evict_bucket_ = 0;

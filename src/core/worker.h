@@ -23,6 +23,7 @@
 #include "core/pull_coalescer.h"
 #include "core/response_cache.h"
 #include "core/vertex_cache.h"
+#include "graph/layout.h"
 #include "net/comm_hub.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -64,7 +65,8 @@ class Worker {
         spill_dir_(std::move(spill_dir)),
         cache_(config.cache_num_buckets, config.cache_capacity,
                config.cache_overflow_alpha, config.cache_counter_delta,
-               &mem_, config.cache_use_z_table, config.cache_spinlock),
+               &mem_, config.cache_use_z_table, config.cache_spinlock,
+               config.layout.cache_segment_shift),
         coalescer_(config.num_workers, config.comm.request_batch_size,
                    config.comm.request_flush_bytes),
         resp_cache_(config.comm.response_cache_bytes),
@@ -104,6 +106,8 @@ class Worker {
     for (int i = 0; i < config_.compers_per_worker; ++i) {
       engines_.push_back(std::make_unique<ComperEngine>(this, i, factory()));
     }
+    pinned_cpus_ = std::vector<std::atomic<int>>(engines_.size());
+    for (auto& p : pinned_cpus_) p.store(-1, std::memory_order_relaxed);
     steal_comper_ = factory();
     steal_runtime_ = std::make_unique<StealRuntime>(this);
     steal_comper_->BindRuntime(steal_runtime_.get());
@@ -184,8 +188,21 @@ class Worker {
     started_ = true;
     compers_running_.store(static_cast<int>(engines_.size()),
                            std::memory_order_release);
-    for (auto& engine : engines_) {
-      threads_.emplace_back([e = engine.get()] { e->Loop(); });
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      threads_.emplace_back([this, e = engines_[i].get(), i] {
+        if (config_.comper_pinning) {
+          // Global comper slot -> NUMA-node-major CPU: worker w's compers
+          // land on consecutive CPUs of one node before spilling to the
+          // next, so they share the LLC slice their T_cache segments live
+          // in. -1 records a failed/unsupported pin (gauge + /status.json).
+          static const std::vector<int> cpu_order = NumaMajorCpuOrder();
+          const int slot =
+              id_ * config_.compers_per_worker + static_cast<int>(i);
+          pinned_cpus_[i].store(PinCurrentThreadToSlot(slot, cpu_order),
+                                std::memory_order_relaxed);
+        }
+        e->Loop();
+      });
     }
     threads_.emplace_back([this] { CommLoop(); });
     threads_.emplace_back([this] { GcLoop(); });
@@ -1515,6 +1532,8 @@ class Worker {
     int64_t stolen_batches = 0;
     int64_t splits = 0;
     int64_t peak_mem_bytes = 0;
+    /// Per-comper pinned CPU IDs (-1 = unpinned); see comper_pinning.
+    std::vector<int> pinned_cpus;
   };
 
   LiveStatus SampleLiveStatus() const {
@@ -1537,6 +1556,10 @@ class Worker {
     s.stolen_batches = stolen_batches_.load(std::memory_order_relaxed);
     s.splits = split_count_->value();
     s.peak_mem_bytes = mem_.peak();
+    s.pinned_cpus.reserve(pinned_cpus_.size());
+    for (const auto& p : pinned_cpus_) {
+      s.pinned_cpus.push_back(p.load(std::memory_order_relaxed));
+    }
     return s;
   }
 
@@ -1596,6 +1619,12 @@ class Worker {
       metrics_.GetGauge("comper.idle_rounds")->Add(engine->IdleRounds());
       metrics_.GetGauge("comper.rounds")->Add(engine->Rounds());
     }
+    // Per-comper pin status (JobConfig::comper_pinning): the CPU the comper
+    // thread was pinned to, -1 = unpinned (knob off, or the pin failed).
+    for (size_t i = 0; i < pinned_cpus_.size(); ++i) {
+      metrics_.GetGauge("comper.pinned_cpu", "comper=" + std::to_string(i))
+          ->Set(pinned_cpus_[i].load(std::memory_order_relaxed));
+    }
   }
 
   /// Snapshot of this worker's registry (call FinalizeObs first for the
@@ -1627,6 +1656,11 @@ class Worker {
   std::unique_ptr<ComperT> steal_comper_;
   std::unique_ptr<StealRuntime> steal_runtime_;
   std::mutex steal_mutex_;
+
+  /// Per-comper pinned CPU (-1 = unpinned); written once by each comper
+  /// thread on startup when comper_pinning is on, read by the sampler and
+  /// FinalizeObs.
+  std::vector<std::atomic<int>> pinned_cpus_;
 
   /// Per-destination pull batching + in-window dedup (compers add, comm
   /// thread flushes).

@@ -31,4 +31,19 @@ Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
   return Status::Ok();
 }
 
+Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
+                                 const std::string& dir, int num_parts,
+                                 const VertexLayout& layout) {
+  if (layout.empty()) {
+    return WritePartitionedAdjacency(graph, dfs, dir, num_parts);
+  }
+  if (graph.NumVertices() != layout.NumVertices()) {
+    return Status::InvalidArgument("layout size != graph size");
+  }
+  // Part files carry new IDs, so the DFS loading path places hub rows the
+  // same way Cluster::Run's in-memory layout pass does (round-robin modulo
+  // OwnerOf over the renumbered space == one hub per worker in turn).
+  return WritePartitionedAdjacency(layout.Apply(graph), dfs, dir, num_parts);
+}
+
 }  // namespace gthinker

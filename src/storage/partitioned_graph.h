@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "graph/layout.h"
 #include "storage/mini_dfs.h"
 #include "util/status.h"
 
@@ -15,6 +16,14 @@ namespace gthinker {
 /// (Job::dfs + Job::dfs_graph_dir).
 Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
                                  const std::string& dir, int num_parts);
+
+/// Layout-aware variant: writes the part files under the layout's new
+/// numbering (hub-last placement for the DFS loading path). An empty
+/// layout degrades to the plain overload; results read back from such a
+/// run must be translated with VertexLayout::ToOld.
+Status WritePartitionedAdjacency(const Graph& graph, MiniDfs* dfs,
+                                 const std::string& dir, int num_parts,
+                                 const VertexLayout& layout);
 
 }  // namespace gthinker
 
