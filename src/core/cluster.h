@@ -817,6 +817,7 @@ class Cluster {
     topts.connect_timeout_ms = config.comm.tcp_connect_timeout_ms;
     topts.backoff_initial_ms = config.comm.tcp_backoff_initial_ms;
     topts.backoff_max_ms = config.comm.tcp_backoff_max_ms;
+    topts.io_threads = config.comm.tcp_io_threads;
     CommHub hub(num_workers + 1,
                 std::make_unique<net::TcpTransport>(std::move(topts)));
     GT_CHECK_OK(hub.Start());
@@ -1047,6 +1048,9 @@ class Cluster {
     stats.batches_sent = hub.TotalBatchesSent();
     stats.bytes_sent = hub.TotalBytesSent();
     worker->FinalizeObs();
+    // Stop the transport before snapshotting so teardown accounting (any
+    // transport.batches_abandoned frames) reaches the job report.
+    hub.Shutdown();
     stats.metrics.push_back(worker->MetricsSnapshot());
     stats.metrics.push_back(hub.MetricsSnapshot());
     stats.peak_mem_bytes.push_back(worker->PeakMemBytes());

@@ -9,6 +9,7 @@
 
 #include "core/protocol.h"
 #include "core/trace.h"
+#include "core/wire_codec.h"
 #include "net/message.h"
 #include "obs/metrics.h"
 #include "obs/phase_profile.h"
@@ -53,6 +54,13 @@ struct CommConfig {
   /// rejected under tcp, where the wire is real.
   NetConfig net;
 
+  /// Wire representation of kVertexResponse records (core/wire_codec.h):
+  /// kRaw keeps the fixed-width Codec format; kVarint delta+varint encodes
+  /// adjacency lists (small deltas after hub-last renumbering), shrinking
+  /// pull-response bytes on both backends. A job-level property — both ends
+  /// share the JobConfig, so no per-connection negotiation is needed.
+  WireEncoding wire_encoding = WireEncoding::kRaw;
+
   // ---- tcp backend tuning (net/transport_tcp.h) ----
   /// Per-peer buffered-send cap; Send() blocks (backpressure) above it.
   int64_t tcp_send_buffer_max_bytes = 4 << 20;
@@ -61,6 +69,10 @@ struct CommConfig {
   /// Reconnect backoff window on transient socket errors.
   int64_t tcp_backoff_initial_ms = 50;
   int64_t tcp_backoff_max_ms = 1'000;
+  /// IO threads driving the peer sockets (peer rank q -> thread q % n).
+  /// 1 = the classic single poll loop; raise on many-peer clusters so one
+  /// hot link cannot serialize the others.
+  int tcp_io_threads = 1;
 
   /// Fills `hosts` from `hostfile` (no-op when hosts is already set).
   Status LoadHostfile() {
@@ -368,6 +380,13 @@ struct JobConfig {
             "tcp timeout/backoff knobs must be positive, with "
             "tcp_backoff_max_ms >= tcp_backoff_initial_ms");
       }
+      if (comm.tcp_io_threads < 1 || comm.tcp_io_threads > 64) {
+        return Status::InvalidArgument("tcp_io_threads out of [1, 64]");
+      }
+    }
+    if (comm.wire_encoding != WireEncoding::kRaw &&
+        comm.wire_encoding != WireEncoding::kVarint) {
+      return Status::InvalidArgument("unknown comm.wire_encoding");
     }
     if (progress_interval_us <= 0) {
       return Status::InvalidArgument("progress_interval_us must be positive");

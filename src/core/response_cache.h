@@ -7,6 +7,7 @@
 
 #include "core/codec.h"
 #include "core/vertex.h"
+#include "core/wire_codec.h"
 #include "graph/types.h"
 #include "net/payload.h"
 #include "util/serializer.h"
@@ -36,7 +37,12 @@ namespace gthinker {
 template <typename VertexT>
 class ResponseCache {
  public:
-  explicit ResponseCache(int64_t byte_limit) : byte_limit_(byte_limit) {}
+  /// `encoding` selects the record format (comm.wire_encoding): memoized
+  /// records are stored already in wire form, so the kVarint compaction also
+  /// shrinks the cache's resident bytes.
+  explicit ResponseCache(int64_t byte_limit,
+                         WireEncoding encoding = WireEncoding::kRaw)
+      : byte_limit_(byte_limit), encoding_(encoding) {}
 
   /// The serialized response record for `v` (a shared handle to the
   /// memoized slab when cached).
@@ -66,11 +72,12 @@ class ResponseCache {
  private:
   Payload Encode(const VertexT& v) {
     ser_.Clear();
-    Codec<VertexT>::Encode(ser_, v);
+    WireCodec<VertexT>::Encode(encoding_, ser_, v);
     return TakePayload(ser_);
   }
 
   const int64_t byte_limit_;
+  const WireEncoding encoding_;
   std::unordered_map<VertexId, Payload> table_;
   Serializer ser_;  // reused encoder (slab is taken per record)
   int64_t bytes_ = 0;

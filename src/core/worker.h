@@ -69,7 +69,8 @@ class Worker {
                config.layout.cache_segment_shift),
         coalescer_(config.num_workers, config.comm.request_batch_size,
                    config.comm.request_flush_bytes),
-        resp_cache_(config.comm.response_cache_bytes),
+        resp_cache_(config.comm.response_cache_bytes,
+                    config.comm.wire_encoding),
         metrics_("worker" + std::to_string(worker_id)) {
     master_id_ = config_.num_workers;  // master mailbox index
     if (config_.enable_tracing) trace_ = std::make_unique<TraceRing>();
@@ -1121,7 +1122,8 @@ class Worker {
           const char* data = cur.ContiguousBytes(&len);
           size_t consumed = 0;
           waiting.clear();
-          GT_CHECK_OK(cache_.InsertResponseSpan(data, len, &consumed,
+          GT_CHECK_OK(cache_.InsertResponseSpan(config_.comm.wire_encoding,
+                                                data, len, &consumed,
                                                 &waiting));
           GT_CHECK_OK(cur.Skip(consumed));
           for (uint64_t tid : waiting) {

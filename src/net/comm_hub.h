@@ -75,6 +75,13 @@ class CommHub {
   /// socket backends to certify cluster-wide quiescence; no-op in-process.
   void BeginDrain(int endpoint) { transport_->BeginDrain(endpoint); }
 
+  /// Stops the transport (closing connections, flushing what it can within a
+  /// bound). Idempotent. Call before the final MetricsSnapshot() so teardown
+  /// accounting — e.g. transport.batches_abandoned, the send-queue frames a
+  /// socket backend had to drop — lands in the job report instead of being
+  /// lost in the destructor.
+  void Shutdown() { transport_->Stop(); }
+
   /// Batches sent but not yet MarkProcessed'd, over all message types.
   /// With an in-process backend this is exact across the whole cluster.
   /// With a socket backend it covers what *this process* can know: its own

@@ -76,6 +76,24 @@ class Payload {
     return p;
   }
 
+  /// Wraps a sub-range of a slab as a single fragment without copying.
+  /// `data` must point inside `slab`'s storage; the payload takes an extra
+  /// reference so the slab outlives every view carved from it (the TCP
+  /// receive path hands each decoded frame body out of its recv slab this
+  /// way).
+  static Payload FromSlabView(const SlabRef& slab, const char* data,
+                              size_t len) {
+    Payload p;
+    if (len == 0) return p;
+    Fragment f;
+    f.slab = slab;  // refcount bump
+    f.data = data;
+    f.len = len;
+    p.size_ = len;
+    p.frags_.push_back(std::move(f));
+    return p;
+  }
+
   /// Copies `n` bytes into a fresh pooled slab.
   static Payload CopyOf(const void* data, size_t n) {
     if (n == 0) return Payload();

@@ -7,12 +7,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
@@ -37,6 +39,12 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void SetSndbuf(int fd, int bytes) {
+  if (bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  }
+}
+
 /// Splits "host:port"; returns false on a malformed entry.
 bool SplitHostPort(const std::string& entry, std::string* host, int* port) {
   const size_t colon = entry.rfind(':');
@@ -49,14 +57,33 @@ bool SplitHostPort(const std::string& entry, std::string* host, int* port) {
   return true;
 }
 
-constexpr int kIoPollMs = 50;      // fallback poll cadence (stop flag, backoff)
+/// Copies a fragmented payload into one contiguous pooled slab (the legacy
+/// per-frame copy, kept for the scatter_gather=false ablation path).
+Payload FlattenPayload(const Payload& p) {
+  if (p.empty()) return Payload();
+  SlabRef slab(BufferPool::Global().Acquire(p.size()));
+  char* dst = slab.data();
+  for (const Payload::Fragment& f : p.fragments()) {
+    std::memcpy(dst, f.data, f.len);
+    dst += f.len;
+  }
+  return Payload::FromSlab(std::move(slab), p.size());
+}
+
+constexpr int kIoPollMs = 50;  // fallback poll cadence (stop flag, backoff)
 constexpr int64_t kStopFlushMs = 5000;  // bounded best-effort flush in Stop()
+/// iovec budget per sendmsg(): bounds per-call setup cost while still
+/// coalescing tens of frames (well under the kernel's UIO_MAXIOV of 1024).
+constexpr int kMaxIovPerSendmsg = 64;
+/// Receive slab granularity; oversized frames get a slab sized to the frame.
+constexpr size_t kRecvChunk = 64 * 1024;
 
 }  // namespace
 
 TcpTransport::TcpTransport(TcpTransportOptions options)
     : options_(std::move(options)),
       num_endpoints_(options_.num_workers + 1),
+      io_thread_count_(std::max(1, std::min(options_.io_threads, 64))),
       peers_(static_cast<size_t>(options_.num_workers)) {
   GT_CHECK_GT(options_.num_workers, 0);
   GT_CHECK_GE(options_.rank, 0);
@@ -68,6 +95,11 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
   for (int e : local_endpoints_) {
     inboxes_[e] = std::make_unique<ConcurrentQueue<MessageBatch>>();
   }
+  owned_.resize(io_thread_count_);
+  for (int q = 0; q < options_.num_workers; ++q) {
+    if (q == options_.rank) continue;
+    owned_[ThreadOf(q)].push_back(q);
+  }
 }
 
 TcpTransport::~TcpTransport() { Stop(); }
@@ -75,7 +107,9 @@ TcpTransport::~TcpTransport() { Stop(); }
 Status TcpTransport::Start() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (running_) return Status::Aborted("tcp transport already running");
+    if (running_.load(std::memory_order_relaxed)) {
+      return Status::Aborted("tcp transport already running");
+    }
   }
   std::string host;
   int port = 0;
@@ -102,7 +136,7 @@ Status TcpTransport::Start() {
   if (::listen(fd, options_.num_workers + 8) != 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+    return Status::IoError(std::string("listen: ") + err);
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -110,24 +144,37 @@ Status TcpTransport::Start() {
     ::close(fd);
     return Status::IoError("getsockname: " + err);
   }
-  int pipefd[2];
-  if (::pipe(pipefd) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::IoError("pipe: " + err);
+  std::vector<int> wake_r(io_thread_count_, -1);
+  std::vector<int> wake_w(io_thread_count_, -1);
+  for (int t = 0; t < io_thread_count_; ++t) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      for (int u = 0; u < t; ++u) {
+        ::close(wake_r[u]);
+        ::close(wake_w[u]);
+      }
+      return Status::IoError("pipe: " + err);
+    }
+    SetNonBlocking(pipefd[0]);
+    SetNonBlocking(pipefd[1]);
+    wake_r[t] = pipefd[0];
+    wake_w[t] = pipefd[1];
   }
-  SetNonBlocking(pipefd[0]);
-  SetNonBlocking(pipefd[1]);
   SetNonBlocking(fd);
 
   std::unique_lock<std::mutex> lock(mu_);
   listen_fd_ = fd;
   port_ = static_cast<int>(ntohs(addr.sin_port));
-  wake_r_ = pipefd[0];
-  wake_w_ = pipefd[1];
-  running_ = true;
-  stop_ = false;
-  io_thread_ = std::thread(&TcpTransport::IoLoop, this);
+  wake_r_ = std::move(wake_r);
+  wake_w_ = std::move(wake_w);
+  running_.store(true, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  MarkPollsetDirtyLocked();
+  for (int t = 0; t < io_thread_count_; ++t) {
+    io_threads_.emplace_back(&TcpTransport::IoLoop, this, t);
+  }
 
   // Block until the full mesh has exchanged HELLOs (or a sticky error /
   // timeout). Peers that are slow to start are covered by reconnect backoff.
@@ -153,48 +200,88 @@ Status TcpTransport::Start() {
 
 void TcpTransport::Stop() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!running_) return;
-    // Best-effort flush: the engine's drain barrier normally leaves the send
-    // queues empty; the bound only matters on error paths.
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(kStopFlushMs);
-    cv_send_.wait_until(lock, deadline, [&] {
-      for (const Peer& p : peers_) {
-        if (!p.sendq.empty()) return false;
-      }
-      return true;
-    });
-    stop_ = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_relaxed)) return;
   }
-  Wake();
-  cv_send_.notify_all();
-  if (io_thread_.joinable()) io_thread_.join();
+  // Best-effort flush: the engine's drain barrier normally leaves the send
+  // queues empty; the bound only matters on error paths.
+  const int64_t deadline_ms = SteadyNowMs() + kStopFlushMs;
+  while (SteadyNowMs() < deadline_ms) {
+    int64_t queued = 0;
+    for (const Peer& p : peers_) {
+      queued += p.queued_frames.load(std::memory_order_relaxed);
+    }
+    if (queued == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WakeAllLocked();
+  }
+  for (Peer& p : peers_) {
+    std::lock_guard<std::mutex> slock(p.send_mu);
+    p.send_cv.notify_all();
+  }
+  for (std::thread& th : io_threads_) {
+    if (th.joinable()) th.join();
+  }
+  io_threads_.clear();
   std::lock_guard<std::mutex> lock(mu_);
   for (Peer& p : peers_) {
+    {
+      // Anything still queued was accepted by Send() but never hit the wire:
+      // count the data frames so the final report can audit drained vs
+      // abandoned instead of losing them silently.
+      std::lock_guard<std::mutex> slock(p.send_mu);
+      for (const OutFrame& f : p.sendq) {
+        if (f.kind == FrameKind::kData) {
+          batches_abandoned_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      p.sendq.clear();
+      p.front_off = 0;
+      p.queued_bytes.store(0, std::memory_order_relaxed);
+      p.queued_frames.store(0, std::memory_order_relaxed);
+    }
     if (p.fd >= 0) ::close(p.fd);
     p.fd = -1;
+    if (p.adopt_fd >= 0) ::close(p.adopt_fd);
+    p.adopt_fd = -1;
+    p.adopt_rx.clear();
+    p.rx_slab.Reset();
+    p.rx_len = p.rx_off = 0;
   }
   for (Pending& c : pending_) {
     if (c.fd >= 0) ::close(c.fd);
   }
   pending_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_r_ >= 0) ::close(wake_r_);
-  if (wake_w_ >= 0) ::close(wake_w_);
-  listen_fd_ = wake_r_ = wake_w_ = -1;
-  running_ = false;
+  listen_fd_ = -1;
+  for (int& fd : wake_r_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (int& fd : wake_w_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  running_.store(false, std::memory_order_relaxed);
 }
 
-void TcpTransport::Wake() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (wake_w_ >= 0) {
+void TcpTransport::WakeThreadLocked(int t) {
+  if (t < static_cast<int>(wake_w_.size()) && wake_w_[t] >= 0) {
     const char b = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+    [[maybe_unused]] ssize_t n = ::write(wake_w_[t], &b, 1);
   }
 }
 
-std::string TcpTransport::EncodeDataFrame(const MessageBatch& batch) const {
+void TcpTransport::WakeAllLocked() {
+  for (int t = 0; t < io_thread_count_; ++t) WakeThreadLocked(t);
+}
+
+TcpTransport::OutFrame TcpTransport::EncodeDataFrame(MessageBatch batch,
+                                                     bool crc32c) const {
   FrameHeader h;
   h.kind = FrameKind::kData;
   h.msg_type = static_cast<uint8_t>(batch.type);
@@ -203,30 +290,53 @@ std::string TcpTransport::EncodeDataFrame(const MessageBatch& batch) const {
   h.payload_len = static_cast<uint32_t>(batch.payload.size());
   uint32_t crc = 0;
   for (const Payload::Fragment& f : batch.payload.fragments()) {
-    crc = Crc32(f.data, f.len, crc);
+    crc = crc32c ? Crc32C(f.data, f.len, crc) : Crc32(f.data, f.len, crc);
   }
   h.crc32 = crc;
-  std::string out;
-  out.reserve(kFrameHeaderSize + batch.payload.size());
-  out.resize(kFrameHeaderSize);
-  EncodeFrameHeader(h, out.data());
-  for (const Payload::Fragment& f : batch.payload.fragments()) {
-    out.append(f.data, f.len);
+  OutFrame out;
+  out.kind = FrameKind::kData;
+  EncodeFrameHeader(h, out.header.data());
+  if (options_.scatter_gather) {
+    // Zero-copy: the sendq keeps the fragment chain (and its slabs) alive
+    // until the frame is written; sendmsg gathers header + fragments.
+    out.payload = std::move(batch.payload);
+  } else {
+    out.payload = FlattenPayload(batch.payload);
   }
   return out;
 }
 
-std::string TcpTransport::EncodeControlFrame(FrameKind kind,
-                                             uint8_t msg_type) const {
+TcpTransport::OutFrame TcpTransport::EncodeControlFrame(
+    FrameKind kind, uint8_t msg_type) const {
   FrameHeader h;
   h.kind = kind;
   h.msg_type = msg_type;
   h.src = options_.rank;
   h.dst = 0;
-  std::string out;
-  out.resize(kFrameHeaderSize);
-  EncodeFrameHeader(h, out.data());
+  OutFrame out;
+  out.kind = kind;
+  EncodeFrameHeader(h, out.header.data());
   return out;
+}
+
+void TcpTransport::EnqueueFrameLocked(Peer& peer, OutFrame frame, bool front) {
+  peer.queued_bytes.fetch_add(static_cast<int64_t>(frame.size()),
+                              std::memory_order_relaxed);
+  peer.queued_frames.fetch_add(1, std::memory_order_relaxed);
+  if (front) {
+    GT_CHECK_EQ(static_cast<int64_t>(peer.front_off), 0);
+    peer.sendq.push_front(std::move(frame));
+  } else {
+    peer.sendq.push_back(std::move(frame));
+  }
+}
+
+void TcpTransport::EnqueueControl(int q, FrameKind kind, uint8_t msg_type,
+                                  bool front) {
+  OutFrame frame = EncodeControlFrame(kind, msg_type);
+  Peer& peer = peers_[q];
+  std::lock_guard<std::mutex> lock(peer.send_mu);
+  EnqueueFrameLocked(peer, std::move(frame), front);
 }
 
 void TcpTransport::Send(MessageBatch batch) {
@@ -242,24 +352,36 @@ void TcpTransport::Send(MessageBatch batch) {
     inboxes_[batch.dst_worker]->Push(std::move(batch));
     return;
   }
-  std::string frame = EncodeDataFrame(batch);
-  bool wake = false;
+  GT_CHECK(running_.load(std::memory_order_relaxed));
+  Peer& peer = peers_[dst_rank];
+  OutFrame frame = EncodeDataFrame(
+      std::move(batch), peer.crc32c.load(std::memory_order_relaxed));
+  bool was_empty = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    GT_CHECK(running_);
-    Peer& peer = peers_[dst_rank];
-    if (peer.queued_bytes >= options_.send_buffer_max_bytes) {
-      ++peer.backpressure_waits;
-      cv_send_.wait(lock, [&] {
-        return stop_ ||
-               peer.queued_bytes < options_.send_buffer_max_bytes;
+    std::unique_lock<std::mutex> lock(peer.send_mu);
+    if (peer.queued_bytes.load(std::memory_order_relaxed) >=
+        options_.send_buffer_max_bytes) {
+      peer.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+      peer.send_cv.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               peer.queued_bytes.load(std::memory_order_relaxed) <
+                   options_.send_buffer_max_bytes;
       });
-      if (stop_) return;  // teardown: the batch is abandoned with the run
+      if (stop_.load(std::memory_order_relaxed)) {
+        // Teardown: the batch is abandoned with the run — but audited.
+        batches_abandoned_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
     }
-    EnqueueLocked(dst_rank, std::move(frame));
-    wake = true;
+    was_empty = peer.sendq.empty();
+    EnqueueFrameLocked(peer, std::move(frame), /*front=*/false);
   }
-  if (wake) Wake();
+  if (was_empty) {
+    // Only the empty->nonempty transition needs a wakeup: once nonempty, the
+    // owning IO thread either has a wake pending or POLLOUT armed.
+    std::lock_guard<std::mutex> lock(mu_);
+    WakeThreadLocked(ThreadOf(dst_rank));
+  }
 }
 
 bool TcpTransport::Receive(int endpoint, int64_t timeout_us,
@@ -279,79 +401,62 @@ int64_t TcpTransport::InboxDepth(int endpoint) const {
 
 void TcpTransport::BeginDrain(int endpoint) {
   GT_CHECK(IsLocalEndpoint(endpoint));
-  bool wake = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < local_endpoints_.size(); ++i) {
-      if (local_endpoints_[i] == endpoint) drained_endpoints_ |= 1 << i;
-    }
-    const int all = (1 << local_endpoints_.size()) - 1;
-    if (drained_endpoints_ == all && !flush1_sent_) {
-      // Every local endpoint has gone quiet: per-connection FIFO puts this
-      // round-1 marker after all of our requests and donations.
-      EnqueueFlushLocked(1);
-      flush1_sent_ = true;
-      wake = true;
-    }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < local_endpoints_.size(); ++i) {
+    if (local_endpoints_[i] == endpoint) drained_endpoints_ |= 1 << i;
   }
-  if (wake) Wake();
+  const int all = (1 << local_endpoints_.size()) - 1;
+  if (drained_endpoints_ == all && !flush1_sent_) {
+    // Every local endpoint has gone quiet: per-connection FIFO puts this
+    // round-1 marker after all of our requests and donations.
+    EnqueueFlushLocked(1);
+    flush1_sent_ = true;
+  }
 }
 
 int64_t TcpTransport::DrainPending(int64_t unprocessed) {
   int64_t pending = 0;
-  bool wake = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    int64_t inbox = 0;
-    for (int e : local_endpoints_) {
-      inbox += static_cast<int64_t>(inboxes_[e]->Size());
-    }
-    pending += inbox;
-    bool all_flush1 = true;
-    for (int q = 0; q < options_.num_workers; ++q) {
-      if (q == options_.rank) continue;
-      const Peer& p = peers_[q];
-      pending += static_cast<int64_t>(p.sendq.size());
-      if (!p.flush1_rx) {
-        all_flush1 = false;
-        ++pending;
-      }
-      if (!p.flush2_rx) ++pending;
-    }
-    if (!flush1_sent_) {
-      ++pending;  // some local endpoint is still active
-    } else if (!flush2_sent_ && all_flush1 && inbox == 0 && unprocessed == 0) {
-      // Locally quiet and every peer's pre-barrier traffic has been handled
-      // (their round-1 markers arrived after it, FIFO): promise no further
-      // sends. Handling anything that still arrives (responses to our own
-      // pre-barrier requests) never sends, so the promise holds.
-      EnqueueFlushLocked(2);
-      flush2_sent_ = true;
-      wake = true;
-      pending += static_cast<int64_t>(options_.num_workers - 1);
-    }
-    if (!flush2_sent_) ++pending;
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t inbox = 0;
+  for (int e : local_endpoints_) {
+    inbox += static_cast<int64_t>(inboxes_[e]->Size());
   }
-  if (wake) Wake();
+  pending += inbox;
+  bool all_flush1 = true;
+  for (int q = 0; q < options_.num_workers; ++q) {
+    if (q == options_.rank) continue;
+    const Peer& p = peers_[q];
+    pending += p.queued_frames.load(std::memory_order_relaxed);
+    if (!p.flush1_rx) {
+      all_flush1 = false;
+      ++pending;
+    }
+    if (!p.flush2_rx) ++pending;
+  }
+  if (!flush1_sent_) {
+    ++pending;  // some local endpoint is still active
+  } else if (!flush2_sent_ && all_flush1 && inbox == 0 && unprocessed == 0) {
+    // Locally quiet and every peer's pre-barrier traffic has been handled
+    // (their round-1 markers arrived after it, FIFO): promise no further
+    // sends. Handling anything that still arrives (responses to our own
+    // pre-barrier requests) never sends, so the promise holds.
+    EnqueueFlushLocked(2);
+    flush2_sent_ = true;
+    pending += static_cast<int64_t>(options_.num_workers - 1);
+  }
+  if (!flush2_sent_) ++pending;
   return pending;
-}
-
-void TcpTransport::EnqueueLocked(int q, std::string frame, bool front) {
-  Peer& peer = peers_[q];
-  peer.queued_bytes += static_cast<int64_t>(frame.size());
-  if (front) {
-    GT_CHECK_EQ(static_cast<int64_t>(peer.front_off), 0);
-    peer.sendq.push_front(std::move(frame));
-  } else {
-    peer.sendq.push_back(std::move(frame));
-  }
 }
 
 void TcpTransport::EnqueueFlushLocked(uint8_t round) {
   for (int q = 0; q < options_.num_workers; ++q) {
     if (q == options_.rank) continue;
-    EnqueueLocked(q, EncodeControlFrame(FrameKind::kFlush, round));
+    Peer& peer = peers_[q];
+    std::lock_guard<std::mutex> slock(peer.send_mu);
+    EnqueueFrameLocked(peer, EncodeControlFrame(FrameKind::kFlush, round),
+                       /*front=*/false);
   }
+  WakeAllLocked();
 }
 
 bool TcpTransport::AllHelloLocked() const {
@@ -362,7 +467,7 @@ bool TcpTransport::AllHelloLocked() const {
   return true;
 }
 
-Status TcpTransport::ConnectLocked(int q) {
+Status TcpTransport::ConnectPeerLocked(int q) {
   std::string host;
   int port = 0;
   if (!SplitHostPort(options_.hosts[q], &host, &port)) {
@@ -385,17 +490,25 @@ Status TcpTransport::ConnectLocked(int q) {
   }
   SetNonBlocking(fd);
   SetNoDelay(fd);
+  SetSndbuf(fd, options_.sndbuf_bytes);
   const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
   ::freeaddrinfo(res);
   Peer& peer = peers_[q];
   if (rc == 0) {
     peer.fd = fd;
     peer.connecting = false;
-    peer.front_off = 0;
-    EnqueueLocked(q, EncodeControlFrame(FrameKind::kHello, 0), /*front=*/true);
+    {
+      std::lock_guard<std::mutex> slock(peer.send_mu);
+      peer.front_off = 0;
+      EnqueueFrameLocked(peer,
+                         EncodeControlFrame(FrameKind::kHello, kFeatureCrc32C),
+                         /*front=*/true);
+    }
+    MarkPollsetDirtyLocked();
   } else if (errno == EINPROGRESS) {
     peer.fd = fd;
     peer.connecting = true;
+    MarkPollsetDirtyLocked();
   } else {
     ::close(fd);
     return Status::IoError("connect " + options_.hosts[q] + ": " +
@@ -404,71 +517,173 @@ Status TcpTransport::ConnectLocked(int q) {
   return Status::Ok();
 }
 
-void TcpTransport::DropPeerLocked(int q, bool reconnect) {
+void TcpTransport::ScheduleReconnectLocked(int q) {
+  Peer& peer = peers_[q];
+  peer.reconnects.fetch_add(1, std::memory_order_relaxed);
+  peer.backoff_ms = peer.backoff_ms == 0
+                        ? options_.backoff_initial_ms
+                        : std::min(peer.backoff_ms * 2,
+                                   options_.backoff_max_ms);
+  peer.reconnect_at_ms = SteadyNowMs() + peer.backoff_ms;
+}
+
+void TcpTransport::InstallAdoptedLocked(int q) {
+  Peer& peer = peers_[q];
+  if (peer.fd >= 0) ::close(peer.fd);  // replaced by the peer's reconnect
+  peer.fd = peer.adopt_fd;
+  peer.adopt_fd = -1;
+  peer.connecting = false;
+  // Seed the receive buffer with whatever followed the HELLO.
+  peer.rx_slab = SlabRef(BufferPool::Global().Acquire(
+      std::max(kRecvChunk, peer.adopt_rx.size())));
+  if (!peer.adopt_rx.empty()) {
+    std::memcpy(peer.rx_slab.data(), peer.adopt_rx.data(),
+                peer.adopt_rx.size());
+  }
+  peer.rx_len = peer.adopt_rx.size();
+  peer.rx_off = 0;
+  peer.adopt_rx.clear();
+  {
+    std::lock_guard<std::mutex> slock(peer.send_mu);
+    peer.front_off = 0;
+    EnqueueFrameLocked(peer,
+                       EncodeControlFrame(FrameKind::kHello, kFeatureCrc32C),
+                       /*front=*/true);
+  }
+  MarkPollsetDirtyLocked();
+}
+
+void TcpTransport::DropPeer(int q, bool reconnect) {
   Peer& peer = peers_[q];
   if (peer.fd >= 0) ::close(peer.fd);
   peer.fd = -1;
   peer.connecting = false;
-  peer.hello_ok = false;
-  peer.rxbuf.clear();
-  peer.rx_off = 0;
+  peer.rx_slab.Reset();
+  peer.rx_len = peer.rx_off = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer.hello_ok = false;
+    MarkPollsetDirtyLocked();
+    if (reconnect) ScheduleReconnectLocked(q);
+  }
   // Resend from the last frame boundary: frames are only popped once fully
   // written, so resetting the partial-write offset is lossless (the receiver
   // may see a truncated frame tail from the dead connection; it resyncs on
   // the fresh connection's HELLO).
+  std::lock_guard<std::mutex> slock(peer.send_mu);
   peer.front_off = 0;
-  if (reconnect) {
-    ++peer.reconnects;
-    peer.backoff_ms = peer.backoff_ms == 0
-                          ? options_.backoff_initial_ms
-                          : std::min(peer.backoff_ms * 2,
-                                     options_.backoff_max_ms);
-    peer.reconnect_at_ms = SteadyNowMs() + peer.backoff_ms;
-  }
 }
 
-bool TcpTransport::WritePeerLocked(int q) {
+bool TcpTransport::WritePeer(int q) {
   Peer& peer = peers_[q];
+  const int fd = peer.fd;
+  if (fd < 0) return true;
+  std::unique_lock<std::mutex> lock(peer.send_mu);
   while (!peer.sendq.empty()) {
-    const std::string& frame = peer.sendq.front();
-    const ssize_t n =
-        ::send(peer.fd, frame.data() + peer.front_off,
-               frame.size() - peer.front_off, MSG_NOSIGNAL);
+    // Gather header + payload fragments across as many queued frames as the
+    // iovec budget allows: one syscall flushes a burst of small batches.
+    iovec iov[kMaxIovPerSendmsg];
+    int niov = 0;
+    size_t skip = peer.front_off;
+    for (auto it = peer.sendq.begin();
+         it != peer.sendq.end() && niov < kMaxIovPerSendmsg; ++it) {
+      const OutFrame& f = *it;
+      if (skip < kFrameHeaderSize) {
+        iov[niov].iov_base = const_cast<char*>(f.header.data()) + skip;
+        iov[niov].iov_len = kFrameHeaderSize - skip;
+        ++niov;
+        skip = 0;
+      } else {
+        skip -= kFrameHeaderSize;
+      }
+      for (const Payload::Fragment& frag : f.payload.fragments()) {
+        if (niov >= kMaxIovPerSendmsg) break;
+        if (skip >= frag.len) {
+          skip -= frag.len;
+          continue;
+        }
+        iov[niov].iov_base = const_cast<char*>(frag.data) + skip;
+        iov[niov].iov_len = frag.len - skip;
+        ++niov;
+        skip = 0;
+      }
+      if (niov >= kMaxIovPerSendmsg) break;
+      if (!options_.scatter_gather) break;  // one frame per syscall
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(niov);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
         return true;
       }
       return false;
     }
-    peer.front_off += static_cast<size_t>(n);
-    peer.bytes_sent += n;
-    if (peer.front_off == frame.size()) {
-      peer.queued_bytes -= static_cast<int64_t>(frame.size());
-      ++peer.frames_sent;
+    sendmsg_calls_.fetch_add(1, std::memory_order_relaxed);
+    sendmsg_bytes_.fetch_add(n, std::memory_order_relaxed);
+    peer.bytes_sent.fetch_add(n, std::memory_order_relaxed);
+    // Pop fully-written frames (releasing their payload slabs) and leave the
+    // partial tail as the new front offset.
+    size_t advanced = peer.front_off + static_cast<size_t>(n);
+    int64_t completed = 0;
+    while (!peer.sendq.empty() && advanced >= peer.sendq.front().size()) {
+      const size_t sz = peer.sendq.front().size();
+      advanced -= sz;
+      peer.queued_bytes.fetch_sub(static_cast<int64_t>(sz),
+                                  std::memory_order_relaxed);
+      peer.queued_frames.fetch_sub(1, std::memory_order_relaxed);
+      ++completed;
       peer.sendq.pop_front();
-      peer.front_off = 0;
-      if (peer.sendq.empty()) ++peer.flushes;
-      cv_send_.notify_all();
+    }
+    peer.front_off = advanced;
+    peer.frames_sent.fetch_add(completed, std::memory_order_relaxed);
+    sendmsg_frames_.fetch_add(completed, std::memory_order_relaxed);
+    if (peer.queued_bytes.load(std::memory_order_relaxed) <
+        options_.send_buffer_max_bytes) {
+      peer.send_cv.notify_all();
+    }
+    if (peer.sendq.empty()) {
+      peer.flushes.fetch_add(1, std::memory_order_relaxed);
+      break;
     }
   }
   return true;
 }
 
-bool TcpTransport::HandleFrameLocked(int conn_rank, const FrameHeader& h,
-                                     const char* payload) {
+bool TcpTransport::VerifyFrameCrc(const Peer& peer, const FrameHeader& h,
+                                  const char* payload) {
+  if (peer.crc32c.load(std::memory_order_relaxed)) {
+    if (Crc32C(payload, h.payload_len) == h.crc32) return true;
+    // Frames the peer encoded before it saw our HELLO still carry CRC-32
+    // (IEEE) — the negotiation window, not corruption.
+    if (Crc32(payload, h.payload_len) == h.crc32) {
+      crc_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  return Crc32(payload, h.payload_len) == h.crc32;
+}
+
+bool TcpTransport::HandleFrame(int q, const FrameHeader& h,
+                               const char* payload) {
   switch (h.kind) {
-    case FrameKind::kHello:
+    case FrameKind::kHello: {
       // Version was already vetted by the caller. On the dialing side this
       // is the acceptor's reply completing the handshake; accepted
       // connections were attached to their peer slot before parsing.
-      if (conn_rank >= 0) {
-        peers_[conn_rank].hello_ok = true;
-        cv_start_.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(mu_);
+      Peer& peer = peers_[q];
+      peer.hello_ok = true;
+      peer.crc32c.store((h.msg_type & kFeatureCrc32C) != 0,
+                        std::memory_order_relaxed);
+      cv_start_.notify_all();
       return true;
+    }
     case FrameKind::kFlush: {
-      if (conn_rank < 0) return false;
-      Peer& peer = peers_[conn_rank];
+      std::lock_guard<std::mutex> lock(mu_);
+      Peer& peer = peers_[q];
       if (h.msg_type == 1) {
         peer.flush1_rx = true;
       } else if (h.msg_type == 2) {
@@ -481,14 +696,18 @@ bool TcpTransport::HandleFrameLocked(int conn_rank, const FrameHeader& h,
     case FrameKind::kData: {
       if (h.msg_type >= kNumMsgTypes) return false;
       if (!IsLocalEndpoint(h.dst)) {
-        ++frames_dropped_;
+        frames_dropped_.fetch_add(1, std::memory_order_relaxed);
         return true;  // misrouted, but the stream itself is intact
       }
+      Peer& peer = peers_[q];
       MessageBatch batch;
       batch.src_worker = h.src;
       batch.dst_worker = h.dst;
       batch.type = static_cast<MsgType>(h.msg_type);
-      batch.payload = Payload::CopyOf(payload, h.payload_len);
+      // Zero-copy: the batch pins the receive slab and reads the payload in
+      // place; the slab recycles when the last batch referencing it is done.
+      batch.payload =
+          Payload::FromSlabView(peer.rx_slab, payload, h.payload_len);
       // No cross-process clock: remote batches deliver immediately and are
       // excluded from the delivery-latency histograms (sent_at_us == 0).
       batch.deliver_at_us = 0;
@@ -500,15 +719,18 @@ bool TcpTransport::HandleFrameLocked(int conn_rank, const FrameHeader& h,
   return false;
 }
 
-bool TcpTransport::ParseFramesLocked(int q, std::string* buf, size_t* off) {
-  while (buf->size() - *off >= kFrameHeaderSize) {
+bool TcpTransport::ParseRx(int q) {
+  Peer& peer = peers_[q];
+  while (peer.rx_len - peer.rx_off >= kFrameHeaderSize) {
+    const char* base = peer.rx_slab.data() + peer.rx_off;
     FrameHeader h;
-    if (!DecodeFrameHeader(buf->data() + *off, &h)) {
-      ++frames_corrupt_;
+    if (!DecodeFrameHeader(base, &h)) {
+      frames_corrupt_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (h.version != kProtocolVersion) {
-      if (q >= 0 && q < options_.rank) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (q < options_.rank) {
         // We initiated this connection: a version mismatch is a
         // configuration error, reported as a clean Start() failure.
         if (start_error_.ok()) {
@@ -521,40 +743,76 @@ bool TcpTransport::ParseFramesLocked(int q, std::string* buf, size_t* off) {
       } else {
         // Accepted side: reject the stray/incompatible connection without
         // taking the job down.
-        ++hello_rejected_;
+        hello_rejected_.fetch_add(1, std::memory_order_relaxed);
       }
       return false;
     }
-    if (buf->size() - *off - kFrameHeaderSize < h.payload_len) break;
-    const char* payload = buf->data() + *off + kFrameHeaderSize;
-    if (h.payload_len > 0 && Crc32(payload, h.payload_len) != h.crc32) {
-      ++frames_corrupt_;
+    if (peer.rx_len - peer.rx_off - kFrameHeaderSize < h.payload_len) break;
+    const char* payload = base + kFrameHeaderSize;
+    if (h.payload_len > 0 && !VerifyFrameCrc(peer, h, payload)) {
+      frames_corrupt_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (!HandleFrameLocked(q, h, payload)) {
-      ++frames_corrupt_;
+    if (!HandleFrame(q, h, payload)) {
+      frames_corrupt_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    if (q >= 0) ++peers_[q].frames_received;
-    *off += kFrameHeaderSize + h.payload_len;
-  }
-  if (*off > 0) {
-    buf->erase(0, *off);
-    *off = 0;
+    peer.frames_received.fetch_add(1, std::memory_order_relaxed);
+    peer.rx_off += kFrameHeaderSize + h.payload_len;
   }
   return true;
 }
 
-bool TcpTransport::ReadPeerLocked(int q) {
+void TcpTransport::EnsureRxSpace(Peer& peer) {
+  if (!peer.rx_slab) {
+    peer.rx_slab = SlabRef(BufferPool::Global().Acquire(kRecvChunk));
+    peer.rx_len = peer.rx_off = 0;
+    return;
+  }
+  if (peer.rx_off == peer.rx_len) {
+    // Fully parsed. Rewind in place when no delivered payload still pins the
+    // slab; otherwise keep appending, switching slabs once this one fills.
+    if (peer.rx_slab.get()->refs.load(std::memory_order_acquire) == 1) {
+      peer.rx_len = peer.rx_off = 0;
+    } else if (peer.rx_len == peer.rx_slab.capacity()) {
+      peer.rx_slab = SlabRef(BufferPool::Global().Acquire(kRecvChunk));
+      peer.rx_len = peer.rx_off = 0;
+    }
+    return;
+  }
+  if (peer.rx_len == peer.rx_slab.capacity()) {
+    // A partial frame reached the end of a full slab: move it into a slab
+    // big enough for the whole frame (known once the header is visible) so
+    // the frame completes without another relocation.
+    const size_t leftover = peer.rx_len - peer.rx_off;
+    size_t need = kRecvChunk;
+    if (leftover >= kFrameHeaderSize) {
+      FrameHeader h;
+      if (DecodeFrameHeader(peer.rx_slab.data() + peer.rx_off, &h)) {
+        need = std::max(need, kFrameHeaderSize + size_t{h.payload_len});
+      }
+    }
+    SlabRef bigger(
+        BufferPool::Global().Acquire(std::max(need, leftover + kRecvChunk)));
+    std::memcpy(bigger.data(), peer.rx_slab.data() + peer.rx_off, leftover);
+    peer.rx_slab = std::move(bigger);
+    peer.rx_len = leftover;
+    peer.rx_off = 0;
+  }
+}
+
+bool TcpTransport::ReadPeer(int q) {
   Peer& peer = peers_[q];
-  char buf[64 * 1024];
   while (true) {
-    const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
+    EnsureRxSpace(peer);
+    char* dst = peer.rx_slab.data() + peer.rx_len;
+    const size_t space = peer.rx_slab.capacity() - peer.rx_len;
+    const ssize_t n = ::recv(peer.fd, dst, space, 0);
     if (n > 0) {
-      peer.bytes_received += n;
-      peer.rxbuf.append(buf, static_cast<size_t>(n));
-      if (!ParseFramesLocked(q, &peer.rxbuf, &peer.rx_off)) return false;
-      if (static_cast<size_t>(n) < sizeof(buf)) return true;
+      peer.bytes_received.fetch_add(n, std::memory_order_relaxed);
+      peer.rx_len += static_cast<size_t>(n);
+      if (!ParseRx(q)) return false;
+      if (static_cast<size_t>(n) < space) return true;
       continue;
     }
     if (n == 0) return false;  // orderly EOF
@@ -563,81 +821,120 @@ bool TcpTransport::ReadPeerLocked(int q) {
   }
 }
 
-void TcpTransport::IoLoop() {
+void TcpTransport::IoLoop(int t) {
   std::vector<pollfd> pfds;
   // owners[i]: -1 listen, -2 wake pipe, q >= 0 peer rank, -(3+i) pending_[i]
   std::vector<int> owners;
+  uint64_t seen_version = 0;  // pollset_version_ starts at 1: build on entry
+  std::vector<int> installed;
   while (true) {
-    pfds.clear();
-    owners.clear();
     int timeout_ms = kIoPollMs;
+    installed.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (stop_) break;
+      if (stop_.load(std::memory_order_relaxed)) break;
       const int64_t now_ms = SteadyNowMs();
-      pfds.push_back({listen_fd_, POLLIN, 0});
-      owners.push_back(-1);
-      pfds.push_back({wake_r_, POLLIN, 0});
-      owners.push_back(-2);
-      for (int q = 0; q < options_.num_workers; ++q) {
-        if (q == options_.rank) continue;
+      for (int q : owned_[t]) {
         Peer& peer = peers_[q];
-        if (peer.fd < 0) {
-          // Only the lower rank dials; the higher rank waits for an accept.
-          if (q < options_.rank) {
-            if (now_ms >= peer.reconnect_at_ms) {
-              const Status s = ConnectLocked(q);
-              if (!s.ok()) DropPeerLocked(q, /*reconnect=*/true);
-            } else {
-              timeout_ms = std::min<int64_t>(
-                  timeout_ms, std::max<int64_t>(1, peer.reconnect_at_ms -
-                                                       now_ms));
-            }
+        if (peer.adopt_fd >= 0) {
+          InstallAdoptedLocked(q);
+          installed.push_back(q);
+        }
+        // Only the lower rank dials; the higher rank waits for an accept.
+        if (peer.fd < 0 && q < options_.rank) {
+          if (now_ms >= peer.reconnect_at_ms) {
+            const Status s = ConnectPeerLocked(q);
+            if (!s.ok()) ScheduleReconnectLocked(q);
+          }
+          if (peer.fd < 0) {
+            timeout_ms = static_cast<int>(std::min<int64_t>(
+                timeout_ms,
+                std::max<int64_t>(1, peer.reconnect_at_ms - now_ms)));
           }
         }
-        if (peer.fd >= 0) {
-          short events = POLLIN;
-          if (peer.connecting || !peer.sendq.empty()) events |= POLLOUT;
-          pfds.push_back({peer.fd, events, 0});
-          owners.push_back(q);
+      }
+      if (seen_version != pollset_version_) {
+        // The fd set changed (connect, drop, accept, adoption): rebuild this
+        // thread's cached pollset. Steady-state iterations skip this and
+        // only refresh the event masks in place below.
+        seen_version = pollset_version_;
+        poll_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+        pfds.clear();
+        owners.clear();
+        pfds.push_back({wake_r_[t], POLLIN, 0});
+        owners.push_back(-2);
+        if (t == 0) {
+          pfds.push_back({listen_fd_, POLLIN, 0});
+          owners.push_back(-1);
+          for (size_t i = 0; i < pending_.size(); ++i) {
+            pfds.push_back({pending_[i].fd, POLLIN, 0});
+            owners.push_back(-3 - static_cast<int>(i));
+          }
+        }
+        for (int q : owned_[t]) {
+          if (peers_[q].fd >= 0) {
+            pfds.push_back({peers_[q].fd, POLLIN, 0});
+            owners.push_back(q);
+          }
         }
       }
-      for (size_t i = 0; i < pending_.size(); ++i) {
-        pfds.push_back({pending_[i].fd, POLLIN, 0});
-        owners.push_back(-3 - static_cast<int>(i));
+    }
+    // Service freshly adopted connections outside mu_ (socket IO never runs
+    // under the global lock): parse bytes that arrived with the HELLO and
+    // flush the reply.
+    for (int q : installed) {
+      if (!ParseRx(q) || !WritePeer(q)) {
+        DropPeer(q, /*reconnect=*/false);
       }
+    }
+    for (size_t i = 0; i < pfds.size(); ++i) {
+      pfds[i].revents = 0;
+      const int q = owners[i];
+      if (q < 0) continue;
+      Peer& peer = peers_[q];
+      short events = POLLIN;
+      if (peer.connecting ||
+          peer.queued_frames.load(std::memory_order_relaxed) > 0) {
+        events |= POLLOUT;
+      }
+      pfds[i].events = events;
     }
     const int ready =
         ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
+    if (stop_.load(std::memory_order_relaxed)) break;
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) break;
     std::vector<int> dead_pending;
     for (size_t i = 0; i < pfds.size(); ++i) {
       if (pfds[i].revents == 0) continue;
       const int owner = owners[i];
       if (owner == -2) {
         char drain[256];
-        while (::read(wake_r_, drain, sizeof(drain)) > 0) {
+        while (::read(wake_r_[t], drain, sizeof(drain)) > 0) {
         }
         continue;
       }
       if (owner == -1) {
+        std::lock_guard<std::mutex> lock(mu_);
         while (true) {
           const int conn = ::accept(listen_fd_, nullptr, nullptr);
           if (conn < 0) break;
           SetNonBlocking(conn);
           SetNoDelay(conn);
+          SetSndbuf(conn, options_.sndbuf_bytes);
           pending_.push_back(Pending{conn, std::string()});
+          MarkPollsetDirtyLocked();
         }
         continue;
       }
       if (owner <= -3) {
-        // Accepted connection awaiting its HELLO.
+        // Accepted connection awaiting its HELLO (thread 0 only).
         const size_t idx = static_cast<size_t>(-3 - owner);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (idx >= pending_.size()) continue;
         Pending& c = pending_[idx];
+        if (c.fd != pfds[i].fd) continue;
         char buf[4096];
         bool drop = false;
         const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
@@ -649,25 +946,21 @@ void TcpTransport::IoLoop() {
                 h.kind != FrameKind::kHello ||
                 h.version != kProtocolVersion || h.src <= options_.rank ||
                 h.src >= options_.num_workers) {
-              ++hello_rejected_;
+              hello_rejected_.fetch_add(1, std::memory_order_relaxed);
               drop = true;
             } else {
               // Adopt: this connection becomes the live link to rank h.src.
+              // The owning IO thread installs the fd at its next iteration
+              // (it alone touches peer sockets), so hand it over and wake it.
               Peer& peer = peers_[h.src];
-              if (peer.fd >= 0) ::close(peer.fd);  // replaced by reconnect
-              peer.fd = c.fd;
-              peer.connecting = false;
+              if (peer.adopt_fd >= 0) ::close(peer.adopt_fd);  // superseded
+              peer.adopt_fd = c.fd;
+              peer.adopt_rx = c.rxbuf.substr(kFrameHeaderSize);
               peer.hello_ok = true;
-              peer.front_off = 0;
-              peer.rxbuf = c.rxbuf.substr(kFrameHeaderSize);
-              peer.rx_off = 0;
-              EnqueueLocked(h.src, EncodeControlFrame(FrameKind::kHello, 0),
-                            /*front=*/true);
+              peer.crc32c.store((h.msg_type & kFeatureCrc32C) != 0,
+                                std::memory_order_relaxed);
               cv_start_.notify_all();
-              if (!ParseFramesLocked(h.src, &peer.rxbuf, &peer.rx_off) ||
-                  !WritePeerLocked(h.src)) {
-                DropPeerLocked(h.src, /*reconnect=*/false);
-              }
+              WakeThreadLocked(ThreadOf(h.src));
               c.fd = -1;  // ownership transferred
               dead_pending.push_back(static_cast<int>(idx));
               continue;
@@ -684,70 +977,104 @@ void TcpTransport::IoLoop() {
         }
         continue;
       }
-      // Peer socket.
+      // Peer socket (owned by this thread).
       const int q = owner;
       Peer& peer = peers_[q];
-      if (peer.fd != pfds[i].fd) continue;  // replaced meanwhile
-      if (peer.connecting && (pfds[i].revents & (POLLOUT | POLLERR | POLLHUP))) {
+      if (peer.fd != pfds[i].fd) continue;  // replaced this iteration
+      const short rev = pfds[i].revents;
+      if (peer.connecting && (rev & (POLLOUT | POLLERR | POLLHUP))) {
         int err = 0;
         socklen_t elen = sizeof(err);
         ::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &elen);
         if (err != 0) {
-          DropPeerLocked(q, /*reconnect=*/true);
+          DropPeer(q, /*reconnect=*/true);
           continue;
         }
         peer.connecting = false;
-        EnqueueLocked(q, EncodeControlFrame(FrameKind::kHello, 0),
-                      /*front=*/true);
+        EnqueueControl(q, FrameKind::kHello, kFeatureCrc32C, /*front=*/true);
       }
-      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
         // Read out anything still buffered before declaring the link dead.
-        ReadPeerLocked(q);
-        if (peer.fd >= 0) DropPeerLocked(q, q < options_.rank);
+        ReadPeer(q);
+        if (peer.fd >= 0) DropPeer(q, q < options_.rank);
         continue;
       }
-      if ((pfds[i].revents & POLLIN) && !ReadPeerLocked(q)) {
-        const bool fatal = !start_error_.ok();
-        DropPeerLocked(q, /*reconnect=*/q < options_.rank && !fatal);
+      if ((rev & POLLIN) && !ReadPeer(q)) {
+        bool fatal;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          fatal = !start_error_.ok();
+        }
+        DropPeer(q, /*reconnect=*/q < options_.rank && !fatal);
         continue;
       }
-      if (!peer.connecting && !peer.sendq.empty() && !WritePeerLocked(q)) {
-        DropPeerLocked(q, q < options_.rank);
+      if (!peer.connecting &&
+          peer.queued_frames.load(std::memory_order_relaxed) > 0 &&
+          !WritePeer(q)) {
+        DropPeer(q, q < options_.rank);
         continue;
       }
     }
-    // Compact pending_ (indices collected descending-safe via sort).
-    std::sort(dead_pending.begin(), dead_pending.end());
-    for (auto it = dead_pending.rbegin(); it != dead_pending.rend(); ++it) {
-      pending_.erase(pending_.begin() + *it);
+    if (!dead_pending.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::sort(dead_pending.begin(), dead_pending.end());
+      for (auto it = dead_pending.rbegin(); it != dead_pending.rend(); ++it) {
+        pending_.erase(pending_.begin() + *it);
+      }
+      MarkPollsetDirtyLocked();
     }
   }
-  cv_send_.notify_all();
-  cv_start_.notify_all();
+  // Unblock anyone still waiting at teardown.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_start_.notify_all();
+  }
+  for (int q : owned_[t]) {
+    std::lock_guard<std::mutex> slock(peers_[q].send_mu);
+    peers_[q].send_cv.notify_all();
+  }
 }
 
 void TcpTransport::AppendMetrics(obs::MetricsSnapshot* snap) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  snap->counters.emplace_back("transport.frames_corrupt", frames_corrupt_);
-  snap->counters.emplace_back("transport.hello_rejected", hello_rejected_);
-  snap->counters.emplace_back("transport.frames_dropped", frames_dropped_);
+  const auto relaxed = std::memory_order_relaxed;
+  snap->counters.emplace_back("transport.frames_corrupt",
+                              frames_corrupt_.load(relaxed));
+  snap->counters.emplace_back("transport.hello_rejected",
+                              hello_rejected_.load(relaxed));
+  snap->counters.emplace_back("transport.frames_dropped",
+                              frames_dropped_.load(relaxed));
+  snap->counters.emplace_back("transport.crc_fallbacks",
+                              crc_fallbacks_.load(relaxed));
+  snap->counters.emplace_back("transport.batches_abandoned",
+                              batches_abandoned_.load(relaxed));
+  snap->counters.emplace_back("transport.poll_rebuilds",
+                              poll_rebuilds_.load(relaxed));
+  snap->counters.emplace_back("transport.sendmsg_calls",
+                              sendmsg_calls_.load(relaxed));
+  snap->counters.emplace_back("transport.sendmsg_frames",
+                              sendmsg_frames_.load(relaxed));
+  snap->counters.emplace_back("transport.sendmsg_bytes",
+                              sendmsg_bytes_.load(relaxed));
   for (int q = 0; q < options_.num_workers; ++q) {
     if (q == options_.rank) continue;
     const Peer& p = peers_[q];
     const std::string label = "{peer=" + std::to_string(q) + "}";
     snap->counters.emplace_back("transport.frames_sent" + label,
-                                p.frames_sent);
-    snap->counters.emplace_back("transport.bytes_sent" + label, p.bytes_sent);
+                                p.frames_sent.load(relaxed));
+    snap->counters.emplace_back("transport.bytes_sent" + label,
+                                p.bytes_sent.load(relaxed));
     snap->counters.emplace_back("transport.frames_received" + label,
-                                p.frames_received);
+                                p.frames_received.load(relaxed));
     snap->counters.emplace_back("transport.bytes_received" + label,
-                                p.bytes_received);
-    snap->counters.emplace_back("transport.send_flushes" + label, p.flushes);
+                                p.bytes_received.load(relaxed));
+    snap->counters.emplace_back("transport.send_flushes" + label,
+                                p.flushes.load(relaxed));
     snap->counters.emplace_back("transport.backpressure_waits" + label,
-                                p.backpressure_waits);
-    snap->counters.emplace_back("transport.reconnects" + label, p.reconnects);
+                                p.backpressure_waits.load(relaxed));
+    snap->counters.emplace_back("transport.reconnects" + label,
+                                p.reconnects.load(relaxed));
     snap->gauges.emplace_back("transport.send_queue_bytes" + label,
-                              p.queued_bytes);
+                              p.queued_bytes.load(relaxed));
   }
 }
 

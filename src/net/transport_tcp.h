@@ -1,6 +1,8 @@
 #ifndef GTHINKER_NET_TRANSPORT_TCP_H_
 #define GTHINKER_NET_TRANSPORT_TCP_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,7 +14,9 @@
 
 #include "net/frame.h"
 #include "net/message.h"
+#include "net/payload.h"
 #include "net/transport.h"
+#include "util/buffer_pool.h"
 #include "util/concurrent_queue.h"
 
 namespace gthinker::net {
@@ -32,30 +36,52 @@ struct TcpTransportOptions {
   /// Reconnect backoff window on transient socket errors.
   int64_t backoff_initial_ms = 50;
   int64_t backoff_max_ms = 1'000;
+  /// IO threads driving the peer sockets; peer rank q is serviced by thread
+  /// q % io_threads (thread 0 additionally owns the listen socket and
+  /// handshaking accepted connections). 1 = the classic single poll loop.
+  int io_threads = 1;
+  /// Coalesce queued frames into one sendmsg() with scatter-gather iovecs,
+  /// keeping payload fragment chains alive in the sendq (zero-copy). Off =
+  /// flatten each frame into a contiguous buffer at enqueue and emit one
+  /// frame per syscall — the legacy data plane, kept as a bench ablation.
+  bool scatter_gather = true;
+  /// SO_SNDBUF override for peer sockets (0 = OS default). Tests use a tiny
+  /// value to force short writes that split frames across syscalls.
+  int sndbuf_bytes = 0;
 };
 
 /// Socket backend: each process hosts one worker rank (rank 0 also hosts the
 /// master endpoint) and keeps one bidirectional TCP connection per peer rank
 /// (rank r connects to every q < r and accepts from every q > r; a HELLO
-/// frame negotiates the protocol version both ways). One IO thread drives
-/// poll(2) over the listen socket, a self-pipe wakeup, and every peer fd:
-/// nonblocking writes drain per-peer buffered send queues of encoded frames
-/// (net/frame.h), reads reassemble frames and push decoded batches onto the
-/// local endpoints' inboxes. Send() applies backpressure above
+/// frame negotiates the protocol version — and feature bits such as CRC-32C
+/// checksums — both ways). One or more IO threads drive poll(2); each peer
+/// socket belongs to exactly one thread. Writes gather the per-peer send
+/// queue of framed messages (header + live Payload fragment chain, no copy)
+/// into a single sendmsg() per syscall; reads land in pooled BufferPool
+/// slabs and complete DATA payloads are handed to the inboxes as zero-copy
+/// views into those slabs. Send() applies backpressure above
 /// send_buffer_max_bytes; transient connection errors reconnect with
 /// exponential backoff and resend from the last frame boundary.
 ///
-/// In-flight accounting across sockets (DESIGN.md "Transport layer"): a
-/// process cannot see its peers' counters, so quiescence is certified by a
-/// two-round FLUSH marker protocol. Round 1 is emitted once every local
-/// endpoint called BeginDrain() — per-connection FIFO guarantees all of this
-/// process's requests and donations precede it. Round 2 is emitted once
-/// round-1 markers arrived from all peers and the process is locally quiet
-/// (inboxes empty, nothing unprocessed) — at that point no pre-barrier
-/// request of ours is still unanswered anywhere, and since handling a
-/// response never sends, nothing can arrive after a peer's round-2 marker.
-/// DrainPending() returns 0 only once both rounds completed, all send queues
-/// flushed, and the inboxes are empty.
+/// Locking (DESIGN.md "Transport layer", data plane):
+///   - mu_ guards connection lifecycle (hello/adoption state, pending
+///     handshakes, drain flags, pollset version). Critical sections are
+///     short: no socket IO happens under mu_.
+///   - each Peer's send_mu guards its send queue, so Send() to one peer
+///     never contends with the poll loops or with sends to other peers.
+///   - receive-side state is confined to the peer's owning IO thread.
+///
+/// In-flight accounting across sockets: a process cannot see its peers'
+/// counters, so quiescence is certified by a two-round FLUSH marker
+/// protocol. Round 1 is emitted once every local endpoint called
+/// BeginDrain() — per-connection FIFO guarantees all of this process's
+/// requests and donations precede it. Round 2 is emitted once round-1
+/// markers arrived from all peers and the process is locally quiet (inboxes
+/// empty, nothing unprocessed) — at that point no pre-barrier request of
+/// ours is still unanswered anywhere, and since handling a response never
+/// sends, nothing can arrive after a peer's round-2 marker. DrainPending()
+/// returns 0 only once both rounds completed, all send queues flushed, and
+/// the inboxes are empty.
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(TcpTransportOptions options);
@@ -77,27 +103,52 @@ class TcpTransport final : public Transport {
   int rank() const { return options_.rank; }
 
  private:
+  /// One framed message in a send queue: the encoded header plus the live
+  /// payload fragment chain. The fragments' slabs stay pinned (refcounted)
+  /// until the frame is fully written, so the bytes serialized by the sender
+  /// go to the socket without ever being copied into a frame buffer.
+  struct OutFrame {
+    std::array<char, kFrameHeaderSize> header;
+    Payload payload;
+    FrameKind kind = FrameKind::kData;
+    size_t size() const { return kFrameHeaderSize + payload.size(); }
+  };
+
   struct Peer {
+    // -- connection state: confined to the owning IO thread after Start(),
+    //    except the mu_-guarded fields noted below --
     int fd = -1;
     bool connecting = false;  // nonblocking connect() awaiting POLLOUT
-    bool hello_ok = false;    // valid HELLO received on the live connection
-    std::deque<std::string> sendq;  // encoded frames, FIFO
-    size_t front_off = 0;           // bytes of sendq.front() already written
-    int64_t queued_bytes = 0;
-    std::string rxbuf;
-    size_t rx_off = 0;  // parsed prefix of rxbuf
+    bool hello_ok = false;    // mu_: valid HELLO received on the live conn
+    int adopt_fd = -1;        // mu_: accepted fd awaiting owner installation
+    std::string adopt_rx;     // mu_: bytes read past the adopted HELLO
+    /// Peer advertised kFeatureCrc32C in its HELLO: emit CRC-32C to it and
+    /// accept CRC-32C from it (with an IEEE fallback for frames it encoded
+    /// before it saw our HELLO).
+    std::atomic<bool> crc32c{false};
+    SlabRef rx_slab;    // pooled receive buffer (DATA payloads are views)
+    size_t rx_len = 0;  // filled prefix of rx_slab
+    size_t rx_off = 0;  // parsed prefix of rx_slab
     int64_t backoff_ms = 0;
     int64_t reconnect_at_ms = 0;  // steady-clock ms of next connect attempt
-    bool flush1_rx = false;       // drain markers received from this peer
-    bool flush2_rx = false;
-    // per-peer wire metrics
-    int64_t frames_sent = 0;
-    int64_t bytes_sent = 0;
-    int64_t frames_received = 0;
-    int64_t bytes_received = 0;
-    int64_t flushes = 0;  // send queue drained to empty
-    int64_t backpressure_waits = 0;
-    int64_t reconnects = 0;
+    bool flush1_rx = false;       // mu_: drain markers from this peer
+    bool flush2_rx = false;       // mu_
+    // -- send plane: guarded by send_mu --
+    std::mutex send_mu;
+    std::condition_variable send_cv;  // backpressure waiters
+    std::deque<OutFrame> sendq;       // framed messages, FIFO
+    size_t front_off = 0;             // bytes of sendq.front() written
+    // lock-free mirrors of the queue size for DrainPending / POLLOUT arming
+    std::atomic<int64_t> queued_bytes{0};
+    std::atomic<int64_t> queued_frames{0};
+    // per-peer wire metrics (relaxed atomics; read lock-free by obs)
+    std::atomic<int64_t> frames_sent{0};
+    std::atomic<int64_t> bytes_sent{0};
+    std::atomic<int64_t> frames_received{0};
+    std::atomic<int64_t> bytes_received{0};
+    std::atomic<int64_t> flushes{0};  // send queue drained to empty
+    std::atomic<int64_t> backpressure_waits{0};
+    std::atomic<int64_t> reconnects{0};
   };
 
   /// An accepted connection whose peer rank is unknown until its HELLO.
@@ -113,48 +164,67 @@ class TcpTransport final : public Transport {
     return endpoint >= 0 && endpoint <= options_.num_workers &&
            EndpointRank(endpoint) == options_.rank;
   }
+  int ThreadOf(int q) const { return q % io_thread_count_; }
 
-  void IoLoop();
-  void Wake();
-  Status ConnectLocked(int q);                // begins a nonblocking connect
-  bool WritePeerLocked(int q);                // false = connection died
-  bool ReadPeerLocked(int q);                 // false = connection died
-  void DropPeerLocked(int q, bool reconnect);
-  void EnqueueLocked(int q, std::string frame, bool front = false);
+  void IoLoop(int t);
+  void WakeThreadLocked(int t);
+  void WakeAllLocked();
+  void MarkPollsetDirtyLocked() { ++pollset_version_; }
+  Status ConnectPeerLocked(int q);     // begins a nonblocking connect
+  void ScheduleReconnectLocked(int q);
+  void InstallAdoptedLocked(int q);    // owner takes over an accepted fd
+  bool WritePeer(int q);               // false = connection died
+  bool ReadPeer(int q);                // false = connection died
+  void EnsureRxSpace(Peer& peer);
+  /// Parses complete frames out of the peer's rx slab; false = corrupt.
+  bool ParseRx(int q);
+  bool VerifyFrameCrc(const Peer& peer, const FrameHeader& h,
+                      const char* payload);
+  bool HandleFrame(int q, const FrameHeader& h, const char* payload);
+  void DropPeer(int q, bool reconnect);
+  OutFrame EncodeDataFrame(MessageBatch batch, bool crc32c) const;
+  OutFrame EncodeControlFrame(FrameKind kind, uint8_t msg_type) const;
+  void EnqueueFrameLocked(Peer& peer, OutFrame frame, bool front);
+  void EnqueueControl(int q, FrameKind kind, uint8_t msg_type, bool front);
   void EnqueueFlushLocked(uint8_t round);
-  /// Parses complete frames out of `buf`/`off`; false = corrupt stream.
-  bool ParseFramesLocked(int q, std::string* buf, size_t* off);
-  bool HandleFrameLocked(int conn_rank, const FrameHeader& h,
-                         const char* payload);
-  std::string EncodeDataFrame(const MessageBatch& batch) const;
-  std::string EncodeControlFrame(FrameKind kind, uint8_t msg_type) const;
   bool AllHelloLocked() const;
 
   const TcpTransportOptions options_;
   const int num_endpoints_;
+  const int io_thread_count_;
   std::vector<int> local_endpoints_;
+  std::vector<std::vector<int>> owned_;  // peer ranks per IO thread
   std::vector<std::unique_ptr<ConcurrentQueue<MessageBatch>>> inboxes_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_send_;   // backpressure + stop-flush waiters
   std::condition_variable cv_start_;  // handshake completion
   std::vector<Peer> peers_;           // indexed by rank; self slot unused
   std::vector<Pending> pending_;
-  Status start_error_;        // sticky fatal from the IO thread (bad version)
-  bool running_ = false;
-  bool stop_ = false;
+  Status start_error_;       // sticky fatal from an IO thread (bad version)
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  /// Bumped (under mu_) whenever the set of pollable fds changes; IO threads
+  /// rebuild their cached pollsets only when their seen version lags.
+  uint64_t pollset_version_ = 1;
   int drained_endpoints_ = 0;  // bitmask over local_endpoints_ order
   bool flush1_sent_ = false;
   bool flush2_sent_ = false;
-  int64_t frames_corrupt_ = 0;
-  int64_t hello_rejected_ = 0;
-  int64_t frames_dropped_ = 0;  // DATA for a non-local endpoint
+
+  std::atomic<int64_t> frames_corrupt_{0};
+  std::atomic<int64_t> hello_rejected_{0};
+  std::atomic<int64_t> frames_dropped_{0};  // DATA for a non-local endpoint
+  std::atomic<int64_t> crc_fallbacks_{0};   // CRC32C link, IEEE frame
+  std::atomic<int64_t> batches_abandoned_{0};  // DATA dropped by teardown
+  std::atomic<int64_t> poll_rebuilds_{0};      // pollset reconstructions
+  std::atomic<int64_t> sendmsg_calls_{0};
+  std::atomic<int64_t> sendmsg_frames_{0};  // frames completed by sendmsg
+  std::atomic<int64_t> sendmsg_bytes_{0};
 
   int listen_fd_ = -1;
-  int wake_r_ = -1;
-  int wake_w_ = -1;
+  std::vector<int> wake_r_;  // one self-pipe per IO thread
+  std::vector<int> wake_w_;
   int port_ = 0;
-  std::thread io_thread_;
+  std::vector<std::thread> io_threads_;
 };
 
 }  // namespace gthinker::net
